@@ -1,0 +1,103 @@
+// E12 (extension) — sensitivity of Figure 2 to imperfect clear-channel
+// assessment.
+//
+// The protocol's control loop counts *clear* slots (hearing silence is what
+// grows S_u toward termination), so CCA misclassification perturbs it in
+// both directions:
+//   * false-busy (clear read as noise) suppresses C_u — behaves like free,
+//     adversary-less jamming: costs rise, termination is delayed;
+//   * missed-detection (noise read as clear) inflates C_u — S_u can grow
+//     through genuine jamming, risking premature helper halts before every
+//     node is informed.
+// This bench sweeps both error rates, unattacked and under a critical-rate
+// blocker, and reports cost, delivery and termination.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "rcb/protocols/broadcast_n.hpp"
+#include "rcb/runtime/montecarlo.hpp"
+
+namespace rcb {
+namespace {
+
+struct Outcome {
+  double mean_cost = 0;
+  double informed = 0;
+  double terminated = 0;
+  double latency = 0;
+};
+
+Outcome measure(const CcaModel& cca, bool jammed, std::uint64_t seed) {
+  BroadcastNParams params = BroadcastNParams::sim();
+  params.cca = cca;
+  const std::uint32_t n = 32;
+  auto samples = run_trials<Outcome>(12, seed, [&](std::size_t, Rng& rng) {
+    Outcome o;
+    BroadcastNResult r;
+    if (jammed) {
+      SuffixBlockerAdversary adv(Budget(1 << 16), 0.9);
+      r = run_broadcast_n(n, params, adv, rng);
+    } else {
+      NoJamAdversary adv;
+      r = run_broadcast_n(n, params, adv, rng);
+    }
+    o.mean_cost = r.mean_cost;
+    o.informed = static_cast<double>(r.informed_count) / n;
+    o.terminated = r.all_terminated ? 1.0 : 0.0;
+    o.latency = static_cast<double>(r.latency);
+    return o;
+  });
+  Outcome acc;
+  for (const auto& s : samples) {
+    acc.mean_cost += s.mean_cost;
+    acc.informed += s.informed;
+    acc.terminated += s.terminated;
+    acc.latency += s.latency;
+  }
+  const auto count = static_cast<double>(samples.size());
+  acc.mean_cost /= count;
+  acc.informed /= count;
+  acc.terminated /= count;
+  acc.latency /= count;
+  return acc;
+}
+
+void run() {
+  bench::print_header(
+      "E12", "Extension — Fig. 2 under imperfect clear-channel assessment");
+  std::cout << "n = 32, 12 trials per row; 'informed' and 'terminated' are "
+               "averaged rates\n";
+
+  for (bool jammed : {false, true}) {
+    std::cout << (jammed ? "\n(b) under SuffixBlocker(q=0.9, budget 2^16)\n\n"
+                         : "\n(a) no adversary\n\n");
+    Table table({"false busy", "missed detect", "mean cost", "informed",
+                 "terminated", "latency"});
+    std::uint64_t seed = jammed ? 45000 : 44000;
+    const std::pair<double, double> grid[] = {
+        {0.0, 0.0}, {0.02, 0.0}, {0.1, 0.0},  {0.25, 0.0},
+        {0.0, 0.02}, {0.0, 0.1}, {0.0, 0.25}, {0.1, 0.1},
+    };
+    for (const auto& [fb, md] : grid) {
+      const Outcome o = measure(CcaModel{fb, md}, jammed, seed++);
+      table.add_row({Table::num(fb), Table::num(md), Table::num(o.mean_cost),
+                     Table::num(o.informed, 4), Table::num(o.terminated, 3),
+                     Table::num(o.latency)});
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nExpected: false-busy inflates cost/latency like unpaid "
+               "jamming but keeps delivery.  Missed-detection is absorbed "
+               "at these rates — the conservative n_u estimates and the "
+               "helper re-estimation keep halting safe even when S_u grows "
+               "through jamming (at 0.25 it mildly raises cost under "
+               "attack).\n";
+}
+
+}  // namespace
+}  // namespace rcb
+
+int main() {
+  rcb::run();
+  return 0;
+}

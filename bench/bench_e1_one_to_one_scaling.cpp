@@ -1,0 +1,86 @@
+// E1 — Theorem 1: 1-to-1 expected cost O(sqrt(T ln(1/eps)) + ln(1/eps)),
+// success probability >= 1 - eps, latency O(T).
+//
+// Sweeps the adversary budget under the canonical FullDuelBlocker attack
+// (q-block Bob's send phases and Alice's nack phases until broke) and
+// reports, per budget: realised T, max per-party cost, the normalised ratio
+// cost / sqrt(T ln(1/eps)) (should be ~constant), delivery rate, and
+// latency/T.  Finishes with the fitted cost-vs-T exponent (paper: 0.5).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "rcb/adversary/two_uniform.hpp"
+#include "rcb/protocols/one_to_one.hpp"
+#include "rcb/runtime/montecarlo.hpp"
+
+namespace rcb {
+namespace {
+
+struct Sample {
+  double cost = 0, t = 0, latency = 0;
+  bool delivered = false;
+};
+
+void run() {
+  const double eps = 0.01;
+  const double q = 0.6;
+  const OneToOneParams params = OneToOneParams::sim(eps);
+  const double ln8e = std::log(8.0 / eps);
+
+  bench::print_header(
+      "E1", "Theorem 1 — 1-to-1 cost ~ sqrt(T ln(1/eps)), success >= 1-eps");
+  std::cout << "eps = " << eps << ", adversary = FullDuelBlocker(q=" << q
+            << "), 256 trials per budget\n\n";
+
+  Table table({"budget", "T (mean)", "max cost", "ci95", "cost/sqrt(T ln 1/e)",
+               "delivered", "latency/T"});
+  std::vector<double> ts, costs;
+
+  for (Cost budget = Cost{1} << 10; budget <= Cost{1} << 18; budget <<= 2) {
+    auto samples =
+        run_trials<Sample>(256, 77000 + budget, [&](std::size_t, Rng& rng) {
+          FullDuelBlocker adv(Budget(budget), q);
+          const auto r = run_one_to_one(params, adv, rng);
+          return Sample{static_cast<double>(r.max_cost()),
+                        static_cast<double>(r.adversary_cost),
+                        static_cast<double>(r.latency), r.delivered};
+        });
+
+    std::vector<double> cost_v, t_v, lat_v;
+    int delivered = 0;
+    for (const auto& s : samples) {
+      cost_v.push_back(s.cost);
+      t_v.push_back(s.t);
+      lat_v.push_back(s.latency);
+      delivered += s.delivered;
+    }
+    const Summary cost_s = summarize(cost_v);
+    const double t_mean = bench::mean_of(t_v);
+    const double lat_mean = bench::mean_of(lat_v);
+    const double norm = cost_s.mean / std::sqrt(std::max(1.0, t_mean) * ln8e);
+
+    ts.push_back(t_mean);
+    costs.push_back(cost_s.mean);
+    table.add_row({Table::num(static_cast<double>(budget)),
+                   Table::num(t_mean), Table::num(cost_s.mean),
+                   Table::num(cost_s.ci95_halfwidth(), 2), Table::num(norm, 3),
+                   Table::num(static_cast<double>(delivered) /
+                                  static_cast<double>(samples.size()),
+                              3),
+                   Table::num(lat_mean / std::max(1.0, t_mean), 3)});
+  }
+
+  table.print(std::cout);
+  std::cout << '\n';
+  bench::print_fit("cost vs T", fit_power_law(ts, costs), 0.5);
+  std::cout << "Expected: normalised column ~constant, delivered >= "
+            << 1.0 - eps << ", latency linear in T.\n";
+}
+
+}  // namespace
+}  // namespace rcb
+
+int main() {
+  rcb::run();
+  return 0;
+}

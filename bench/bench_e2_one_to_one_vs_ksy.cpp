@@ -1,0 +1,108 @@
+// E2 — Theorem 1 vs the KSY'11 baseline: sqrt(T) beats T^(phi-1).
+//
+// Runs both 1-to-1 protocols against budget-matched canonical blockers and
+// overlays their cost curves.  The paper's improvement claim is the gap in
+// the fitted exponents (0.5 vs ~0.62) and the "combined" algorithm column
+// min(Fig1, KSY), which has no eps-dependence at T = 0.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "rcb/adversary/two_uniform.hpp"
+#include "rcb/protocols/combined.hpp"
+#include "rcb/protocols/ksy.hpp"
+#include "rcb/protocols/one_to_one.hpp"
+#include "rcb/runtime/montecarlo.hpp"
+
+namespace rcb {
+namespace {
+
+struct Sample {
+  double cost = 0, t = 0;
+};
+
+template <typename RunFn>
+Sample mean_run(Cost budget, std::uint64_t seed, RunFn run_fn) {
+  auto samples = run_trials<Sample>(192, seed, [&](std::size_t, Rng& rng) {
+    return run_fn(budget, rng);
+  });
+  Sample acc;
+  for (const auto& s : samples) {
+    acc.cost += s.cost;
+    acc.t += s.t;
+  }
+  acc.cost /= static_cast<double>(samples.size());
+  acc.t /= static_cast<double>(samples.size());
+  return acc;
+}
+
+void run() {
+  const double eps = 0.01;
+  const OneToOneParams fig1 = OneToOneParams::sim(eps);
+
+  bench::print_header("E2",
+                      "Theorem 1 vs KSY'11 — sqrt(T) vs T^(phi-1) = T^0.618");
+  std::cout << "Fig.1 vs golden-ratio baseline, budget-matched blockers, "
+               "192 trials per point\n\n";
+
+  Table table({"budget", "T fig1", "cost fig1", "T ksy", "cost ksy",
+               "cost combined", "winner"});
+  std::vector<double> t1, c1, t2, c2, t3, c3;
+
+  for (Cost budget = Cost{1} << 10; budget <= Cost{1} << 18; budget <<= 2) {
+    const Sample fig = mean_run(budget, 81000 + budget, [&](Cost b, Rng& rng) {
+      FullDuelBlocker adv(Budget(b), 0.6);
+      const auto r = run_one_to_one(fig1, adv, rng);
+      return Sample{static_cast<double>(r.max_cost()),
+                    static_cast<double>(r.adversary_cost)};
+    });
+    const Sample ksy = mean_run(budget, 82000 + budget, [&](Cost b, Rng& rng) {
+      KsyParams params;
+      BothViewsSuffixBlocker adv(Budget(b), 0.6);
+      const auto r = run_ksy(params, adv, rng);
+      return Sample{static_cast<double>(r.max_cost()),
+                    static_cast<double>(r.adversary_cost)};
+    });
+    // The real interleaved combination (the Theorem 1 discussion's min-cost
+    // algorithm), against the blocker that attacks both streams.
+    const Sample comb = mean_run(budget, 83500 + budget, [&](Cost b, Rng& rng) {
+      CombinedParams params;
+      params.fig1 = fig1;
+      BothViewsSuffixBlocker adv(Budget(b), 0.6);
+      const auto r = run_combined(params, adv, rng);
+      return Sample{static_cast<double>(r.max_cost()),
+                    static_cast<double>(r.adversary_cost)};
+    });
+
+    t1.push_back(fig.t);
+    c1.push_back(fig.cost);
+    t2.push_back(ksy.t);
+    c2.push_back(ksy.cost);
+    t3.push_back(comb.t);
+    c3.push_back(comb.cost);
+    table.add_row({Table::num(static_cast<double>(budget)),
+                   Table::num(fig.t), Table::num(fig.cost), Table::num(ksy.t),
+                   Table::num(ksy.cost), Table::num(comb.cost),
+                   fig.cost < ksy.cost ? "fig1" : "ksy"});
+  }
+
+  table.print(std::cout);
+  std::cout << '\n';
+  bench::print_fit("Fig.1    cost vs T", fit_power_law(t1, c1), 0.5);
+  bench::print_fit("KSY      cost vs T", fit_power_law(t2, c2), 0.618);
+  bench::print_fit("combined cost vs T", fit_power_law(t3, c3), 0.5);
+  std::cout << "Expected: the exponent gap (~0.5 vs ~0.62) reproduces the "
+               "asymptotic improvement; with sim-scale prefactors the "
+               "absolute crossover lies beyond this range (Fig.1 carries a "
+               "sqrt(ln(8/eps)) factor), so KSY wins these rows on "
+               "constants.  The combined algorithm tracks the cheaper "
+               "stream to within a constant factor.\n";
+}
+
+}  // namespace
+}  // namespace rcb
+
+int main() {
+  rcb::run();
+  return 0;
+}

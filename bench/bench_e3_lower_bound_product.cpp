@@ -1,0 +1,82 @@
+// E3 — Theorem 2: against the announced-budget threshold adversary,
+// E(A) * E(B) >= (1 - O(eps)) T for every pair strategy.
+//
+// Replays the proof's strategy families across budgets and delta splits:
+// stay-below (a = T^(delta-1), b = T^(-delta)) and exhaust-then-shout.  The
+// product column should hover at ~T (ratio ~1) and max(E(A), E(B)) at
+// >= sqrt(T).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "rcb/protocols/oblivious_pair.hpp"
+#include "rcb/runtime/montecarlo.hpp"
+
+namespace rcb {
+namespace {
+
+void run() {
+  bench::print_header(
+      "E3", "Theorem 2 — threshold adversary forces E(A)E(B) >= ~T");
+  std::cout << "300 trials per row; stay-below never triggers jamming, "
+               "exhaust burns the full budget first\n\n";
+
+  Table table({"T", "strategy", "E(A)", "E(B)", "E(A)E(B)/T",
+               "max/sqrt(T)"});
+
+  for (Cost T : {Cost{1} << 8, Cost{1} << 10, Cost{1} << 12, Cost{1} << 14}) {
+    const double td = static_cast<double>(T);
+    for (double delta : {0.3, 0.5, 0.7}) {
+      auto samples = run_trials<std::pair<double, double>>(
+          300, 83000 + T + static_cast<Cost>(delta * 100),
+          [&](std::size_t, Rng& rng) {
+            ThresholdAdversary adv(T);
+            const auto r = play_stay_below(T, delta, 1u << 26, adv, rng);
+            return std::make_pair(static_cast<double>(r.alice_cost),
+                                  static_cast<double>(r.bob_cost));
+          });
+      double ea = 0, eb = 0;
+      for (const auto& [a, b] : samples) {
+        ea += a;
+        eb += b;
+      }
+      ea /= static_cast<double>(samples.size());
+      eb /= static_cast<double>(samples.size());
+      table.add_row({Table::num(td),
+                     "stay-below d=" + Table::num(delta, 2), Table::num(ea),
+                     Table::num(eb), Table::num(ea * eb / td, 3),
+                     Table::num(std::max(ea, eb) / std::sqrt(td), 3)});
+    }
+    {
+      auto samples = run_trials<std::pair<double, double>>(
+          300, 84000 + T, [&](std::size_t, Rng& rng) {
+            ThresholdAdversary adv(T);
+            const auto r = play_exhaust(T, 0.5, adv, rng);
+            return std::make_pair(static_cast<double>(r.alice_cost),
+                                  static_cast<double>(r.bob_cost));
+          });
+      double ea = 0, eb = 0;
+      for (const auto& [a, b] : samples) {
+        ea += a;
+        eb += b;
+      }
+      ea /= static_cast<double>(samples.size());
+      eb /= static_cast<double>(samples.size());
+      table.add_row({Table::num(td), "exhaust p=0.5", Table::num(ea),
+                     Table::num(eb), Table::num(ea * eb / td, 3),
+                     Table::num(std::max(ea, eb) / std::sqrt(td), 3)});
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\nExpected: product ratio >= ~1 in every row (the lower "
+               "bound is tight for stay-below with delta=0.5); the exhaust "
+               "strategy overshoots by ~T/4.\n";
+}
+
+}  // namespace
+}  // namespace rcb
+
+int main() {
+  rcb::run();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// E5 — Theorem 3's latency claim: all nodes terminate in O(T + n log^2 n)
+// slots, with every node informed w.h.p.
+//
+// Two sweeps: latency vs T at fixed n (expected slope ~1), and latency vs n
+// with no jamming (expected ~n log^2 n, i.e. slightly superlinear).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "rcb/protocols/broadcast_n.hpp"
+#include "rcb/runtime/montecarlo.hpp"
+
+namespace rcb {
+namespace {
+
+void run() {
+  const BroadcastNParams params = BroadcastNParams::sim();
+  bench::print_header("E5",
+                      "Theorem 3 — latency O(T + n log^2 n), all informed");
+
+  std::cout << "\n(a) latency vs T at n = 32, SuffixBlocker(q=0.9), 12 trials\n\n";
+  Table ta({"budget", "T (mean)", "latency", "latency/T", "informed rate"});
+  std::vector<double> ts, lats;
+  for (Cost budget = Cost{1} << 14; budget <= Cost{1} << 20; budget <<= 2) {
+    auto samples = run_trials<std::tuple<double, double, double>>(
+        12, 88000 + budget, [&](std::size_t, Rng& rng) {
+          SuffixBlockerAdversary adv(Budget(budget), 0.9);
+          const auto r = run_broadcast_n(32, params, adv, rng);
+          return std::make_tuple(
+              static_cast<double>(r.adversary_cost),
+              static_cast<double>(r.latency),
+              static_cast<double>(r.informed_count) / 32.0);
+        });
+    double t = 0, lat = 0, inf = 0;
+    for (const auto& [a, b, c] : samples) {
+      t += a;
+      lat += b;
+      inf += c;
+    }
+    const auto count = static_cast<double>(samples.size());
+    t /= count;
+    lat /= count;
+    inf /= count;
+    ts.push_back(t);
+    lats.push_back(lat);
+    ta.add_row({Table::num(static_cast<double>(budget)), Table::num(t),
+                Table::num(lat), Table::num(lat / std::max(1.0, t), 3),
+                Table::num(inf, 4)});
+  }
+  ta.print(std::cout);
+  std::cout << '\n';
+  bench::print_fit("(a) latency vs T", fit_power_law(ts, lats), 1.0);
+
+  std::cout << "\n(b) latency vs n, no jamming, 12 trials\n\n";
+  Table tb({"n", "latency", "latency/(n lg^2 n)", "informed rate"});
+  std::vector<double> ns, lat_n;
+  for (std::uint32_t n : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    auto samples = run_trials<std::pair<double, double>>(
+        12, 89000 + n, [&](std::size_t, Rng& rng) {
+          NoJamAdversary adv;
+          const auto r = run_broadcast_n(n, params, adv, rng);
+          return std::make_pair(
+              static_cast<double>(r.latency),
+              static_cast<double>(r.informed_count) / n);
+        });
+    double lat = 0, inf = 0;
+    for (const auto& [a, b] : samples) {
+      lat += a;
+      inf += b;
+    }
+    const auto count = static_cast<double>(samples.size());
+    lat /= count;
+    inf /= count;
+    ns.push_back(n);
+    lat_n.push_back(lat);
+    const double lg = std::log2(static_cast<double>(std::max(2u, n)));
+    tb.add_row({Table::num(n), Table::num(lat),
+                Table::num(lat / (n * lg * lg), 3), Table::num(inf, 4)});
+  }
+  tb.print(std::cout);
+  std::cout << '\n';
+  bench::print_fit("(b) latency vs n", fit_power_law(ns, lat_n), 1.0);
+  std::cout << "Expected: (a) slope ~1 in T; (b) ~linear in n with polylog "
+               "drift; informed rate ~1 everywhere.\n";
+}
+
+}  // namespace
+}  // namespace rcb
+
+int main() {
+  rcb::run();
+  return 0;
+}

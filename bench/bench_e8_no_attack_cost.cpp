@@ -1,0 +1,98 @@
+// E8 — the efficiency function tau: costs when T = 0.
+//
+// Theorem 1: O(ln(1/eps)) per party.  Theorem 3: O(log^6 n) per node.
+// With no attack, costs must not depend on any adversary parameter and must
+// stay polylogarithmic — this is the "cheap in peacetime" half of
+// resource-competitiveness.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "rcb/adversary/two_uniform.hpp"
+#include "rcb/protocols/broadcast_n.hpp"
+#include "rcb/protocols/ksy.hpp"
+#include "rcb/protocols/one_to_one.hpp"
+#include "rcb/runtime/montecarlo.hpp"
+
+namespace rcb {
+namespace {
+
+void run() {
+  bench::print_header("E8", "Efficiency function tau — costs with T = 0");
+
+  std::cout << "\n(a) 1-to-1, no jamming: cost vs eps (512 trials)\n\n";
+  Table ta({"eps", "ln(1/eps)", "max cost", "cost/ln(8/eps)", "delivered"});
+  for (double eps : {0.3, 0.1, 0.03, 0.01, 0.003, 0.001}) {
+    const OneToOneParams params = OneToOneParams::sim(eps);
+    auto samples = run_trials<std::pair<double, bool>>(
+        512, 93000 + static_cast<std::uint64_t>(1.0 / eps),
+        [&](std::size_t, Rng& rng) {
+          DuelNoJam adv;
+          const auto r = run_one_to_one(params, adv, rng);
+          return std::make_pair(static_cast<double>(r.max_cost()),
+                                r.delivered);
+        });
+    double cost = 0;
+    int delivered = 0;
+    for (const auto& [c, d] : samples) {
+      cost += c;
+      delivered += d;
+    }
+    const auto count = static_cast<double>(samples.size());
+    cost /= count;
+    ta.add_row({Table::num(eps), Table::num(std::log(1.0 / eps), 3),
+                Table::num(cost), Table::num(cost / std::log(8.0 / eps), 3),
+                Table::num(delivered / count, 4)});
+  }
+  ta.print(std::cout);
+
+  std::cout << "\n(b) KSY, no jamming: O(1) expected cost (512 trials)\n\n";
+  {
+    auto samples = run_trials<double>(512, 94000, [&](std::size_t, Rng& rng) {
+      KsyParams params;
+      DuelNoJam adv;
+      return static_cast<double>(run_ksy(params, adv, rng).max_cost());
+    });
+    const Summary s = summarize(samples);
+    std::printf("mean %.2f  median %.2f  p90 %.2f  max %.2f\n", s.mean,
+                s.median, s.p90, s.max);
+  }
+
+  std::cout << "\n(c) 1-to-n, no jamming: cost vs n (12 trials)\n\n";
+  Table tc({"n", "mean cost", "max cost", "max/lg^3 n", "final epoch"});
+  for (std::uint32_t n : {4u, 16u, 64u, 256u}) {
+    const BroadcastNParams params = BroadcastNParams::sim();
+    auto samples = run_trials<std::tuple<double, double, double>>(
+        12, 95000 + n, [&](std::size_t, Rng& rng) {
+          NoJamAdversary adv;
+          const auto r = run_broadcast_n(n, params, adv, rng);
+          return std::make_tuple(r.mean_cost,
+                                 static_cast<double>(r.max_cost),
+                                 static_cast<double>(r.final_epoch));
+        });
+    double mean = 0, mx = 0, ep = 0;
+    for (const auto& [a, b, c] : samples) {
+      mean += a;
+      mx += b;
+      ep += c;
+    }
+    const auto count = static_cast<double>(samples.size());
+    mean /= count;
+    mx /= count;
+    ep /= count;
+    const double lg = std::log2(static_cast<double>(n));
+    tc.add_row({Table::num(n), Table::num(mean), Table::num(mx),
+                Table::num(mx / (lg * lg * lg), 3), Table::num(ep, 3)});
+  }
+  tc.print(std::cout);
+  std::cout << "\nExpected: (a) cost tracks ln(1/eps) with a flat ratio; "
+               "(b) constant; (c) polylog growth in n, final epoch ~lg n + "
+               "O(1).\n";
+}
+
+}  // namespace
+}  // namespace rcb
+
+int main() {
+  rcb::run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E9 — Theorem 1's eps dependence: cost ~ sqrt(T ln(1/eps)) and failure
+// probability <= eps.
+//
+// Fixes the adversary budget and sweeps eps: the cost column should grow
+// like sqrt(ln(1/eps)) (fit against ln(1/eps), predicted exponent 0.5) and
+// the empirical failure rate should stay below eps.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "rcb/adversary/two_uniform.hpp"
+#include "rcb/protocols/one_to_one.hpp"
+#include "rcb/runtime/montecarlo.hpp"
+
+namespace rcb {
+namespace {
+
+void run() {
+  const Cost budget = Cost{1} << 14;
+  bench::print_header(
+      "E9", "Theorem 1 — eps sweep: cost ~ sqrt(ln(1/eps)), failure <= eps");
+  std::cout << "FullDuelBlocker(q=0.6, budget 2^14), 600 trials per eps\n\n";
+
+  Table table({"eps", "ln(1/eps)", "max cost", "T (mean)",
+               "cost/sqrt(T ln(8/eps))", "failure rate", "<= eps?"});
+  std::vector<double> lns, costs;
+
+  for (double eps : {0.3, 0.1, 0.03, 0.01, 0.003}) {
+    const OneToOneParams params = OneToOneParams::sim(eps);
+    auto samples = run_trials<std::tuple<double, double, bool>>(
+        600, 96000 + static_cast<std::uint64_t>(1.0 / eps),
+        [&](std::size_t, Rng& rng) {
+          FullDuelBlocker adv(Budget(budget), 0.6);
+          const auto r = run_one_to_one(params, adv, rng);
+          return std::make_tuple(static_cast<double>(r.max_cost()),
+                                 static_cast<double>(r.adversary_cost),
+                                 r.delivered);
+        });
+    double cost = 0, t = 0;
+    int failures = 0;
+    for (const auto& [c, tt, d] : samples) {
+      cost += c;
+      t += tt;
+      failures += !d;
+    }
+    const auto count = static_cast<double>(samples.size());
+    cost /= count;
+    t /= count;
+    const double failure_rate = failures / count;
+    lns.push_back(std::log(8.0 / eps));
+    costs.push_back(cost);
+    table.add_row(
+        {Table::num(eps), Table::num(std::log(1.0 / eps), 3),
+         Table::num(cost), Table::num(t),
+         Table::num(cost / std::sqrt(t * std::log(8.0 / eps)), 3),
+         Table::num(failure_rate, 3), failure_rate <= eps ? "yes" : "NO"});
+  }
+
+  table.print(std::cout);
+  std::cout << '\n';
+  bench::print_fit("cost vs ln(8/eps)", fit_power_law(lns, costs), 0.5);
+  std::cout << "Expected: normalised cost column flat; every failure rate "
+               "at or below its eps.\n";
+}
+
+}  // namespace
+}  // namespace rcb
+
+int main() {
+  rcb::run();
+  return 0;
+}

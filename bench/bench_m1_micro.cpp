@@ -1,0 +1,108 @@
+// M1 — simulator micro-benchmarks (google-benchmark).
+//
+// Establishes the raw throughput of the RNG, the sparse slot sampler, and
+// both channel engines, and quantifies the event-driven engine's advantage
+// over the slotwise engine (the ablation DESIGN.md §4 calls out).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "rcb/protocols/broadcast_n.hpp"
+#include "rcb/rng/rng.hpp"
+#include "rcb/rng/sampling.hpp"
+#include "rcb/sim/repetition_engine.hpp"
+#include "rcb/sim/slot_engine.hpp"
+
+namespace rcb {
+namespace {
+
+void BM_RngNextU64(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_RngUniformDouble(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.uniform_double());
+}
+BENCHMARK(BM_RngUniformDouble);
+
+void BM_SparseSampler(benchmark::State& state) {
+  const auto slots = static_cast<SlotCount>(state.range(0));
+  const double p = 1e-3;
+  Rng rng(3);
+  std::vector<SlotIndex> out;
+  for (auto _ : state) {
+    sample_bernoulli_slots(slots, p, rng, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(slots));
+}
+BENCHMARK(BM_SparseSampler)->Range(1 << 10, 1 << 20);
+
+std::vector<NodeAction> make_actions(int n, double total_rate) {
+  std::vector<NodeAction> actions;
+  for (int u = 0; u < n; ++u) {
+    actions.push_back(NodeAction{total_rate / n, Payload::kMessage,
+                                 2.0 * total_rate / n});
+  }
+  return actions;
+}
+
+void BM_BatchEngine(benchmark::State& state) {
+  const auto slots = static_cast<SlotCount>(state.range(0));
+  const int n = 32;
+  // Constant expected activity per phase, as in the protocols.
+  const auto actions = make_actions(n, 64.0 / static_cast<double>(slots));
+  Rng rng(4);
+  const JamSchedule jam = JamSchedule::blocking_fraction(slots, 0.5);
+  for (auto _ : state) {
+    auto r = run_repetition(slots, actions, jam, rng);
+    benchmark::DoNotOptimize(r.obs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(slots));
+}
+BENCHMARK(BM_BatchEngine)->Range(1 << 10, 1 << 20);
+
+void BM_SlotwiseEngine(benchmark::State& state) {
+  const auto slots = static_cast<SlotCount>(state.range(0));
+  const int n = 32;
+  const auto actions = make_actions(n, 64.0 / static_cast<double>(slots));
+
+  class Passive final : public SlotAdversary {
+   public:
+    bool jam(SlotIndex, std::span<const SlotActivity>) override {
+      return false;
+    }
+  } adversary;
+
+  Rng rng(5);
+  for (auto _ : state) {
+    auto r = run_repetition_slotwise(slots, actions, adversary, rng);
+    benchmark::DoNotOptimize(r.rep.obs.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(slots));
+}
+BENCHMARK(BM_SlotwiseEngine)->Range(1 << 10, 1 << 16);
+
+void BM_BroadcastNoJam(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const BroadcastNParams params = BroadcastNParams::sim();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    NoJamAdversary adv;
+    Rng rng(seed++);
+    auto r = run_broadcast_n(n, params, adv, rng);
+    benchmark::DoNotOptimize(r.max_cost);
+  }
+}
+BENCHMARK(BM_BroadcastNoJam)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace rcb
+
+BENCHMARK_MAIN();

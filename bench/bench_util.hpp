@@ -1,0 +1,39 @@
+// Shared helpers for the experiment benches (E1..E10).
+//
+// Each bench regenerates one row of DESIGN.md's experiment index: it prints
+// a header naming the paper claim, a table of measured values, and the
+// paper-predicted vs fitted scaling where applicable.  Keep runtimes in the
+// seconds-to-a-minute range so `for b in build/bench/*; do $b; done` stays
+// usable.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "rcb/stats/regression.hpp"
+#include "rcb/stats/summary.hpp"
+#include "rcb/stats/table.hpp"
+
+namespace rcb::bench {
+
+inline void print_header(const std::string& id, const std::string& claim) {
+  std::cout << "\n==============================================================\n"
+            << id << ": " << claim << "\n"
+            << "==============================================================\n";
+}
+
+inline void print_fit(const std::string& what, const PowerLawFit& fit,
+                      double predicted) {
+  std::printf("%s: measured exponent %.3f (R^2 %.3f), paper predicts %.3f\n",
+              what.c_str(), fit.exponent, fit.r_squared, predicted);
+}
+
+/// Mean of a double vector (0 for empty).
+inline double mean_of(const std::vector<double>& xs) {
+  return summarize(xs).mean;
+}
+
+}  // namespace rcb::bench

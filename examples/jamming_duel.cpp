@@ -1,0 +1,117 @@
+// Jamming duel: Alice vs Bob vs an adversary, strategy by strategy.
+//
+//   $ ./jamming_duel [budget] [trials] [seed]
+//
+// Pits the Fig. 1 protocol and the KSY golden-ratio baseline against every
+// 2-uniform adversary in the library at the same budget, and prints the
+// resulting cost/delivery table — a compact view of Theorems 1 and 5.
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <memory>
+
+#include "rcb/adversary/spoofing.hpp"
+#include "rcb/adversary/two_uniform.hpp"
+#include "rcb/protocols/ksy.hpp"
+#include "rcb/protocols/one_to_one.hpp"
+#include "rcb/rng/rng.hpp"
+#include "rcb/stats/table.hpp"
+
+namespace {
+
+using AdversaryFactory = std::function<std::unique_ptr<rcb::DuelAdversary>()>;
+
+struct Row {
+  double alice = 0, bob = 0, t = 0, delivered = 0;
+};
+
+Row duel(bool use_ksy, const AdversaryFactory& make, int trials,
+         std::uint64_t seed) {
+  Row row;
+  for (int t = 0; t < trials; ++t) {
+    auto adv = make();
+    rcb::Rng rng = rcb::Rng::stream(seed, t);
+    rcb::OneToOneResult r;
+    if (use_ksy) {
+      rcb::KsyParams params;
+      r = rcb::run_ksy(params, *adv, rng);
+    } else {
+      rcb::OneToOneParams params = rcb::OneToOneParams::sim(0.01);
+      params.max_epoch = params.first_epoch() + 10;  // bound spoofing runs
+      r = rcb::run_one_to_one(params, *adv, rng);
+    }
+    row.alice += static_cast<double>(r.alice_cost);
+    row.bob += static_cast<double>(r.bob_cost);
+    row.t += static_cast<double>(r.adversary_cost);
+    row.delivered += r.delivered;
+  }
+  row.alice /= trials;
+  row.bob /= trials;
+  row.t /= trials;
+  row.delivered /= trials;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rcb::Cost budget =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : (1u << 14);
+  const int trials = argc > 2 ? std::atoi(argv[2]) : 100;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+  const std::pair<const char*, AdversaryFactory> adversaries[] = {
+      {"none", [] { return std::make_unique<rcb::DuelNoJam>(); }},
+      {"send-phase blocker q=0.6",
+       [&] {
+         return std::make_unique<rcb::SendPhaseBlocker>(rcb::Budget(budget),
+                                                        0.6);
+       }},
+      {"nack-phase blocker q=0.6",
+       [&] {
+         return std::make_unique<rcb::NackPhaseBlocker>(rcb::Budget(budget),
+                                                        0.6);
+       }},
+      {"full duel blocker q=0.6",
+       [&] {
+         return std::make_unique<rcb::FullDuelBlocker>(rcb::Budget(budget),
+                                                       0.6);
+       }},
+      {"both-views blocker q=0.6",
+       [&] {
+         return std::make_unique<rcb::BothViewsSuffixBlocker>(
+             rcb::Budget(budget), 0.6);
+       }},
+      {"random noise rate 0.3",
+       [&] {
+         return std::make_unique<rcb::SymmetricRandomDuelJammer>(
+             rcb::Budget(budget), 0.3);
+       }},
+      {"nack spoofer (Thm 5)",
+       [&] {
+         return std::make_unique<rcb::SpoofingNackAdversary>(
+             rcb::Budget(budget));
+       }},
+  };
+
+  for (bool use_ksy : {false, true}) {
+    std::cout << (use_ksy ? "\nKSY golden-ratio baseline"
+                          : "Fig. 1 protocol (eps = 0.01)")
+              << ", budget " << budget << ", " << trials << " trials\n\n";
+    rcb::Table table({"adversary", "E[Alice]", "E[Bob]", "E[T spent]",
+                      "delivery rate"});
+    std::uint64_t s = seed;
+    for (const auto& [name, make] : adversaries) {
+      const Row row = duel(use_ksy, make, trials, s++);
+      table.add_row({name, rcb::Table::num(row.alice),
+                     rcb::Table::num(row.bob), rcb::Table::num(row.t),
+                     rcb::Table::num(row.delivered, 3)});
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nNote the last row: spoofed nacks trap the Fig. 1 Alice "
+               "(cost ~ T) but are ignored by KSY — Theorem 5's separation."
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: the two protocols of the paper in a dozen lines each.
+//
+//   $ ./quickstart [seed]
+//
+// Runs (1) the Fig. 1 1-to-1 protocol against a budgeted jammer and (2) the
+// Fig. 2 1-to-n broadcast with 32 nodes, printing what everything cost.
+#include <cstdlib>
+#include <iostream>
+
+#include "rcb/adversary/strategies.hpp"
+#include "rcb/adversary/two_uniform.hpp"
+#include "rcb/protocols/broadcast_n.hpp"
+#include "rcb/protocols/one_to_one.hpp"
+#include "rcb/rng/rng.hpp"
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  // --- 1-to-1: Alice sends m to Bob while a jammer spends a 4096-slot
+  // budget blocking both directions. ---------------------------------------
+  {
+    const rcb::OneToOneParams params = rcb::OneToOneParams::sim(/*eps=*/0.01);
+    rcb::FullDuelBlocker jammer(rcb::Budget(4096), /*q=*/0.6);
+    rcb::Rng rng(seed);
+    const rcb::OneToOneResult r = rcb::run_one_to_one(params, jammer, rng);
+
+    std::cout << "1-to-1 BROADCAST (Fig. 1, eps = 0.01)\n"
+              << "  delivered:       " << (r.delivered ? "yes" : "no") << '\n'
+              << "  Alice cost:      " << r.alice_cost << " slot-units\n"
+              << "  Bob cost:        " << r.bob_cost << " slot-units\n"
+              << "  adversary spent: " << r.adversary_cost << " (T)\n"
+              << "  latency:         " << r.latency << " slots\n\n";
+  }
+
+  // --- 1-to-n: one sender, 32 receivers, a half-blocking jammer. ----------
+  {
+    const rcb::BroadcastNParams params = rcb::BroadcastNParams::sim();
+    rcb::SuffixBlockerAdversary jammer(rcb::Budget(1 << 16), /*q=*/0.5);
+    rcb::Rng rng(seed + 1);
+    const rcb::BroadcastNResult r =
+        rcb::run_broadcast_n(/*n=*/32, params, jammer, rng);
+
+    std::cout << "1-to-n BROADCAST (Fig. 2, n = 32)\n"
+              << "  informed:        " << r.informed_count << "/" << r.n
+              << '\n'
+              << "  mean node cost:  " << r.mean_cost << " slot-units\n"
+              << "  max node cost:   " << r.max_cost << " slot-units\n"
+              << "  adversary spent: " << r.adversary_cost << " (T)\n"
+              << "  latency:         " << r.latency << " slots (epochs "
+              << r.final_epoch << ")\n";
+    std::cout << "  -> per-node cost is ~sqrt(T/n) * polylog: the bigger the"
+                 " fleet,\n     the cheaper the defence per node.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Sensor fleet scenario: the workload the paper's introduction motivates.
+//
+// A base station must push a (signed) firmware-revocation notice to a fleet
+// of battery-powered sensors while an attacker with a finite energy budget
+// tries to suppress it.  The question a deployment engineer asks is the
+// resource-competitive one: for every joule the attacker burns, how much of
+// the fleet's battery does the defence burn?
+//
+//   $ ./sensor_fleet [fleet_size] [attacker_budget] [seed]
+//
+// Prints the per-node energy distribution, the attack economics, and how
+// both change as the fleet scales up.
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "rcb/adversary/strategies.hpp"
+#include "rcb/protocols/broadcast_n.hpp"
+#include "rcb/rng/rng.hpp"
+#include "rcb/stats/histogram.hpp"
+#include "rcb/stats/summary.hpp"
+#include "rcb/stats/table.hpp"
+
+int main(int argc, char** argv) {
+  const std::uint32_t fleet =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 64;
+  const rcb::Cost budget =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : (1u << 17);
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
+
+  const rcb::BroadcastNParams params = rcb::BroadcastNParams::sim();
+
+  std::cout << "Sensor fleet: " << fleet << " nodes, attacker budget "
+            << budget << " slot-units\n\n";
+
+  rcb::SuffixBlockerAdversary attacker(rcb::Budget(budget), /*q=*/0.9);
+  rcb::Rng rng(seed);
+  const rcb::BroadcastNResult r =
+      rcb::run_broadcast_n(fleet, params, attacker, rng);
+
+  std::vector<double> costs;
+  for (const auto& node : r.nodes) {
+    costs.push_back(static_cast<double>(node.cost));
+  }
+  const rcb::Summary s = rcb::summarize(costs);
+
+  std::cout << "Delivery: " << r.informed_count << "/" << r.n
+            << " sensors informed, all terminated: "
+            << (r.all_terminated ? "yes" : "no") << "\n\n";
+
+  rcb::Table energy({"metric", "slot-units"});
+  energy.add_row({"attacker spent (T)",
+                  rcb::Table::num(static_cast<double>(r.adversary_cost))});
+  energy.add_row({"node energy, mean", rcb::Table::num(s.mean)});
+  energy.add_row({"node energy, median", rcb::Table::num(s.median)});
+  energy.add_row({"node energy, p90", rcb::Table::num(s.p90)});
+  energy.add_row({"node energy, max", rcb::Table::num(s.max)});
+  energy.print(std::cout);
+
+  std::cout << "\nPer-sensor energy distribution (fairness — Theorem 4's "
+               "'fair algorithm' notion in practice):\n\n";
+  rcb::Histogram hist(costs, 10);
+  hist.print(std::cout);
+
+  rcb::Rng boot_rng(seed + 1);
+  const rcb::BootstrapCi ci = rcb::bootstrap_mean_ci(costs, 2000, 0.05, boot_rng);
+  std::cout << "\nmean energy 95% bootstrap CI: [" << rcb::Table::num(ci.lo)
+            << ", " << rcb::Table::num(ci.hi) << "]\n";
+
+  const double t = static_cast<double>(r.adversary_cost);
+  if (t > 0) {
+    std::cout << "\nAttack economics: the attacker paid "
+              << rcb::Table::num(t / std::max(1.0, s.max), 3)
+              << "x the worst-off sensor's spend and "
+              << rcb::Table::num(t / std::max(1.0, s.mean), 3)
+              << "x the average sensor's spend.\n";
+  }
+
+  // Scale-out comparison: same attacker, fleets of 2x and 4x the size.
+  std::cout << "\nScale-out (same attacker budget):\n\n";
+  rcb::Table scale({"fleet size", "mean node energy", "attacker/mean ratio"});
+  for (std::uint32_t n : {fleet, fleet * 2, fleet * 4}) {
+    rcb::SuffixBlockerAdversary a2(rcb::Budget(budget), 0.9);
+    rcb::Rng rng2(seed + n);
+    const auto r2 = rcb::run_broadcast_n(n, params, a2, rng2);
+    const double t2 = static_cast<double>(r2.adversary_cost);
+    scale.add_row({rcb::Table::num(n), rcb::Table::num(r2.mean_cost),
+                   rcb::Table::num(t2 / std::max(1.0, r2.mean_cost), 3)});
+  }
+  scale.print(std::cout);
+  std::cout << "\nBigger fleets dilute the defence cost (~sqrt(T/n) per "
+               "node) while the attack stays equally expensive.\n";
+  return 0;
+}

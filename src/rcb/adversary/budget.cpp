@@ -1,0 +1,3 @@
+// Budget is header-only; this translation unit exists so the target has a
+// stable home for future out-of-line additions.
+#include "rcb/adversary/budget.hpp"

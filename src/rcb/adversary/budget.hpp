@@ -1,0 +1,39 @@
+// Adversary energy budgets.
+//
+// The paper's adversary has a finite but unknown budget T; lower bounds are
+// phrased against an adversary with a fixed budget.  Budget tracks the spend
+// and saturates take() requests so a strategy can never overspend.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "rcb/common/types.hpp"
+
+namespace rcb {
+
+class Budget {
+ public:
+  /// A budget that never runs out.
+  static Budget unlimited() { return Budget(std::numeric_limits<Cost>::max()); }
+
+  explicit Budget(Cost limit) : limit_(limit) {}
+
+  /// Consumes up to `want` units; returns how much was actually granted.
+  Cost take(Cost want) {
+    const Cost grant = want < remaining() ? want : remaining();
+    spent_ += grant;
+    return grant;
+  }
+
+  Cost limit() const { return limit_; }
+  Cost spent() const { return spent_; }
+  Cost remaining() const { return limit_ - spent_; }
+  bool exhausted() const { return spent_ >= limit_; }
+
+ private:
+  Cost limit_;
+  Cost spent_ = 0;
+};
+
+}  // namespace rcb

@@ -1,0 +1,19 @@
+#include "rcb/adversary/spoofing.hpp"
+
+#include <cmath>
+
+namespace rcb {
+
+DuelPlan SpoofingNackAdversary::plan(const DuelPhaseContext& ctx, Rng&) {
+  DuelPlan plan;
+  if (ctx.phase != DuelPhase::kNack || !ctx.alice_running) return plan;
+  if (budget().exhausted()) return plan;
+  // Simulate an uninformed Bob: nack with the protocol's own probability.
+  // The expected spend is protocol_prob * num_slots; the driver charges the
+  // adversary per spoofed transmission that actually occurs and draws it
+  // from this budget, so here we only gate on non-exhaustion.
+  plan.spoof_nack_prob = ctx.protocol_prob;
+  return plan;
+}
+
+}  // namespace rcb

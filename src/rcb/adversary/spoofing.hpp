@@ -1,0 +1,23 @@
+// The Theorem-5 spoofing adversary: "scenario (ii)" of the proof.
+//
+// Instead of jamming, the adversary takes Bob's place and simulates an
+// uninformed Bob: in every nack phase it transmits nacks with exactly the
+// protocol probability p_i.  A protocol that trusts nacks (Fig. 1) can
+// never tell the exchange is finished, so Alice runs epoch after epoch
+// while the adversary pays only the simulated Bob's cost — the measured
+// Alice-cost-vs-T exponent degrades to ~1 (bench E7).  Protocols that never
+// trust unauthenticated feedback (the KSY baseline) are immune.
+#pragma once
+
+#include "rcb/adversary/two_uniform.hpp"
+
+namespace rcb {
+
+class SpoofingNackAdversary final : public DuelAdversary {
+ public:
+  explicit SpoofingNackAdversary(Budget budget) : DuelAdversary(budget) {}
+
+  DuelPlan plan(const DuelPhaseContext& ctx, Rng& rng) override;
+};
+
+}  // namespace rcb

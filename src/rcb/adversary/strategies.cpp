@@ -1,0 +1,77 @@
+#include "rcb/adversary/strategies.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rcb/common/contracts.hpp"
+#include "rcb/rng/sampling.hpp"
+
+namespace rcb {
+
+JamSchedule NoJamAdversary::plan(const RepetitionContext&, Rng&) {
+  return JamSchedule::none();
+}
+
+SuffixBlockerAdversary::SuffixBlockerAdversary(Budget budget, double q)
+    : RepetitionAdversary(budget), q_(q) {
+  RCB_REQUIRE(q >= 0.0 && q <= 1.0);
+}
+
+JamSchedule SuffixBlockerAdversary::plan(const RepetitionContext& ctx, Rng&) {
+  const auto want = static_cast<Cost>(
+      std::ceil(q_ * static_cast<double>(ctx.num_slots)));
+  const Cost got = budget().take(want);
+  if (got == 0) return JamSchedule::none();
+  return JamSchedule::suffix(ctx.num_slots, ctx.num_slots - got);
+}
+
+EpochFractionBlockerAdversary::EpochFractionBlockerAdversary(
+    Budget budget, double q, double repetition_fraction)
+    : RepetitionAdversary(budget), q_(q), fraction_(repetition_fraction) {
+  RCB_REQUIRE(q >= 0.0 && q <= 1.0);
+  RCB_REQUIRE(repetition_fraction >= 0.0 && repetition_fraction <= 1.0);
+}
+
+JamSchedule EpochFractionBlockerAdversary::plan(const RepetitionContext& ctx,
+                                                Rng& rng) {
+  if (!rng.bernoulli(fraction_)) return JamSchedule::none();
+  const auto want = static_cast<Cost>(
+      std::ceil(q_ * static_cast<double>(ctx.num_slots)));
+  const Cost got = budget().take(want);
+  if (got == 0) return JamSchedule::none();
+  return JamSchedule::suffix(ctx.num_slots, ctx.num_slots - got);
+}
+
+RandomJammerAdversary::RandomJammerAdversary(Budget budget, double rate)
+    : RepetitionAdversary(budget), rate_(rate) {
+  RCB_REQUIRE(rate >= 0.0 && rate <= 1.0);
+}
+
+JamSchedule RandomJammerAdversary::plan(const RepetitionContext& ctx,
+                                        Rng& rng) {
+  std::vector<SlotIndex> jammed;
+  sample_bernoulli_slots(ctx.num_slots, rate_, rng, jammed);
+  const Cost got = budget().take(jammed.size());
+  jammed.resize(got);  // stop jamming mid-repetition when the budget dies
+  return JamSchedule::slots(ctx.num_slots, std::move(jammed));
+}
+
+BurstJammerAdversary::BurstJammerAdversary(Budget budget, SlotCount burst_len,
+                                           SlotCount period)
+    : RepetitionAdversary(budget), burst_len_(burst_len), period_(period) {
+  RCB_REQUIRE(period > 0);
+  RCB_REQUIRE(burst_len <= period);
+}
+
+JamSchedule BurstJammerAdversary::plan(const RepetitionContext& ctx, Rng&) {
+  std::vector<SlotIndex> jammed;
+  for (SlotIndex start = 0; start < ctx.num_slots; start += period_) {
+    const SlotIndex end = std::min<SlotIndex>(start + burst_len_, ctx.num_slots);
+    for (SlotIndex s = start; s < end; ++s) jammed.push_back(s);
+  }
+  const Cost got = budget().take(jammed.size());
+  jammed.resize(got);
+  return JamSchedule::slots(ctx.num_slots, std::move(jammed));
+}
+
+}  // namespace rcb

@@ -1,0 +1,20 @@
+#include "rcb/adversary/threshold.hpp"
+
+#include "rcb/common/contracts.hpp"
+
+namespace rcb {
+
+ThresholdAdversary::ThresholdAdversary(Cost announced_budget)
+    : announced_(announced_budget), budget_(announced_budget) {
+  RCB_REQUIRE(announced_budget > 0);
+}
+
+bool ThresholdAdversary::jam(double alice_prob, double bob_prob) {
+  if (budget_.exhausted()) return false;
+  const double threshold = 1.0 / static_cast<double>(announced_);
+  if (alice_prob * bob_prob <= threshold) return false;
+  budget_.take(1);
+  return true;
+}
+
+}  // namespace rcb

@@ -1,0 +1,33 @@
+// The Theorem-2 lower-bound adversary.
+//
+// Theorem 2's proof commits the adversary to a simple rule: announce a
+// budget T, then jam a slot if and only if the product of Alice's send
+// probability and Bob's listen probability in that slot exceeds 1/T and
+// budget remains.  Against this rule, any pair strategy satisfies
+// E(A)·E(B) >= (1 - O(eps)) T.  Bench E3 replays the proof's "strategy
+// (ii)" (stay just below the threshold) and "strategy (i)" (exhaust the
+// budget, then shout) and measures the product.
+#pragma once
+
+#include "rcb/adversary/budget.hpp"
+#include "rcb/common/types.hpp"
+
+namespace rcb {
+
+class ThresholdAdversary {
+ public:
+  explicit ThresholdAdversary(Cost announced_budget);
+
+  /// Decides slot-by-slot given the pair's (public, per the proof's
+  /// assumptions) probabilities for this slot.
+  bool jam(double alice_prob, double bob_prob);
+
+  Cost announced_budget() const { return announced_; }
+  Cost spent() const { return budget_.spent(); }
+
+ private:
+  Cost announced_;
+  Budget budget_;
+};
+
+}  // namespace rcb

@@ -1,0 +1,111 @@
+#include "rcb/adversary/two_uniform.hpp"
+
+#include <cmath>
+
+#include "rcb/common/contracts.hpp"
+#include "rcb/rng/sampling.hpp"
+
+namespace rcb {
+namespace {
+
+/// Takes up to ceil(q * num_slots) from the budget and returns the
+/// corresponding suffix schedule.
+JamSchedule budgeted_suffix(Budget& budget, SlotCount num_slots, double q) {
+  const auto want =
+      static_cast<Cost>(std::ceil(q * static_cast<double>(num_slots)));
+  const Cost got = budget.take(want);
+  if (got == 0) return JamSchedule::none();
+  return JamSchedule::suffix(num_slots, num_slots - got);
+}
+
+JamSchedule budgeted_random(Budget& budget, SlotCount num_slots, double rate,
+                            Rng& rng) {
+  std::vector<SlotIndex> jammed;
+  sample_bernoulli_slots(num_slots, rate, rng, jammed);
+  const Cost got = budget.take(jammed.size());
+  jammed.resize(got);
+  return JamSchedule::slots(num_slots, std::move(jammed));
+}
+
+}  // namespace
+
+DuelPlan DuelNoJam::plan(const DuelPhaseContext&, Rng&) { return DuelPlan{}; }
+
+SendPhaseBlocker::SendPhaseBlocker(Budget budget, double q)
+    : DuelAdversary(budget), q_(q) {
+  RCB_REQUIRE(q >= 0.0 && q <= 1.0);
+}
+
+DuelPlan SendPhaseBlocker::plan(const DuelPhaseContext& ctx, Rng&) {
+  DuelPlan plan;
+  if (ctx.phase == DuelPhase::kSend && ctx.bob_running) {
+    plan.bob_view = budgeted_suffix(budget(), ctx.num_slots, q_);
+  }
+  return plan;
+}
+
+NackPhaseBlocker::NackPhaseBlocker(Budget budget, double q)
+    : DuelAdversary(budget), q_(q) {
+  RCB_REQUIRE(q >= 0.0 && q <= 1.0);
+}
+
+DuelPlan NackPhaseBlocker::plan(const DuelPhaseContext& ctx, Rng&) {
+  DuelPlan plan;
+  if (ctx.phase == DuelPhase::kNack && ctx.alice_running) {
+    plan.alice_view = budgeted_suffix(budget(), ctx.num_slots, q_);
+  }
+  return plan;
+}
+
+FullDuelBlocker::FullDuelBlocker(Budget budget, double q)
+    : DuelAdversary(budget), q_(q) {
+  RCB_REQUIRE(q >= 0.0 && q <= 1.0);
+}
+
+DuelPlan FullDuelBlocker::plan(const DuelPhaseContext& ctx, Rng&) {
+  DuelPlan plan;
+  if (ctx.phase == DuelPhase::kSend) {
+    if (ctx.bob_running) {
+      plan.bob_view = budgeted_suffix(budget(), ctx.num_slots, q_);
+    }
+  } else {
+    if (ctx.alice_running) {
+      plan.alice_view = budgeted_suffix(budget(), ctx.num_slots, q_);
+    }
+    // Bob must also observe jamming in phases where he might otherwise
+    // conclude the exchange is over; jamming his nack-phase view is wasted
+    // energy though, since he transmits rather than listens there.
+  }
+  return plan;
+}
+
+BothViewsSuffixBlocker::BothViewsSuffixBlocker(Budget budget, double q)
+    : DuelAdversary(budget), q_(q) {
+  RCB_REQUIRE(q >= 0.0 && q <= 1.0);
+}
+
+DuelPlan BothViewsSuffixBlocker::plan(const DuelPhaseContext& ctx, Rng&) {
+  DuelPlan plan;
+  if (ctx.alice_running) {
+    plan.alice_view = budgeted_suffix(budget(), ctx.num_slots, q_);
+  }
+  if (ctx.bob_running) {
+    plan.bob_view = budgeted_suffix(budget(), ctx.num_slots, q_);
+  }
+  return plan;
+}
+
+SymmetricRandomDuelJammer::SymmetricRandomDuelJammer(Budget budget, double rate)
+    : DuelAdversary(budget), rate_(rate) {
+  RCB_REQUIRE(rate >= 0.0 && rate <= 1.0);
+}
+
+DuelPlan SymmetricRandomDuelJammer::plan(const DuelPhaseContext& ctx,
+                                         Rng& rng) {
+  DuelPlan plan;
+  plan.alice_view = budgeted_random(budget(), ctx.num_slots, rate_, rng);
+  plan.bob_view = budgeted_random(budget(), ctx.num_slots, rate_, rng);
+  return plan;
+}
+
+}  // namespace rcb

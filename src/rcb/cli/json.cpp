@@ -1,0 +1,140 @@
+#include "rcb/cli/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "rcb/common/contracts.hpp"
+
+namespace rcb {
+
+void JsonWriter::pre_value() {
+  if (stack_.empty()) {
+    RCB_REQUIRE(!wrote_top_level_);  // only one top-level value
+    wrote_top_level_ = true;
+    return;
+  }
+  if (stack_.back() == Ctx::kObject) {
+    RCB_REQUIRE(pending_key_);  // object values need a key
+    pending_key_ = false;
+    return;
+  }
+  // Array context: comma-separate siblings.
+  if (!first_in_ctx_.back()) *os_ << ',';
+  first_in_ctx_.back() = false;
+}
+
+void JsonWriter::write_escaped(const std::string& s) {
+  *os_ << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *os_ << "\\\"";
+        break;
+      case '\\':
+        *os_ << "\\\\";
+        break;
+      case '\n':
+        *os_ << "\\n";
+        break;
+      case '\t':
+        *os_ << "\\t";
+        break;
+      case '\r':
+        *os_ << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *os_ << buf;
+        } else {
+          *os_ << c;
+        }
+    }
+  }
+  *os_ << '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  *os_ << '{';
+  stack_.push_back(Ctx::kObject);
+  first_in_ctx_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  RCB_REQUIRE(!stack_.empty() && stack_.back() == Ctx::kObject);
+  RCB_REQUIRE(!pending_key_);
+  *os_ << '}';
+  stack_.pop_back();
+  first_in_ctx_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  *os_ << '[';
+  stack_.push_back(Ctx::kArray);
+  first_in_ctx_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  RCB_REQUIRE(!stack_.empty() && stack_.back() == Ctx::kArray);
+  *os_ << ']';
+  stack_.pop_back();
+  first_in_ctx_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  RCB_REQUIRE(!stack_.empty() && stack_.back() == Ctx::kObject);
+  RCB_REQUIRE(!pending_key_);
+  if (!first_in_ctx_.back()) *os_ << ',';
+  first_in_ctx_.back() = false;
+  write_escaped(k);
+  *os_ << ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  pre_value();
+  write_escaped(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  pre_value();
+  if (std::isfinite(v)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    *os_ << buf;
+  } else {
+    *os_ << "null";  // JSON has no inf/nan
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  pre_value();
+  *os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  *os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  *os_ << (v ? "true" : "false");
+  return *this;
+}
+
+}  // namespace rcb

@@ -1,0 +1,51 @@
+// Minimal streaming JSON writer for tool output.
+//
+// Writes syntactically valid JSON with string escaping and nesting checks;
+// no DOM, no parsing.  Intended for piping rcb_sim results into external
+// analysis (jq, pandas, ...).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rcb {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(&os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits a key inside an object; must be followed by a value or
+  /// begin_object/begin_array.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+
+  /// True when every container has been closed.
+  bool complete() const { return stack_.empty() && wrote_top_level_; }
+
+ private:
+  enum class Ctx : std::uint8_t { kObject, kArray };
+
+  void pre_value();
+  void write_escaped(const std::string& s);
+
+  std::ostream* os_;
+  std::vector<Ctx> stack_;
+  std::vector<bool> first_in_ctx_;
+  bool pending_key_ = false;
+  bool wrote_top_level_ = false;
+};
+
+}  // namespace rcb

@@ -1,0 +1,17 @@
+#include "rcb/common/contracts.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rcb::detail {
+
+void contract_failure(std::string_view kind, std::string_view expr,
+                      std::string_view file, int line) {
+  std::fprintf(stderr, "rcb: %.*s failed: %.*s at %.*s:%d\n",
+               static_cast<int>(kind.size()), kind.data(),
+               static_cast<int>(expr.size()), expr.data(),
+               static_cast<int>(file.size()), file.data(), line);
+  std::abort();
+}
+
+}  // namespace rcb::detail

@@ -1,0 +1,36 @@
+// Lightweight contract checking.
+//
+// RCB_REQUIRE is kept on in all build types: the simulator is a research
+// instrument, and a silently-violated precondition invalidates experiment
+// output, which is worse than the branch cost.  Hot inner loops use
+// RCB_ASSERT, which compiles out when NDEBUG is defined.
+#pragma once
+
+#include <string_view>
+
+namespace rcb::detail {
+
+[[noreturn]] void contract_failure(std::string_view kind, std::string_view expr,
+                                   std::string_view file, int line);
+
+}  // namespace rcb::detail
+
+#define RCB_REQUIRE(expr)                                                     \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::rcb::detail::contract_failure("precondition", #expr, __FILE__,        \
+                                      __LINE__);                              \
+    }                                                                         \
+  } while (false)
+
+#ifdef NDEBUG
+#define RCB_ASSERT(expr) ((void)0)
+#else
+#define RCB_ASSERT(expr)                                                      \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::rcb::detail::contract_failure("assertion", #expr, __FILE__,           \
+                                      __LINE__);                              \
+    }                                                                         \
+  } while (false)
+#endif

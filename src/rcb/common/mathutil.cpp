@@ -1,0 +1,10 @@
+#include "rcb/common/mathutil.hpp"
+
+namespace rcb {
+
+double ln_inverse(double eps) {
+  RCB_REQUIRE(eps > 0.0 && eps < 1.0);
+  return std::log(1.0 / eps);
+}
+
+}  // namespace rcb

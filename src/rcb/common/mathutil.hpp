@@ -1,0 +1,55 @@
+// Small math helpers used throughout the protocols and analysis code.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "rcb/common/contracts.hpp"
+
+namespace rcb {
+
+/// The golden ratio phi = (1 + sqrt 5)/2; Theorem 5's exponent is phi - 1.
+inline constexpr double kGoldenRatio = 1.6180339887498948482;
+
+/// floor(log2(x)) for x >= 1.
+inline std::uint32_t floor_log2(std::uint64_t x) {
+  RCB_REQUIRE(x >= 1);
+  std::uint32_t r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1.
+inline std::uint32_t ceil_log2(std::uint64_t x) {
+  RCB_REQUIRE(x >= 1);
+  const std::uint32_t f = floor_log2(x);
+  return (std::uint64_t{1} << f) == x ? f : f + 1;
+}
+
+/// 2^i as a 64-bit count; i must be < 64.
+inline std::uint64_t pow2(std::uint32_t i) {
+  RCB_REQUIRE(i < 64);
+  return std::uint64_t{1} << i;
+}
+
+/// Clamp a computed probability into [0, 1].  The paper's per-slot
+/// probabilities (e.g. S_u * d * i^3 / 2^i) exceed 1 in early epochs for
+/// simulation-scale parameters; clamping corresponds to the node simply
+/// acting every slot.
+inline double clamp_probability(double p) {
+  if (p < 0.0) return 0.0;
+  if (p > 1.0) return 1.0;
+  return p;
+}
+
+/// Saturating double->uint64 conversion for slot counts.
+inline std::uint64_t to_slot_count(double x) {
+  if (x <= 0.0) return 0;
+  if (x >= 1.8e19) return UINT64_MAX;
+  return static_cast<std::uint64_t>(x);
+}
+
+/// Natural-log helper with a guard for the eps parameters used by Fig. 1.
+double ln_inverse(double eps);
+
+}  // namespace rcb

@@ -1,0 +1,46 @@
+// Fundamental value types shared across the rcb library.
+//
+// The simulator models a time-slotted, single-hop, single-channel wireless
+// network (paper section 1.2).  Everything is indexed in discrete slots and
+// all costs are unit-per-slot energy charges.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rcb {
+
+/// Index of a time slot within one phase/repetition (0-based).
+using SlotIndex = std::uint64_t;
+
+/// Count of time slots.
+using SlotCount = std::uint64_t;
+
+/// Identity of a node. The broadcast sender is conventionally node 0.
+using NodeId = std::uint32_t;
+
+/// Energy cost in slot-units (1 per slot spent sending or listening).
+using Cost = std::uint64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// What a transmitting radio puts on the channel in a slot.
+enum class Payload : std::uint8_t {
+  kMessage,  ///< the authenticated broadcast message m
+  kNack,     ///< negative acknowledgement (1-to-1 protocol, Fig. 1)
+  kNoise,    ///< deliberate noise (uninformed senders in Fig. 2)
+};
+
+/// What a listening radio hears in a slot (paper section 1.2: a slot is
+/// *clear* iff it contains neither noise nor any message; two or more
+/// concurrent transmissions collide into noise; jamming is heard as noise
+/// and is indistinguishable from collision noise).
+enum class Reception : std::uint8_t {
+  kClear,    ///< silence: no sender, no jamming
+  kMessage,  ///< exactly one sender, payload kMessage, no jamming
+  kNack,     ///< exactly one sender, payload kNack, no jamming
+  kNoise,    ///< jammed, or collision, or a single noise-payload sender
+};
+
+}  // namespace rcb

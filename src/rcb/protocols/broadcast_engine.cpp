@@ -1,0 +1,176 @@
+#include "rcb/protocols/broadcast_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rcb/common/contracts.hpp"
+#include "rcb/common/mathutil.hpp"
+#include "rcb/sim/repetition_engine.hpp"
+
+namespace rcb {
+
+BroadcastNEngine::BroadcastNEngine(std::uint32_t n,
+                                   const BroadcastNParams& params)
+    : n_(n), params_(params), epoch_(params.first_epoch), active_(n) {
+  RCB_REQUIRE(n >= 1);
+  RCB_REQUIRE(params.first_epoch >= 1);
+  nodes_.resize(n);
+  actions_.resize(n);
+  nodes_[0].status = BroadcastStatus::kInformed;
+  nodes_[0].informed = true;
+  nodes_[0].informed_epoch = params.first_epoch;
+  if (n == 1) informed_latency_ = 0;
+  begin_epoch();
+}
+
+void BroadcastNEngine::begin_epoch() {
+  repetition_ = 0;
+  repetitions_in_epoch_ = params_.repetitions(epoch_);
+  // "S_u <- 16" at the top of every epoch (Fig. 2 line 1).
+  for (auto& node : nodes_) node.S = params_.initial_S;
+}
+
+bool BroadcastNEngine::step(RepetitionAdversary& adversary, Rng& rng) {
+  if (finished_) return false;
+  if (active_ == 0 || epoch_ > params_.max_epoch) {
+    finished_ = true;
+    return false;
+  }
+
+  const SlotCount num_slots = pow2(epoch_);
+  const double slots = static_cast<double>(num_slots);
+  const double lf = params_.listen_factor(epoch_);
+  const double gamma = params_.growth_damping(epoch_);
+  const double helper_threshold = params_.helper_threshold(epoch_);
+  const double term1 = params_.term1_mult * std::sqrt(slots);
+
+  RepetitionContext ctx{epoch_, repetition_, repetitions_in_epoch_, num_slots};
+  const JamSchedule jam = adversary.plan(ctx, rng);
+
+  for (NodeId u = 0; u < n_; ++u) {
+    const BroadcastNodeState& node = nodes_[u];
+    if (node.status == BroadcastStatus::kTerminated ||
+        node.status == BroadcastStatus::kDead) {
+      actions_[u] = NodeAction{};
+      continue;
+    }
+    const bool knows_m = node.status != BroadcastStatus::kUninformed;
+    actions_[u] = NodeAction{
+        clamp_probability(node.S / slots),
+        knows_m ? Payload::kMessage : Payload::kNoise,
+        clamp_probability(node.S * lf / slots)};
+  }
+
+  const RepetitionResult rep =
+      run_repetition(num_slots, actions_, jam, rng, nullptr, params_.cca);
+  adversary_cost_ += jam.jammed_count();
+  latency_ += num_slots;
+
+  for (NodeId u = 0; u < n_; ++u) {
+    BroadcastNodeState& node = nodes_[u];
+    if (node.status == BroadcastStatus::kTerminated ||
+        node.status == BroadcastStatus::kDead) {
+      continue;
+    }
+    const NodeObservation& obs = rep.obs[u];
+    node.cost += obs.sends + obs.listens;
+
+    // Battery extension: a node that has spent its capacity dies.
+    if (params_.node_energy_budget > 0 &&
+        node.cost >= params_.node_energy_budget) {
+      node.status = BroadcastStatus::kDead;
+      node.terminated_epoch = epoch_;
+      --active_;
+      continue;
+    }
+
+    // Rate update: C' measures clear slots beyond the beta fraction of the
+    // expected listen count; under probability clamping the expected count
+    // is listen_prob * num_slots rather than S*LF.
+    const double expected_listens =
+        clamp_probability(node.S * lf / slots) * slots;
+    const double c_prime =
+        std::max(0.0, static_cast<double>(obs.clear) -
+                          params_.clear_baseline * expected_listens);
+    if (expected_listens > 0.0) {
+      node.S *= std::exp2(c_prime / (expected_listens * gamma));
+    }
+
+    // Figure 2: execute at most one of the cases, in order.
+    const auto heard_m = static_cast<double>(obs.messages);
+    if (node.S > term1) {
+      node.status = BroadcastStatus::kTerminated;  // Case 1: safety valve
+      node.terminated_epoch = epoch_;
+      --active_;
+    } else if (node.status == BroadcastStatus::kUninformed) {
+      if (obs.messages > 0) {  // Case 2
+        node.status = BroadcastStatus::kInformed;
+        node.informed = true;
+        node.informed_epoch = epoch_;
+        if (++informed_count_ == n_) informed_latency_ = latency_;
+      }
+    } else if (node.status == BroadcastStatus::kInformed) {
+      if (heard_m > helper_threshold) {  // Case 3
+        node.status = BroadcastStatus::kHelper;
+        node.n_estimate = slots / (node.S * node.S);
+      }
+    } else {  // helper
+      if (node.S >= params_.term4_mult * std::sqrt(slots / node.n_estimate)) {
+        node.status = BroadcastStatus::kTerminated;  // Case 4
+        node.terminated_epoch = epoch_;
+        --active_;
+      } else if (params_.helper_reestimate && heard_m > helper_threshold) {
+        node.n_estimate = std::max(node.n_estimate, slots / (node.S * node.S));
+      }
+    }
+  }
+
+  if (++repetition_ >= repetitions_in_epoch_) {
+    ++epoch_;
+    if (epoch_ <= params_.max_epoch) begin_epoch();
+  }
+  if (active_ == 0 || epoch_ > params_.max_epoch) finished_ = true;
+  return !finished_;
+}
+
+void BroadcastNEngine::run(RepetitionAdversary& adversary, Rng& rng) {
+  while (step(adversary, rng)) {
+  }
+}
+
+BroadcastNResult BroadcastNEngine::result() const {
+  BroadcastNResult result;
+  result.n = n_;
+  result.nodes.resize(n_);
+  result.adversary_cost = adversary_cost_;
+  result.latency = latency_;
+  result.informed_latency = informed_latency_;
+  // While running, epoch_ is the next epoch; after finishing it may be one
+  // past the last executed one.
+  result.final_epoch = std::min(epoch_, params_.max_epoch);
+
+  std::uint32_t dead = 0;
+  for (NodeId u = 0; u < n_; ++u) {
+    const BroadcastNodeState& node = nodes_[u];
+    BroadcastNodeOutcome& out = result.nodes[u];
+    out.final_status = node.status;
+    out.informed = node.informed;
+    out.cost = node.cost;
+    out.final_S = node.S;
+    out.n_estimate = node.n_estimate;
+    out.informed_epoch = node.informed_epoch;
+    out.terminated_epoch = node.terminated_epoch;
+    if (node.informed) ++result.informed_count;
+    if (node.status == BroadcastStatus::kDead) ++dead;
+    result.max_cost = std::max(result.max_cost, node.cost);
+  }
+  result.dead_count = dead;
+  double total = 0.0;
+  for (const auto& node : nodes_) total += static_cast<double>(node.cost);
+  result.mean_cost = total / static_cast<double>(n_);
+  result.all_informed = (result.informed_count == n_);
+  result.all_terminated = (active_ == 0 && dead == 0);
+  return result;
+}
+
+}  // namespace rcb

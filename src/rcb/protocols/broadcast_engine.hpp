@@ -1,0 +1,86 @@
+// Steppable engine for the Figure-2 protocol.
+//
+// run_broadcast_n() (broadcast_n.hpp) executes a whole run for Monte-Carlo
+// workloads.  BroadcastNEngine exposes the same semantics one repetition at
+// a time, with full read access to per-node state — for narration tools,
+// debuggers, tests that assert on intermediate states, and experiment
+// harnesses that adapt mid-run (e.g. the battery example).  The runner is
+// implemented on top of this engine, so the two cannot drift apart.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rcb/adversary/strategies.hpp"
+#include "rcb/common/types.hpp"
+#include "rcb/protocols/broadcast_n.hpp"
+#include "rcb/rng/rng.hpp"
+#include "rcb/sim/repetition_engine.hpp"
+
+namespace rcb {
+
+/// Live per-node state, readable between repetitions.
+struct BroadcastNodeState {
+  BroadcastStatus status = BroadcastStatus::kUninformed;
+  double S = 16.0;
+  double n_estimate = 0.0;
+  Cost cost = 0;
+  bool informed = false;
+  std::uint32_t informed_epoch = 0;
+  std::uint32_t terminated_epoch = 0;
+};
+
+class BroadcastNEngine {
+ public:
+  /// Node 0 is the sender and starts informed.
+  BroadcastNEngine(std::uint32_t n, const BroadcastNParams& params);
+
+  /// Runs the next repetition (advancing to the next epoch when the current
+  /// one is exhausted, resetting S_u per Fig. 2).  Returns false when the
+  /// execution is over: every node terminated/died, or the epoch cap was
+  /// exceeded.  Calling step() after it returned false is a no-op returning
+  /// false.
+  bool step(RepetitionAdversary& adversary, Rng& rng);
+
+  /// Runs to completion.
+  void run(RepetitionAdversary& adversary, Rng& rng);
+
+  // -- observers ------------------------------------------------------------
+  std::uint32_t n() const { return n_; }
+  const BroadcastNParams& params() const { return params_; }
+  /// Epoch of the *next* repetition to execute (current epoch while inside
+  /// one).
+  std::uint32_t epoch() const { return epoch_; }
+  /// Repetition index within the current epoch (0-based, next to execute).
+  std::uint64_t repetition() const { return repetition_; }
+  std::uint32_t active_nodes() const { return active_; }
+  bool finished() const { return finished_; }
+  SlotCount latency() const { return latency_; }
+  Cost adversary_cost() const { return adversary_cost_; }
+  /// Slots elapsed when the last node became informed (0 until then).
+  SlotCount informed_latency() const { return informed_latency_; }
+  const std::vector<BroadcastNodeState>& nodes() const { return nodes_; }
+
+  /// Packages the current state as a BroadcastNResult (valid at any point;
+  /// typically called once finished()).
+  BroadcastNResult result() const;
+
+ private:
+  void begin_epoch();
+
+  std::uint32_t n_;
+  BroadcastNParams params_;
+  std::uint32_t epoch_;
+  std::uint64_t repetition_ = 0;
+  std::uint64_t repetitions_in_epoch_ = 0;
+  std::uint32_t active_;
+  bool finished_ = false;
+  SlotCount latency_ = 0;
+  SlotCount informed_latency_ = 0;
+  std::uint64_t informed_count_ = 1;
+  Cost adversary_cost_ = 0;
+  std::vector<BroadcastNodeState> nodes_;
+  std::vector<NodeAction> actions_;
+};
+
+}  // namespace rcb

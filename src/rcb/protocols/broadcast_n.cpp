@@ -1,0 +1,84 @@
+#include "rcb/protocols/broadcast_n.hpp"
+
+#include "rcb/protocols/broadcast_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rcb/common/contracts.hpp"
+#include "rcb/common/mathutil.hpp"
+#include "rcb/sim/repetition_engine.hpp"
+
+namespace rcb {
+
+BroadcastNParams BroadcastNParams::theory() {
+  BroadcastNParams p;
+  p.first_epoch = 8;
+  p.max_epoch = 30;
+  p.b = 10.0;
+  p.d = 80.0;
+  p.rep_exponent = 2.0;
+  p.listen_exponent = 3.0;
+  p.growth_damping_const = 1.0;
+  p.growth_damping_exp = 1.0;  // gamma = i, i.e. divisor S_u * d * i^4
+  p.helper_threshold_div = 200.0;
+  p.term1_mult = 360.0;
+  p.term4_mult = 360.0;
+  return p;
+}
+
+BroadcastNParams BroadcastNParams::sim() {
+  BroadcastNParams p;
+  p.first_epoch = 5;
+  p.max_epoch = 26;
+  p.b = 4.0;
+  p.rep_exponent = 1.0;
+  p.d = 1.0;
+  p.listen_exponent = 1.0;
+  // initial_S = 4 (paper: 16): with theta = 1 promotion this keeps the
+  // dense-regime hearing rate below the promotion threshold (the sim-scale
+  // analogue of Lemma 4) and cuts the idle-listening floor during blocked
+  // epochs, which would otherwise swamp the sqrt(T/n) term at laptop scale.
+  p.initial_S = 4.0;
+  p.growth_damping_const = 2.0;
+  p.growth_damping_exp = 0.0;  // gamma = 2, constant
+  // Calibration (see DESIGN.md §2 and docs/calibration.md): beta = 1/4
+  // keeps the growth fixed point above the helper-halt threshold; the
+  // promotion threshold of one full expected-listen quota (div = 1) places
+  // promotion at S_u ~ sqrt(2^i/n), so n_u estimates n to within a small
+  // constant; term4 = 4 halts helpers one to two doublings later.
+  p.clear_baseline = 0.25;
+  p.helper_threshold_div = 1.0;
+  p.term1_mult = 8.0;
+  p.term4_mult = 4.0;
+  p.helper_reestimate = true;
+  return p;
+}
+
+std::uint64_t BroadcastNParams::repetitions(std::uint32_t epoch) const {
+  const double r = b * std::pow(static_cast<double>(epoch), rep_exponent);
+  return std::max<std::uint64_t>(1, to_slot_count(std::ceil(r)));
+}
+
+double BroadcastNParams::listen_factor(std::uint32_t epoch) const {
+  return d * std::pow(static_cast<double>(epoch), listen_exponent);
+}
+
+double BroadcastNParams::growth_damping(std::uint32_t epoch) const {
+  return growth_damping_const *
+         std::pow(static_cast<double>(epoch), growth_damping_exp);
+}
+
+double BroadcastNParams::helper_threshold(std::uint32_t epoch) const {
+  return listen_factor(epoch) / helper_threshold_div;
+}
+
+BroadcastNResult run_broadcast_n(std::uint32_t n,
+                                 const BroadcastNParams& params,
+                                 RepetitionAdversary& adversary, Rng& rng) {
+  BroadcastNEngine engine(n, params);
+  engine.run(adversary, rng);
+  return engine.result();
+}
+
+}  // namespace rcb

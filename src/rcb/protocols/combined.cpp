@@ -1,0 +1,217 @@
+#include "rcb/protocols/combined.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "rcb/common/contracts.hpp"
+#include "rcb/common/mathutil.hpp"
+#include "rcb/sim/repetition_engine.hpp"
+
+namespace rcb {
+namespace {
+
+constexpr NodeId kAlice = 0;
+constexpr NodeId kBob = 1;
+constexpr NodeId kSpoofer = 2;
+constexpr std::array<std::uint32_t, 3> kPartition = {0, 1, 0};
+
+/// Shared bookkeeping for one interleaved execution.
+struct Shared {
+  OneToOneResult result;
+  bool bob_informed = false;
+};
+
+/// One Fig.1 epoch (send + nack phase); mirrors run_one_to_one's body.
+struct Fig1Stream {
+  const OneToOneParams* params;
+  std::uint32_t epoch;
+  bool alice_running = true;
+  bool bob_running = true;
+
+  explicit Fig1Stream(const OneToOneParams& p)
+      : params(&p), epoch(p.first_epoch()) {}
+
+  bool active() const { return alice_running || bob_running; }
+
+  void step(DuelAdversary& adversary, Rng& rng, Shared& sh) {
+    if (epoch > params->max_epoch) {
+      alice_running = bob_running = false;
+      return;
+    }
+    const SlotCount num_slots = pow2(epoch);
+    const double p = params->slot_probability(epoch);
+    const double theta = params->halt_threshold(epoch);
+
+    {  // send phase
+      DuelPhaseContext ctx{epoch, DuelPhase::kSend, num_slots, p,
+                           alice_running, bob_running};
+      DuelPlan plan = adversary.plan(ctx, rng);
+      std::array<NodeAction, 3> actions = {};
+      if (alice_running) actions[kAlice] = NodeAction{p, Payload::kMessage, 0.0};
+      if (bob_running) actions[kBob] = NodeAction{0.0, Payload::kNoise, p};
+      const std::array<JamSchedule, 2> views = {plan.alice_view, plan.bob_view};
+      auto rep = run_repetition_luniform(
+          num_slots, std::span<const NodeAction>(actions.data(), 3),
+          std::span<const std::uint32_t>(kPartition.data(), 3),
+          std::span<const JamSchedule>(views.data(), 2), rng);
+      sh.result.latency += num_slots;
+      sh.result.adversary_cost +=
+          plan.alice_view.jammed_count() + plan.bob_view.jammed_count();
+      sh.result.alice_cost += rep.obs[kAlice].sends;
+      if (bob_running) {
+        const auto& bob = rep.obs[kBob];
+        if (bob.messages > 0) {
+          sh.result.bob_cost += bob.listens_until_first_message;
+          sh.bob_informed = true;
+          bob_running = false;
+        } else {
+          sh.result.bob_cost += bob.listens;
+          if (static_cast<double>(bob.noise) < theta) bob_running = false;
+        }
+      }
+    }
+    if (!alice_running && !bob_running) return;
+    {  // nack phase
+      DuelPhaseContext ctx{epoch, DuelPhase::kNack, num_slots, p,
+                           alice_running, bob_running};
+      DuelPlan plan = adversary.plan(ctx, rng);
+      std::array<NodeAction, 3> actions = {};
+      if (bob_running && !sh.bob_informed) {
+        actions[kBob] = NodeAction{p, Payload::kNack, 0.0};
+      }
+      if (alice_running) actions[kAlice] = NodeAction{0.0, Payload::kNoise, p};
+      if (plan.spoof_nack_prob > 0.0) {
+        actions[kSpoofer] = NodeAction{plan.spoof_nack_prob, Payload::kNack, 0.0};
+      }
+      const std::array<JamSchedule, 2> views = {plan.alice_view, plan.bob_view};
+      auto rep = run_repetition_luniform(
+          num_slots, std::span<const NodeAction>(actions.data(), 3),
+          std::span<const std::uint32_t>(kPartition.data(), 3),
+          std::span<const JamSchedule>(views.data(), 2), rng);
+      sh.result.latency += num_slots;
+      sh.result.adversary_cost +=
+          plan.alice_view.jammed_count() + plan.bob_view.jammed_count();
+      sh.result.adversary_cost += adversary.budget().take(rep.obs[kSpoofer].sends);
+      sh.result.bob_cost += rep.obs[kBob].sends;
+      if (alice_running) {
+        const auto& alice = rep.obs[kAlice];
+        sh.result.alice_cost += alice.listens;
+        if (alice.nacks == 0 && static_cast<double>(alice.noise) < theta) {
+          alice_running = false;
+        }
+      }
+    }
+    ++epoch;
+  }
+};
+
+/// One KSY epoch; mirrors run_ksy's body.
+struct KsyStream {
+  const KsyParams* params;
+  std::uint32_t epoch;
+  bool alice_running = true;
+  bool bob_running = true;
+
+  explicit KsyStream(const KsyParams& p) : params(&p), epoch(p.first_epoch) {}
+
+  bool active() const { return alice_running || bob_running; }
+
+  void step(DuelAdversary& adversary, Rng& rng, Shared& sh) {
+    if (epoch > params->max_epoch) {
+      alice_running = bob_running = false;
+      return;
+    }
+    const SlotCount num_slots = pow2(epoch);
+    const double pa = params->alice_send_prob(epoch);
+    const double pl = params->alice_listen_prob(epoch);
+    const double pb = params->bob_listen_prob(epoch);
+
+    DuelPhaseContext ctx{epoch, DuelPhase::kSend, num_slots, pa, alice_running,
+                         bob_running};
+    DuelPlan plan = adversary.plan(ctx, rng);
+    std::array<NodeAction, 3> actions = {};
+    if (alice_running) actions[kAlice] = NodeAction{pa, Payload::kMessage, pl};
+    if (bob_running) actions[kBob] = NodeAction{0.0, Payload::kNoise, pb};
+    if (plan.spoof_nack_prob > 0.0) {
+      actions[kSpoofer] = NodeAction{plan.spoof_nack_prob, Payload::kNack, 0.0};
+    }
+    const std::array<JamSchedule, 2> views = {plan.alice_view, plan.bob_view};
+    auto rep = run_repetition_luniform(
+        num_slots, std::span<const NodeAction>(actions.data(), 3),
+        std::span<const std::uint32_t>(kPartition.data(), 3),
+        std::span<const JamSchedule>(views.data(), 2), rng);
+    sh.result.latency += num_slots;
+    sh.result.adversary_cost +=
+        plan.alice_view.jammed_count() + plan.bob_view.jammed_count();
+    sh.result.adversary_cost += adversary.budget().take(rep.obs[kSpoofer].sends);
+
+    if (alice_running) {
+      const auto& alice = rep.obs[kAlice];
+      sh.result.alice_cost += alice.sends + alice.listens;
+      const double heard = static_cast<double>(alice.heard_total());
+      const double noisy = static_cast<double>(alice.noise + alice.nacks);
+      if (heard == 0.0 || noisy / heard < params->noise_fraction_threshold) {
+        alice_running = false;
+      }
+    }
+    if (bob_running) {
+      const auto& bob = rep.obs[kBob];
+      if (bob.messages > 0) {
+        sh.result.bob_cost += bob.listens_until_first_message;
+        sh.bob_informed = true;
+        bob_running = false;
+      } else {
+        sh.result.bob_cost += bob.listens;
+        const double heard = static_cast<double>(bob.heard_total());
+        const double noisy = static_cast<double>(bob.noise + bob.nacks);
+        if (heard == 0.0 || noisy / heard < params->noise_fraction_threshold) {
+          bob_running = false;
+        }
+      }
+    }
+    ++epoch;
+  }
+};
+
+}  // namespace
+
+OneToOneResult run_combined(const CombinedParams& params,
+                            DuelAdversary& adversary, Rng& rng) {
+  Shared sh;
+  Fig1Stream fig1(params.fig1);
+  KsyStream ksy(params.ksy);
+
+  // A party halts overall as soon as either stream halts it; once Bob is
+  // informed through either stream he stops listening in both.
+  while (true) {
+    const bool alice_running = fig1.alice_running && ksy.alice_running;
+    const bool bob_running =
+        !sh.bob_informed && (fig1.bob_running && ksy.bob_running);
+    if (!alice_running && !bob_running) break;
+
+    // Propagate halting decisions across streams.
+    fig1.alice_running = ksy.alice_running = alice_running;
+    fig1.bob_running = ksy.bob_running = bob_running;
+
+    sh.result.final_epoch = fig1.epoch;
+    fig1.step(adversary, rng, sh);
+
+    // Bob may have been informed by the Fig.1 step; silence him in KSY.
+    if (sh.bob_informed) ksy.bob_running = false;
+
+    ksy.step(adversary, rng, sh);
+
+    // Hard stop if both streams ran off their epoch caps.
+    if (fig1.epoch > params.fig1.max_epoch && ksy.epoch > params.ksy.max_epoch) {
+      sh.result.hit_epoch_cap = true;
+      break;
+    }
+  }
+
+  sh.result.alice_halted = !(fig1.alice_running && ksy.alice_running);
+  sh.result.bob_halted = sh.bob_informed || !(fig1.bob_running && ksy.bob_running);
+  sh.result.delivered = sh.bob_informed;
+  return sh.result;
+}
+
+}  // namespace rcb

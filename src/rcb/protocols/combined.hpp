@@ -1,0 +1,36 @@
+// The combined 1-to-1 algorithm of the Theorem 1 discussion.
+//
+// "By combining both algorithms one can achieve expected cost
+//  O(min{ sqrt(T log(1/eps)) + log(1/eps), T^(phi-1) + 1 })" — i.e. with no
+// dependence on eps when T = 0.
+//
+// The combination time-multiplexes the two protocols: epochs of Figure 1
+// and of the KSY baseline are interleaved (Fig.1 send phase, Fig.1 nack
+// phase, KSY phase, repeat with the next epoch index of whichever protocol
+// is still running).  Bob halts as soon as *either* stream delivers m;
+// Alice halts when either stream's halting rule fires.  Each stream's
+// per-epoch cost envelope is what Theorem 1 / KSY'11 prescribe, so the
+// total is at most twice the cheaper of the two — the min, asymptotically.
+//
+// Against a spoofing adversary the Fig.1 stream can be strung along
+// forever, but the KSY stream still terminates, and with it the combined
+// protocol: Alice stops servicing the Fig.1 stream once KSY has halted her.
+#pragma once
+
+#include "rcb/adversary/two_uniform.hpp"
+#include "rcb/protocols/ksy.hpp"
+#include "rcb/protocols/one_to_one.hpp"
+
+namespace rcb {
+
+struct CombinedParams {
+  OneToOneParams fig1 = OneToOneParams::sim(0.01);
+  KsyParams ksy;
+};
+
+/// Runs the interleaved combination; reuses OneToOneResult.  final_epoch
+/// reports the Fig.1 stream's last epoch index.
+OneToOneResult run_combined(const CombinedParams& params,
+                            DuelAdversary& adversary, Rng& rng);
+
+}  // namespace rcb

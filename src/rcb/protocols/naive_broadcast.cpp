@@ -1,0 +1,121 @@
+#include "rcb/protocols/naive_broadcast.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rcb/common/contracts.hpp"
+#include "rcb/common/mathutil.hpp"
+#include "rcb/sim/repetition_engine.hpp"
+
+namespace rcb {
+
+namespace {
+
+struct NodeState {
+  BroadcastStatus status = BroadcastStatus::kUninformed;
+  double S = 16.0;
+};
+
+}  // namespace
+
+BroadcastNResult run_naive_broadcast(std::uint32_t n,
+                                     const BroadcastNParams& params,
+                                     RepetitionAdversary& adversary,
+                                     Rng& rng) {
+  RCB_REQUIRE(n >= 1);
+
+  BroadcastNResult result;
+  result.n = n;
+  result.nodes.resize(n);
+
+  std::vector<NodeState> states(n);
+  states[0].status = BroadcastStatus::kInformed;
+  result.nodes[0].informed = true;
+  result.nodes[0].informed_epoch = params.first_epoch;
+
+  std::vector<NodeAction> actions(n);
+  std::uint32_t active = n;
+
+  std::uint32_t epoch = params.first_epoch;
+  for (; epoch <= params.max_epoch && active > 0; ++epoch) {
+    result.final_epoch = epoch;
+    const SlotCount num_slots = pow2(epoch);
+    const double slots = static_cast<double>(num_slots);
+    const double lf = params.listen_factor(epoch);
+    const double gamma = params.growth_damping(epoch);
+    const double halt_threshold = params.helper_threshold(epoch);
+    const double term1 = params.term1_mult * std::sqrt(slots);
+    const std::uint64_t reps = params.repetitions(epoch);
+
+    for (auto& st : states) st.S = params.initial_S;
+
+    for (std::uint64_t rep = 0; rep < reps && active > 0; ++rep) {
+      RepetitionContext ctx{epoch, rep, reps, num_slots};
+      const JamSchedule jam = adversary.plan(ctx, rng);
+
+      for (NodeId u = 0; u < n; ++u) {
+        const NodeState& st = states[u];
+        if (st.status == BroadcastStatus::kTerminated) {
+          actions[u] = NodeAction{};
+          continue;
+        }
+        const bool knows_m = st.status == BroadcastStatus::kInformed;
+        actions[u] = NodeAction{
+            clamp_probability(st.S / slots),
+            knows_m ? Payload::kMessage : Payload::kNoise,
+            clamp_probability(st.S * lf / slots)};
+      }
+
+      RepetitionResult rep_result =
+          run_repetition(num_slots, actions, jam, rng);
+      result.adversary_cost += jam.jammed_count();
+      result.latency += num_slots;
+
+      for (NodeId u = 0; u < n; ++u) {
+        NodeState& st = states[u];
+        if (st.status == BroadcastStatus::kTerminated) continue;
+        const NodeObservation& obs = rep_result.obs[u];
+        result.nodes[u].cost += obs.sends + obs.listens;
+
+        const double expected_listens =
+            clamp_probability(st.S * lf / slots) * slots;
+        const double c_prime =
+            std::max(0.0, static_cast<double>(obs.clear) -
+                              params.clear_baseline * expected_listens);
+        if (expected_listens > 0.0) {
+          st.S *= std::exp2(c_prime / (expected_listens * gamma));
+        }
+
+        if (st.status == BroadcastStatus::kUninformed) {
+          if (obs.messages > 0) {
+            st.status = BroadcastStatus::kInformed;
+            result.nodes[u].informed = true;
+            result.nodes[u].informed_epoch = epoch;
+          }
+        } else if (static_cast<double>(obs.messages) > halt_threshold ||
+                   st.S > term1) {
+          // Halt-on-count: heard m often enough in one repetition, done.
+          // The term1 valve is kept so a lone sender still terminates.
+          st.status = BroadcastStatus::kTerminated;
+          result.nodes[u].terminated_epoch = epoch;
+          --active;
+        }
+      }
+    }
+  }
+
+  for (NodeId u = 0; u < n; ++u) {
+    result.nodes[u].final_status = states[u].status;
+    result.nodes[u].final_S = states[u].S;
+    if (result.nodes[u].informed) ++result.informed_count;
+    result.max_cost = std::max(result.max_cost, result.nodes[u].cost);
+  }
+  double total = 0.0;
+  for (const auto& node : result.nodes) total += static_cast<double>(node.cost);
+  result.mean_cost = total / static_cast<double>(n);
+  result.all_informed = (result.informed_count == n);
+  result.all_terminated = (active == 0);
+  return result;
+}
+
+}  // namespace rcb

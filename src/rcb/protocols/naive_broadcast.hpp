@@ -1,0 +1,22 @@
+// The strawman 1-to-n halting rule the paper argues against (section 3.1).
+//
+// "A natural halting criterion is to stop when u has heard the message a
+// sufficient number of times" — identical rate dynamics to Figure 2, but a
+// node terminates as soon as one repetition delivers m more than the
+// threshold number of times, with no helper stage and no n-estimate.
+// Against an adversary that meters its jamming, nodes peel off in waves and
+// the last survivors inherit the whole fight: the per-node cost degrades
+// from ~sqrt(T/n) toward ~sqrt(T) (bench E6 demonstrates the gap).
+#pragma once
+
+#include "rcb/protocols/broadcast_n.hpp"
+
+namespace rcb {
+
+/// Runs the halt-on-count baseline with the same parameter set as Fig. 2.
+/// The returned BroadcastNResult uses kTerminated/kInformed statuses only.
+BroadcastNResult run_naive_broadcast(std::uint32_t n,
+                                     const BroadcastNParams& params,
+                                     RepetitionAdversary& adversary, Rng& rng);
+
+}  // namespace rcb

@@ -1,0 +1,62 @@
+#include "rcb/protocols/oblivious_pair.hpp"
+
+#include <cmath>
+
+#include "rcb/common/contracts.hpp"
+
+namespace rcb {
+namespace {
+
+/// One slot of the game: both parties flip their coins and pay for what
+/// they do; delivery happens iff Alice sent, Bob listened, and no jam.
+void step(double a, double b, bool jammed, Rng& rng, PairGameResult& r) {
+  const bool alice_acts = rng.bernoulli(a);
+  const bool bob_acts = rng.bernoulli(b);
+  if (alice_acts) ++r.alice_cost;
+  if (bob_acts) ++r.bob_cost;
+  ++r.slots;
+  if (alice_acts && bob_acts && !jammed) r.delivered = true;
+}
+
+}  // namespace
+
+PairGameResult play_stay_below(Cost T, double delta, SlotCount max_slots,
+                               ThresholdAdversary& adversary, Rng& rng) {
+  RCB_REQUIRE(T > 0);
+  RCB_REQUIRE(delta > 0.0 && delta < 1.0);
+  const double t = static_cast<double>(T);
+  const double a = std::pow(t, delta - 1.0);
+  const double b = std::pow(t, -delta);
+
+  PairGameResult r;
+  while (!r.delivered && r.slots < max_slots) {
+    const bool jammed = adversary.jam(a, b);
+    step(a, b, jammed, rng, r);
+  }
+  r.adversary_cost = adversary.spent();
+  return r;
+}
+
+PairGameResult play_exhaust(Cost T, double burn_prob,
+                            ThresholdAdversary& adversary, Rng& rng) {
+  RCB_REQUIRE(T > 0);
+  RCB_REQUIRE(burn_prob > 0.0 && burn_prob <= 1.0);
+  RCB_REQUIRE(burn_prob * burn_prob >
+              1.0 / static_cast<double>(T));  // must trip the threshold
+
+  PairGameResult r;
+  // Burn phase: the adversary jams every slot until its budget is gone.
+  while (adversary.spent() < T && !r.delivered) {
+    const bool jammed = adversary.jam(burn_prob, burn_prob);
+    step(burn_prob, burn_prob, jammed, rng, r);
+  }
+  // Finish phase: budget exhausted, shout once.
+  while (!r.delivered) {
+    const bool jammed = adversary.jam(1.0, 1.0);
+    step(1.0, 1.0, jammed, rng, r);
+  }
+  r.adversary_cost = adversary.spent();
+  return r;
+}
+
+}  // namespace rcb

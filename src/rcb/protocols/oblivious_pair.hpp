@@ -1,0 +1,47 @@
+// Oblivious pair strategies for replaying the Theorem-2 lower bound.
+//
+// Theorem 2's proof reduces any 1-to-1 protocol to an *oblivious* pair:
+// Alice commits to a send-probability vector (a_i) and Bob to a listen
+// vector (b_i) before execution; communication succeeds in the first slot
+// where Alice sends, Bob listens, and the slot is unjammed.  Against the
+// announced-budget threshold adversary (adversary/threshold.hpp) the proof
+// shows E(A)·E(B) >= (1 - O(eps)) T regardless of the vectors chosen.
+//
+// This module simulates that game in the 0/1 cost model and exposes the two
+// strategy families the proof analyses:
+//   * stay-below: constant a = T^(delta-1), b = T^(-delta) with a*b = 1/T,
+//     so the adversary never jams and success takes ~T slots;
+//   * exhaust: a*b just above 1/T for the first T slots (all jammed), then
+//     a = b = 1.
+#pragma once
+
+#include <cstdint>
+
+#include "rcb/adversary/threshold.hpp"
+#include "rcb/common/types.hpp"
+#include "rcb/rng/rng.hpp"
+
+namespace rcb {
+
+/// Outcome of one oblivious-pair game.
+struct PairGameResult {
+  bool delivered = false;
+  Cost alice_cost = 0;
+  Cost bob_cost = 0;
+  Cost adversary_cost = 0;
+  SlotCount slots = 0;
+};
+
+/// Stay-below strategy: a = T^(delta-1), b = T^(-delta) every slot, so
+/// a*b = 1/T and the threshold adversary never fires.  Runs until delivery
+/// or `max_slots`.
+PairGameResult play_stay_below(Cost T, double delta, SlotCount max_slots,
+                               ThresholdAdversary& adversary, Rng& rng);
+
+/// Exhaust strategy: both parties act with probability `burn_prob` (chosen
+/// so a*b > 1/T) until the adversary has spent its budget, then act with
+/// probability 1 and finish.
+PairGameResult play_exhaust(Cost T, double burn_prob,
+                            ThresholdAdversary& adversary, Rng& rng);
+
+}  // namespace rcb

@@ -1,0 +1,168 @@
+#include "rcb/protocols/one_to_one.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "rcb/common/contracts.hpp"
+#include "rcb/common/mathutil.hpp"
+#include "rcb/sim/repetition_engine.hpp"
+
+namespace rcb {
+
+OneToOneParams OneToOneParams::theory(double eps) {
+  OneToOneParams p;
+  p.eps = eps;
+  p.first_epoch_offset = 11;
+  return p;
+}
+
+OneToOneParams OneToOneParams::sim(double eps) {
+  OneToOneParams p;
+  p.eps = eps;
+  p.first_epoch_offset = 2;
+  return p;
+}
+
+std::uint32_t OneToOneParams::first_epoch() const {
+  RCB_REQUIRE(eps > 0.0 && eps < 1.0);
+  const double lg_ln = std::log2(std::log(8.0 / eps));
+  const auto bump = static_cast<std::uint32_t>(std::ceil(std::max(0.0, lg_ln)));
+  return first_epoch_offset + bump;
+}
+
+double OneToOneParams::slot_probability(std::uint32_t epoch) const {
+  RCB_REQUIRE(epoch >= 1);
+  const double ln8e = std::log(8.0 / eps);
+  const double half_slots = static_cast<double>(pow2(epoch - 1));
+  return clamp_probability(std::sqrt(ln8e / half_slots));
+}
+
+double OneToOneParams::halt_threshold(std::uint32_t epoch) const {
+  const double half_slots = static_cast<double>(pow2(epoch - 1));
+  return halt_threshold_factor * slot_probability(epoch) * half_slots;
+}
+
+namespace {
+
+// Node rows in the engine's action table.
+constexpr NodeId kAlice = 0;
+constexpr NodeId kBob = 1;
+constexpr NodeId kSpoofer = 2;
+
+}  // namespace
+
+OneToOneResult run_one_to_one(const OneToOneParams& params,
+                              DuelAdversary& adversary, Rng& rng) {
+  OneToOneResult result;
+  bool alice_running = true;
+  bool bob_running = true;
+  bool bob_informed = false;
+
+  // Partition 0 = Alice's channel view, partition 1 = Bob's.  The spoofer
+  // transmits into the shared channel and never listens; its partition
+  // assignment is immaterial.
+  const std::array<std::uint32_t, 3> partition = {0, 1, 0};
+
+  std::uint32_t epoch = params.first_epoch();
+  for (; epoch <= params.max_epoch && (alice_running || bob_running); ++epoch) {
+    result.final_epoch = epoch;
+    const SlotCount num_slots = pow2(epoch);
+    const double p = params.slot_probability(epoch);
+    const double theta = params.halt_threshold(epoch);
+
+    // ---- SEND phase: Alice transmits m, Bob listens. -------------------
+    {
+      DuelPhaseContext ctx{epoch, DuelPhase::kSend, num_slots, p,
+                           alice_running, bob_running};
+      DuelPlan plan = adversary.plan(ctx, rng);
+
+      std::array<NodeAction, 3> actions = {};
+      if (alice_running) {
+        actions[kAlice] = NodeAction{p, Payload::kMessage, 0.0};
+      }
+      if (bob_running) {
+        actions[kBob] = NodeAction{0.0, Payload::kNoise, p};
+      }
+      const std::array<JamSchedule, 2> views = {plan.alice_view,
+                                                plan.bob_view};
+      RepetitionResult rep = run_repetition_luniform(
+          num_slots, std::span<const NodeAction>(actions.data(), 3),
+          std::span<const std::uint32_t>(partition.data(), 3),
+          std::span<const JamSchedule>(views.data(), 2), rng);
+
+      result.latency += num_slots;
+      result.adversary_cost +=
+          plan.alice_view.jammed_count() + plan.bob_view.jammed_count();
+      result.alice_cost += rep.obs[kAlice].sends;
+
+      if (bob_running) {
+        const NodeObservation& bob = rep.obs[kBob];
+        if (bob.messages > 0) {
+          // Bob powers down the instant he receives m.
+          result.bob_cost += bob.listens_until_first_message;
+          bob_informed = true;
+          bob_running = false;
+        } else {
+          result.bob_cost += bob.listens;
+          if (static_cast<double>(bob.noise) < theta) {
+            // Little jamming and no message: Alice must have halted.
+            bob_running = false;
+          }
+        }
+      }
+    }
+
+    if (!alice_running && !bob_running) break;
+
+    // ---- NACK phase: uninformed Bob transmits nacks, Alice listens. ----
+    {
+      DuelPhaseContext ctx{epoch, DuelPhase::kNack, num_slots, p,
+                           alice_running, bob_running};
+      DuelPlan plan = adversary.plan(ctx, rng);
+
+      std::array<NodeAction, 3> actions = {};
+      if (bob_running && !bob_informed) {
+        actions[kBob] = NodeAction{p, Payload::kNack, 0.0};
+      }
+      if (alice_running) {
+        actions[kAlice] = NodeAction{0.0, Payload::kNoise, p};
+      }
+      if (plan.spoof_nack_prob > 0.0) {
+        actions[kSpoofer] =
+            NodeAction{plan.spoof_nack_prob, Payload::kNack, 0.0};
+      }
+      const std::array<JamSchedule, 2> views = {plan.alice_view,
+                                                plan.bob_view};
+      RepetitionResult rep = run_repetition_luniform(
+          num_slots, std::span<const NodeAction>(actions.data(), 3),
+          std::span<const std::uint32_t>(partition.data(), 3),
+          std::span<const JamSchedule>(views.data(), 2), rng);
+
+      result.latency += num_slots;
+      result.adversary_cost +=
+          plan.alice_view.jammed_count() + plan.bob_view.jammed_count();
+      // Spoofed transmissions cost the adversary one unit each.
+      result.adversary_cost +=
+          adversary.budget().take(rep.obs[kSpoofer].sends);
+      result.bob_cost += rep.obs[kBob].sends;
+
+      if (alice_running) {
+        const NodeObservation& alice = rep.obs[kAlice];
+        result.alice_cost += alice.listens;
+        if (alice.nacks == 0 &&
+            static_cast<double>(alice.noise) < theta) {
+          // No nack and a quiet channel: Bob is informed or gone.
+          alice_running = false;
+        }
+      }
+    }
+  }
+
+  result.hit_epoch_cap = (alice_running || bob_running);
+  result.alice_halted = !alice_running;
+  result.bob_halted = !bob_running;
+  result.delivered = bob_informed;
+  return result;
+}
+
+}  // namespace rcb

@@ -1,0 +1,120 @@
+#include "rcb/protocols/sqrt_broadcast.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rcb/common/contracts.hpp"
+#include "rcb/common/mathutil.hpp"
+#include "rcb/sim/repetition_engine.hpp"
+
+namespace rcb {
+
+BroadcastNResult run_sqrt_broadcast(std::uint32_t n,
+                                    const OneToOneParams& params,
+                                    RepetitionAdversary& adversary, Rng& rng) {
+  RCB_REQUIRE(n >= 1);
+
+  BroadcastNResult result;
+  result.n = n;
+  result.nodes.resize(n);
+  result.nodes[0].informed = true;
+  result.nodes[0].informed_epoch = params.first_epoch();
+  result.nodes[0].final_status = BroadcastStatus::kInformed;
+
+  bool sender_running = true;
+  std::vector<bool> receiver_running(n, true);
+  receiver_running[0] = false;  // the sender is not a receiver
+  std::uint32_t active_receivers = n - 1;
+
+  std::vector<NodeAction> actions(n);
+
+  std::uint32_t epoch = params.first_epoch();
+  for (; epoch <= params.max_epoch && (sender_running || active_receivers > 0);
+       ++epoch) {
+    result.final_epoch = epoch;
+    const SlotCount num_slots = pow2(epoch);
+    const double p = params.slot_probability(epoch);
+    const double theta = params.halt_threshold(epoch);
+
+    // ---- SEND phase ------------------------------------------------------
+    {
+      RepetitionContext ctx{epoch, 0, 2, num_slots};
+      const JamSchedule jam = adversary.plan(ctx, rng);
+      for (NodeId u = 0; u < n; ++u) actions[u] = NodeAction{};
+      if (sender_running) actions[0] = NodeAction{p, Payload::kMessage, 0.0};
+      for (NodeId u = 1; u < n; ++u) {
+        if (receiver_running[u]) actions[u] = NodeAction{0.0, Payload::kNoise, p};
+      }
+      const auto rep = run_repetition(num_slots, actions, jam, rng);
+      result.adversary_cost += jam.jammed_count();
+      result.latency += num_slots;
+      result.nodes[0].cost += rep.obs[0].sends;
+
+      for (NodeId u = 1; u < n; ++u) {
+        if (!receiver_running[u]) continue;
+        const NodeObservation& obs = rep.obs[u];
+        if (obs.messages > 0) {
+          result.nodes[u].cost += obs.listens_until_first_message;
+          result.nodes[u].informed = true;
+          result.nodes[u].informed_epoch = epoch;
+          result.nodes[u].terminated_epoch = epoch;
+          result.nodes[u].final_status = BroadcastStatus::kTerminated;
+          receiver_running[u] = false;
+          --active_receivers;
+        } else {
+          result.nodes[u].cost += obs.listens;
+          if (static_cast<double>(obs.noise) < theta) {
+            // Quiet channel, no m: the sender must have halted.
+            result.nodes[u].terminated_epoch = epoch;
+            result.nodes[u].final_status = BroadcastStatus::kTerminated;
+            receiver_running[u] = false;
+            --active_receivers;
+          }
+        }
+      }
+    }
+
+    if (!sender_running && active_receivers == 0) break;
+
+    // ---- NACK phase ------------------------------------------------------
+    {
+      RepetitionContext ctx{epoch, 1, 2, num_slots};
+      const JamSchedule jam = adversary.plan(ctx, rng);
+      for (NodeId u = 0; u < n; ++u) actions[u] = NodeAction{};
+      if (sender_running) actions[0] = NodeAction{0.0, Payload::kNoise, p};
+      for (NodeId u = 1; u < n; ++u) {
+        if (receiver_running[u]) actions[u] = NodeAction{p, Payload::kNack, 0.0};
+      }
+      const auto rep = run_repetition(num_slots, actions, jam, rng);
+      result.adversary_cost += jam.jammed_count();
+      result.latency += num_slots;
+
+      for (NodeId u = 1; u < n; ++u) {
+        if (receiver_running[u]) result.nodes[u].cost += rep.obs[u].sends;
+      }
+      if (sender_running) {
+        const NodeObservation& obs = rep.obs[0];
+        result.nodes[0].cost += obs.listens;
+        // Colliding nacks arrive as noise — equally a reason to continue.
+        if (obs.nacks == 0 && static_cast<double>(obs.noise) < theta) {
+          result.nodes[0].terminated_epoch = epoch;
+          result.nodes[0].final_status = BroadcastStatus::kTerminated;
+          sender_running = false;
+        }
+      }
+    }
+  }
+
+  for (NodeId u = 0; u < n; ++u) {
+    if (result.nodes[u].informed) ++result.informed_count;
+    result.max_cost = std::max(result.max_cost, result.nodes[u].cost);
+  }
+  double total = 0.0;
+  for (const auto& node : result.nodes) total += static_cast<double>(node.cost);
+  result.mean_cost = total / static_cast<double>(n);
+  result.all_informed = (result.informed_count == n);
+  result.all_terminated = (!sender_running && active_receivers == 0);
+  return result;
+}
+
+}  // namespace rcb

@@ -1,0 +1,35 @@
+// The "extension of Theorem 1" 1-to-n baseline.
+//
+// The paper notes (before Theorem 3) that "a cost of roughly O(sqrt(T)) (in
+// expectation) can be obtained via an extension of Theorem 1" — simply run
+// the Figure-1 protocol with all n receivers playing Bob's role at once:
+//
+//   SEND phase: the sender transmits m w.p. p_i per slot; every uninformed
+//   receiver listens w.p. p_i.  A receiver that hears m halts; one that
+//   hears little jamming and no m concludes the sender is gone and halts.
+//
+//   NACK phase: every uninformed receiver transmits a nack w.p. p_i; the
+//   sender listens w.p. p_i.  Colliding nacks are heard as noise, which is
+//   just as informative: *any* non-clear slot means someone may still be
+//   uninformed, so the sender only halts after a quiet nack phase.
+//
+// Every node's cost is Theta(sqrt(T)) — the point of this baseline is that
+// it gains nothing from n, unlike Figure 2's sqrt(T/n): benches E4/E6 plot
+// them side by side.
+#pragma once
+
+#include "rcb/adversary/strategies.hpp"
+#include "rcb/protocols/broadcast_n.hpp"
+#include "rcb/protocols/one_to_one.hpp"
+
+namespace rcb {
+
+/// Runs the sqrt(T) baseline with n nodes (node 0 is the sender) against a
+/// 1-uniform repetition adversary; the epoch schedule and thresholds come
+/// from OneToOneParams.  Results reuse BroadcastNResult (statuses are
+/// kUninformed/kInformed/kTerminated).
+BroadcastNResult run_sqrt_broadcast(std::uint32_t n,
+                                    const OneToOneParams& params,
+                                    RepetitionAdversary& adversary, Rng& rng);
+
+}  // namespace rcb

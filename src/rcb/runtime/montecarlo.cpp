@@ -1,0 +1,3 @@
+// run_trials is a template; this translation unit anchors the header in the
+// build so missing-include regressions fail at library compile time.
+#include "rcb/runtime/montecarlo.hpp"

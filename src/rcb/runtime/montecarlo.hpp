@@ -1,0 +1,30 @@
+// Parallel Monte-Carlo trial runner.
+//
+// Each trial gets an independent, deterministically derived RNG stream, so
+// results are bit-identical regardless of thread count or scheduling.
+// Do not call run_trials from inside a task already running on the same
+// pool (it blocks on pool idleness).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rcb/rng/rng.hpp"
+#include "rcb/runtime/thread_pool.hpp"
+
+namespace rcb {
+
+/// Runs `trials` executions of fn(trial_index, rng) on `pool` and collects
+/// the results in trial order.  Result must be default-constructible.
+template <typename Result, typename Fn>
+std::vector<Result> run_trials(std::size_t trials, std::uint64_t master_seed,
+                               Fn&& fn, ThreadPool& pool = ThreadPool::global()) {
+  std::vector<Result> results(trials);
+  parallel_for(pool, 0, trials, [&](std::size_t t) {
+    Rng rng = Rng::stream(master_seed, t);
+    results[t] = fn(t, rng);
+  });
+  return results;
+}
+
+}  // namespace rcb

@@ -1,0 +1,59 @@
+// A small work-stealing-free thread pool for embarrassingly parallel
+// Monte-Carlo workloads.
+//
+// Design notes (C++ Core Guidelines CP.*): tasks are type-erased
+// move-only callables; the pool owns its threads (RAII — the destructor
+// drains and joins); submission after shutdown is a precondition violation
+// rather than a silent drop.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rcb {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (defaults to hardware concurrency).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding work and joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Process-wide default pool, sized to the hardware.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for i in [begin, end) across the pool, blocking until done.
+/// Iterations are distributed in contiguous chunks.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace rcb

@@ -1,0 +1,39 @@
+// Imperfect clear-channel assessment (CCA).
+//
+// The paper's model (section 1.2) assumes listeners classify slots
+// perfectly: clear vs noise.  Real CCA hardware (see the paper's [33])
+// misclassifies: a clear slot may read busy ("false busy", e.g. thermal
+// noise over threshold) and a noisy slot may read clear ("missed
+// detection").  Since Figure 2's whole control loop is driven by *counting
+// clear slots*, CCA quality directly shapes the S_u dynamics — bench E12
+// quantifies the sensitivity.
+//
+// Message/nack receptions are not affected: decoding either succeeds or
+// the slot already counts as noise; CCA errors only swap the clear/noise
+// classification of slots without a decodable transmission.
+#pragma once
+
+#include "rcb/common/types.hpp"
+#include "rcb/rng/rng.hpp"
+
+namespace rcb {
+
+struct CcaModel {
+  double false_busy = 0.0;        ///< P(clear slot heard as noise)
+  double missed_detection = 0.0;  ///< P(noisy slot heard as clear)
+
+  bool perfect() const { return false_busy <= 0.0 && missed_detection <= 0.0; }
+
+  /// Applies the error model to an ideal reception.
+  Reception apply(Reception ideal, Rng& rng) const {
+    if (ideal == Reception::kClear && rng.bernoulli(false_busy)) {
+      return Reception::kNoise;
+    }
+    if (ideal == Reception::kNoise && rng.bernoulli(missed_detection)) {
+      return Reception::kClear;
+    }
+    return ideal;
+  }
+};
+
+}  // namespace rcb

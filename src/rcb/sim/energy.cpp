@@ -1,0 +1,25 @@
+#include "rcb/sim/energy.hpp"
+
+#include <algorithm>
+
+namespace rcb {
+
+Cost EnergyLedger::max_node_cost() const {
+  Cost best = 0;
+  for (const auto& n : nodes_) best = std::max(best, n.total());
+  return best;
+}
+
+Cost EnergyLedger::total_node_cost() const {
+  Cost sum = 0;
+  for (const auto& n : nodes_) sum += n.total();
+  return sum;
+}
+
+double EnergyLedger::mean_node_cost() const {
+  if (nodes_.empty()) return 0.0;
+  return static_cast<double>(total_node_cost()) /
+         static_cast<double>(nodes_.size());
+}
+
+}  // namespace rcb

@@ -1,0 +1,67 @@
+// Energy accounting for nodes and the adversary.
+//
+// The resource-competitive model (paper section 1.1) charges one unit per
+// slot spent sending or listening; sleeping is free.  The adversary is
+// charged one unit per jammed slot.  These ledgers are the ground truth for
+// every cost reported by the benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rcb/common/contracts.hpp"
+#include "rcb/common/types.hpp"
+
+namespace rcb {
+
+/// Per-node energy ledger.
+struct NodeEnergy {
+  Cost sends = 0;
+  Cost listens = 0;
+
+  Cost total() const { return sends + listens; }
+};
+
+/// Ledger for a population of nodes plus the adversary.
+class EnergyLedger {
+ public:
+  explicit EnergyLedger(std::size_t num_nodes) : nodes_(num_nodes) {}
+
+  void charge_send(NodeId u, Cost amount = 1) {
+    RCB_REQUIRE(u < nodes_.size());
+    nodes_[u].sends += amount;
+  }
+
+  void charge_listen(NodeId u, Cost amount = 1) {
+    RCB_REQUIRE(u < nodes_.size());
+    nodes_[u].listens += amount;
+  }
+
+  void charge_adversary(Cost amount) { adversary_ += amount; }
+
+  const NodeEnergy& node(NodeId u) const {
+    RCB_REQUIRE(u < nodes_.size());
+    return nodes_[u];
+  }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Total adversary expenditure T.
+  Cost adversary_cost() const { return adversary_; }
+
+  /// max over good nodes of C(i) — the quantity bounded by the paper's
+  /// cost function rho + tau.
+  Cost max_node_cost() const;
+
+  /// Sum of all node costs.
+  Cost total_node_cost() const;
+
+  /// Arithmetic mean node cost (0 if there are no nodes).
+  double mean_node_cost() const;
+
+ private:
+  std::vector<NodeEnergy> nodes_;
+  Cost adversary_ = 0;
+};
+
+}  // namespace rcb

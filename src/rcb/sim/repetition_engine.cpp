@@ -1,0 +1,148 @@
+#include "rcb/sim/repetition_engine.hpp"
+
+#include <algorithm>
+
+#include "rcb/common/contracts.hpp"
+#include "rcb/rng/sampling.hpp"
+
+namespace rcb {
+namespace {
+
+// A send or listen event at a specific slot.  Sorted so that the sweep sees
+// all of a slot's senders before its listeners.
+struct Event {
+  SlotIndex slot;
+  NodeId node;
+  bool is_listen;
+
+  friend bool operator<(const Event& a, const Event& b) {
+    if (a.slot != b.slot) return a.slot < b.slot;
+    if (a.is_listen != b.is_listen) return !a.is_listen;  // senders first
+    return a.node < b.node;
+  }
+};
+
+// Generates all events for one node.  Listens that collide with the node's
+// own sends are dropped (half-duplex: the send wins and is the only charge).
+void generate_node_events(NodeId u, const NodeAction& action,
+                          SlotCount num_slots, Rng& rng,
+                          std::vector<Event>& events) {
+  thread_local std::vector<SlotIndex> send_slots;
+  sample_bernoulli_slots(num_slots, action.send_prob, rng, send_slots);
+  for (SlotIndex s : send_slots) events.push_back(Event{s, u, false});
+
+  BernoulliSlotSampler listens(num_slots, action.listen_prob, rng);
+  std::size_t si = 0;  // cursor into send_slots
+  for (SlotIndex s = listens.next(); s != BernoulliSlotSampler::kEnd;
+       s = listens.next()) {
+    while (si < send_slots.size() && send_slots[si] < s) ++si;
+    if (si < send_slots.size() && send_slots[si] == s) continue;  // busy sending
+    events.push_back(Event{s, u, true});
+  }
+}
+
+Reception resolve(std::uint32_t sender_count, Payload single_payload,
+                  bool jammed) {
+  if (jammed) return Reception::kNoise;
+  if (sender_count == 0) return Reception::kClear;
+  if (sender_count > 1) return Reception::kNoise;
+  switch (single_payload) {
+    case Payload::kMessage:
+      return Reception::kMessage;
+    case Payload::kNack:
+      return Reception::kNack;
+    case Payload::kNoise:
+      return Reception::kNoise;
+  }
+  return Reception::kNoise;
+}
+
+}  // namespace
+
+RepetitionResult run_repetition_luniform(
+    SlotCount num_slots, std::span<const NodeAction> actions,
+    std::span<const std::uint32_t> partition,
+    std::span<const JamSchedule> schedules, Rng& rng, Trace* trace,
+    const CcaModel& cca) {
+  RCB_REQUIRE(actions.size() == partition.size());
+  RCB_REQUIRE(!schedules.empty());
+  for (std::uint32_t p : partition) RCB_REQUIRE(p < schedules.size());
+
+  RepetitionResult result;
+  result.obs.resize(actions.size());
+
+  thread_local std::vector<Event> events;
+  events.clear();
+  for (NodeId u = 0; u < actions.size(); ++u) {
+    generate_node_events(u, actions[u], num_slots, rng, events);
+  }
+  std::sort(events.begin(), events.end());
+
+  // Sweep slot groups: count senders, then deliver receptions to listeners.
+  std::size_t i = 0;
+  while (i < events.size()) {
+    const SlotIndex slot = events[i].slot;
+    std::uint32_t sender_count = 0;
+    Payload single_payload = Payload::kNoise;
+    std::size_t j = i;
+    for (; j < events.size() && events[j].slot == slot && !events[j].is_listen;
+         ++j) {
+      ++sender_count;
+      single_payload = actions[events[j].node].payload;
+      ++result.obs[events[j].node].sends;
+    }
+    std::uint32_t listener_count = 0;
+    bool any_jam_seen = false;
+    for (; j < events.size() && events[j].slot == slot; ++j) {
+      const NodeId u = events[j].node;
+      NodeObservation& o = result.obs[u];
+      ++o.listens;
+      ++listener_count;
+      const bool jammed = schedules[partition[u]].is_jammed(slot);
+      any_jam_seen = any_jam_seen || jammed;
+      Reception heard = resolve(sender_count, single_payload, jammed);
+      if (!cca.perfect()) heard = cca.apply(heard, rng);
+      switch (heard) {
+        case Reception::kClear:
+          ++o.clear;
+          break;
+        case Reception::kMessage:
+          ++o.messages;
+          if (o.first_message_slot == kNoSlot) {
+            o.first_message_slot = slot;
+            o.listens_until_first_message = o.listens;
+          }
+          break;
+        case Reception::kNack:
+          ++o.nacks;
+          break;
+        case Reception::kNoise:
+          ++o.noise;
+          break;
+      }
+    }
+    if (trace != nullptr) {
+      trace->record(slot, sender_count, listener_count, any_jam_seen);
+    }
+    i = j;
+  }
+
+  // Nodes that never heard m listened for the whole phase.
+  for (auto& o : result.obs) {
+    if (o.first_message_slot == kNoSlot) o.listens_until_first_message = o.listens;
+  }
+  return result;
+}
+
+RepetitionResult run_repetition(SlotCount num_slots,
+                                std::span<const NodeAction> actions,
+                                const JamSchedule& jam, Rng& rng,
+                                Trace* trace, const CcaModel& cca) {
+  thread_local std::vector<std::uint32_t> partition;
+  partition.assign(actions.size(), 0);
+  return run_repetition_luniform(num_slots, actions, partition,
+                                 std::span<const JamSchedule>(&jam, 1), rng,
+                                 trace, cca);
+}
+
+}  // namespace rcb

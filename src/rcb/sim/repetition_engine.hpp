@@ -1,0 +1,77 @@
+// Event-driven simulation of one phase/repetition of the slotted channel.
+//
+// Within a phase, every node acts i.i.d. per slot: it sends its payload with
+// probability `send_prob` and otherwise listens with probability
+// `listen_prob` (the radio is half-duplex, so a send pre-empts a listen in
+// the same slot).  The engine samples only the slots where someone acts
+// (see rng/sampling.hpp), so the cost of simulating a phase is proportional
+// to the total energy spent in it, not to num_slots * num_nodes.
+//
+// Jamming is l-uniform (paper section 1.2): nodes are partitioned and each
+// partition experiences its own JamSchedule.  A listener in a jammed slot
+// hears noise; collisions (>= 2 senders) and single noise-payload senders
+// are also heard as noise; exactly one message/nack sender in an unjammed
+// slot is received; otherwise the slot is clear.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rcb/common/types.hpp"
+#include "rcb/rng/rng.hpp"
+#include "rcb/sim/cca.hpp"
+#include "rcb/sim/jam_schedule.hpp"
+#include "rcb/sim/trace.hpp"
+
+namespace rcb {
+
+/// Sentinel slot index meaning "never happened".
+inline constexpr SlotIndex kNoSlot = UINT64_MAX;
+
+/// A node's behaviour for the duration of one phase.
+struct NodeAction {
+  double send_prob = 0.0;          ///< per-slot transmit probability
+  Payload payload = Payload::kNoise;  ///< what the node transmits
+  double listen_prob = 0.0;        ///< per-slot listen probability
+};
+
+/// What one node did and heard over the phase.
+struct NodeObservation {
+  Cost sends = 0;      ///< slots spent transmitting
+  Cost listens = 0;    ///< slots spent listening
+  std::uint64_t clear = 0;     ///< clear slots heard
+  std::uint64_t messages = 0;  ///< slots in which the message m was received
+  std::uint64_t nacks = 0;     ///< slots in which a nack was received
+  std::uint64_t noise = 0;     ///< noisy slots heard (jam or collision)
+  /// First slot at which this node received the message, or kNoSlot.
+  SlotIndex first_message_slot = kNoSlot;
+  /// Listens charged strictly before first_message_slot (inclusive of it);
+  /// used by protocols whose receivers power down upon reception.
+  Cost listens_until_first_message = 0;
+
+  std::uint64_t heard_total() const { return clear + messages + nacks + noise; }
+};
+
+/// Result of simulating one phase.
+struct RepetitionResult {
+  std::vector<NodeObservation> obs;  ///< one entry per node
+};
+
+/// Simulates a 1-uniform phase: one jam schedule shared by every node.
+/// `cca` models imperfect clear-channel assessment (default: perfect).
+RepetitionResult run_repetition(SlotCount num_slots,
+                                std::span<const NodeAction> actions,
+                                const JamSchedule& jam, Rng& rng,
+                                Trace* trace = nullptr,
+                                const CcaModel& cca = CcaModel{});
+
+/// Simulates an l-uniform phase.  `partition[u]` selects the jam schedule
+/// experienced by node u; `schedules` holds one schedule per partition.
+RepetitionResult run_repetition_luniform(
+    SlotCount num_slots, std::span<const NodeAction> actions,
+    std::span<const std::uint32_t> partition,
+    std::span<const JamSchedule> schedules, Rng& rng, Trace* trace = nullptr,
+    const CcaModel& cca = CcaModel{});
+
+}  // namespace rcb

@@ -1,0 +1,67 @@
+#include "rcb/sim/slot_engine.hpp"
+
+#include "rcb/common/contracts.hpp"
+
+namespace rcb {
+
+SlotwiseResult run_repetition_slotwise(SlotCount num_slots,
+                                       std::span<const NodeAction> actions,
+                                       SlotAdversary& adversary, Rng& rng) {
+  SlotwiseResult result;
+  result.rep.obs.resize(actions.size());
+
+  std::vector<SlotActivity> history;
+  history.reserve(num_slots);
+  std::vector<NodeId> listeners;
+  listeners.reserve(actions.size());
+
+  for (SlotIndex slot = 0; slot < num_slots; ++slot) {
+    const bool jammed = adversary.jam(slot, history);
+    if (jammed) ++result.jammed_slots;
+
+    std::uint32_t sender_count = 0;
+    Payload single_payload = Payload::kNoise;
+    listeners.clear();
+    for (NodeId u = 0; u < actions.size(); ++u) {
+      const NodeAction& a = actions[u];
+      NodeObservation& o = result.rep.obs[u];
+      if (rng.bernoulli(a.send_prob)) {
+        ++o.sends;
+        ++sender_count;
+        single_payload = a.payload;
+      } else if (rng.bernoulli(a.listen_prob)) {
+        ++o.listens;
+        listeners.push_back(u);
+      }
+    }
+
+    for (NodeId u : listeners) {
+      NodeObservation& o = result.rep.obs[u];
+      if (jammed || sender_count > 1 ||
+          (sender_count == 1 && single_payload == Payload::kNoise)) {
+        ++o.noise;
+      } else if (sender_count == 0) {
+        ++o.clear;
+      } else if (single_payload == Payload::kMessage) {
+        ++o.messages;
+        if (o.first_message_slot == kNoSlot) {
+          o.first_message_slot = slot;
+          o.listens_until_first_message = o.listens;
+        }
+      } else {
+        ++o.nacks;
+      }
+    }
+
+    history.push_back(SlotActivity{slot, sender_count, jammed});
+  }
+
+  for (auto& o : result.rep.obs) {
+    if (o.first_message_slot == kNoSlot) {
+      o.listens_until_first_message = o.listens;
+    }
+  }
+  return result;
+}
+
+}  // namespace rcb

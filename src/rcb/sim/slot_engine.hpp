@@ -1,0 +1,51 @@
+// Slot-by-slot simulation with a genuinely adaptive (reactive) adversary.
+//
+// The batch engine in repetition_engine.hpp restricts adversaries to the
+// Lemma-1 canonical form (commit to a schedule before the phase, given only
+// public history).  This engine instead walks the phase slot by slot and
+// consults the adversary before each one, feeding it what it could actually
+// observe: whether the previous slots carried transmissions and whether it
+// jammed them.  It costs O(num_slots * num_nodes) and exists to (a)
+// cross-check the batch engine and (b) empirically validate Lemma 1 —
+// reactive jamming buys the adversary nothing (bench E10).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rcb/common/types.hpp"
+#include "rcb/rng/rng.hpp"
+#include "rcb/sim/repetition_engine.hpp"
+
+namespace rcb {
+
+/// What the adversary can observe about an elapsed slot: transmissions are
+/// physically detectable, listening is passive and invisible.
+struct SlotActivity {
+  SlotIndex slot = 0;
+  std::uint32_t senders = 0;
+  bool jammed = false;
+};
+
+/// Adversary interface for the slotwise engine.
+class SlotAdversary {
+ public:
+  virtual ~SlotAdversary() = default;
+
+  /// Called once per slot in order.  `history` holds the activity of all
+  /// previous slots of this phase.  Return true to jam `slot`.
+  virtual bool jam(SlotIndex slot, std::span<const SlotActivity> history) = 0;
+};
+
+/// Result of a slotwise phase: node observations plus the adversary's spend.
+struct SlotwiseResult {
+  RepetitionResult rep;
+  SlotCount jammed_slots = 0;
+};
+
+/// Runs one phase slot by slot (1-uniform).
+SlotwiseResult run_repetition_slotwise(SlotCount num_slots,
+                                       std::span<const NodeAction> actions,
+                                       SlotAdversary& adversary, Rng& rng);
+
+}  // namespace rcb

@@ -1,0 +1,88 @@
+#include "rcb/stats/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "rcb/common/contracts.hpp"
+#include "rcb/stats/summary.hpp"
+
+namespace rcb {
+
+Histogram::Histogram(std::span<const double> samples, std::size_t bins) {
+  RCB_REQUIRE(bins >= 1);
+  if (samples.empty()) {
+    counts_.assign(1, 0);
+    return;
+  }
+  double hi = samples[0];
+  lo_ = samples[0];
+  for (double x : samples) {
+    lo_ = std::min(lo_, x);
+    hi = std::max(hi, x);
+  }
+  if (hi <= lo_) {
+    counts_.assign(1, samples.size());
+    total_ = samples.size();
+    bin_width_ = 1.0;
+    return;
+  }
+  counts_.assign(bins, 0);
+  bin_width_ = (hi - lo_) / static_cast<double>(bins);
+  for (double x : samples) {
+    auto bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+    if (bin >= bins) bin = bins - 1;  // x == max lands in the last bin
+    ++counts_[bin];
+    ++total_;
+  }
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  RCB_REQUIRE(bin < counts_.size());
+  return lo_ + static_cast<double>(bin) * bin_width_;
+}
+
+double Histogram::bin_high(std::size_t bin) const {
+  RCB_REQUIRE(bin < counts_.size());
+  return lo_ + static_cast<double>(bin + 1) * bin_width_;
+}
+
+void Histogram::print(std::ostream& os, std::size_t width) const {
+  std::uint64_t max_count = 1;
+  for (auto c : counts_) max_count = std::max(max_count, c);
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    char label[64];
+    std::snprintf(label, sizeof label, "[%10.4g, %10.4g)", bin_low(b),
+                  bin_high(b));
+    os << label << ' ';
+    const auto bar =
+        static_cast<std::size_t>(width * counts_[b] / max_count);
+    for (std::size_t i = 0; i < bar; ++i) os << '#';
+    os << ' ' << counts_[b] << '\n';
+  }
+}
+
+BootstrapCi bootstrap_mean_ci(std::span<const double> samples,
+                              std::size_t resamples, double alpha, Rng& rng) {
+  RCB_REQUIRE(alpha > 0.0 && alpha < 1.0);
+  BootstrapCi ci;
+  if (samples.empty()) return ci;
+  ci.mean = summarize(samples).mean;
+  if (samples.size() < 2 || resamples == 0) {
+    ci.lo = ci.hi = ci.mean;
+    return ci;
+  }
+  std::vector<double> means(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      sum += samples[rng.uniform_u64(samples.size())];
+    }
+    means[r] = sum / static_cast<double>(samples.size());
+  }
+  ci.lo = quantile(means, alpha / 2.0);
+  ci.hi = quantile(means, 1.0 - alpha / 2.0);
+  return ci;
+}
+
+}  // namespace rcb

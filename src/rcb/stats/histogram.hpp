@@ -1,0 +1,50 @@
+// Histograms and bootstrap confidence intervals for per-node cost
+// distributions (fairness analysis of Theorem 4's "fair algorithm" notion).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rcb/rng/rng.hpp"
+
+namespace rcb {
+
+/// Fixed-width-bin histogram.
+class Histogram {
+ public:
+  /// Builds `bins` equal-width bins spanning [min(samples), max(samples)].
+  /// Degenerate inputs (empty, or all-equal) produce a single bin.
+  Histogram(std::span<const double> samples, std::size_t bins);
+
+  std::size_t num_bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_[bin]; }
+  double bin_low(std::size_t bin) const;
+  double bin_high(std::size_t bin) const;
+  std::uint64_t total() const { return total_; }
+
+  /// ASCII bar rendering, one line per bin, bars scaled to `width` chars.
+  void print(std::ostream& os, std::size_t width = 50) const;
+
+ private:
+  double lo_ = 0.0;
+  double bin_width_ = 1.0;
+  std::uint64_t total_ = 0;
+  std::vector<std::uint64_t> counts_;
+};
+
+/// Percentile-bootstrap confidence interval for the mean.
+struct BootstrapCi {
+  double mean = 0.0;
+  double lo = 0.0;  ///< lower bound (e.g. 2.5th percentile of resamples)
+  double hi = 0.0;  ///< upper bound
+};
+
+/// Resamples `samples` with replacement `resamples` times and returns the
+/// [alpha/2, 1-alpha/2] percentile interval of the resampled means.
+BootstrapCi bootstrap_mean_ci(std::span<const double> samples,
+                              std::size_t resamples, double alpha, Rng& rng);
+
+}  // namespace rcb

@@ -1,0 +1,71 @@
+#include "rcb/stats/rank_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "rcb/common/contracts.hpp"
+
+namespace rcb {
+namespace {
+
+/// Standard normal survival function via erfc.
+double normal_sf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+}  // namespace
+
+MannWhitneyResult mann_whitney(std::span<const double> xs,
+                               std::span<const double> ys) {
+  RCB_REQUIRE(!xs.empty() && !ys.empty());
+  const double n1 = static_cast<double>(xs.size());
+  const double n2 = static_cast<double>(ys.size());
+
+  // Rank the pooled sample with average ranks for ties.
+  struct Tagged {
+    double value;
+    bool from_x;
+  };
+  std::vector<Tagged> pooled;
+  pooled.reserve(xs.size() + ys.size());
+  for (double x : xs) pooled.push_back({x, true});
+  for (double y : ys) pooled.push_back({y, false});
+  std::sort(pooled.begin(), pooled.end(),
+            [](const Tagged& a, const Tagged& b) { return a.value < b.value; });
+
+  double rank_sum_x = 0.0;
+  double tie_correction = 0.0;  // sum of t^3 - t over tie groups
+  std::size_t i = 0;
+  while (i < pooled.size()) {
+    std::size_t j = i;
+    while (j < pooled.size() && pooled[j].value == pooled[i].value) ++j;
+    const double avg_rank =
+        (static_cast<double>(i) + static_cast<double>(j - 1)) / 2.0 + 1.0;
+    const auto t = static_cast<double>(j - i);
+    if (t > 1.0) tie_correction += t * t * t - t;
+    for (std::size_t k = i; k < j; ++k) {
+      if (pooled[k].from_x) rank_sum_x += avg_rank;
+    }
+    i = j;
+  }
+
+  MannWhitneyResult result;
+  result.u = rank_sum_x - n1 * (n1 + 1.0) / 2.0;
+  result.effect = result.u / (n1 * n2);
+
+  const double mean_u = n1 * n2 / 2.0;
+  const double n = n1 + n2;
+  const double var_u =
+      n1 * n2 / 12.0 * ((n + 1.0) - tie_correction / (n * (n - 1.0)));
+  if (var_u <= 0.0) {
+    // All values tied: no evidence of any difference.
+    result.p_value = 1.0;
+    return result;
+  }
+  // Continuity-corrected normal approximation, two-sided.
+  const double z =
+      (std::abs(result.u - mean_u) - 0.5) / std::sqrt(var_u);
+  result.p_value = std::min(1.0, 2.0 * normal_sf(std::max(0.0, z)));
+  return result;
+}
+
+}  // namespace rcb

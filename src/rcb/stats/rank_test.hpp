@@ -1,0 +1,27 @@
+// Mann-Whitney U test (two-sample Wilcoxon rank-sum).
+//
+// The experiment benches compare cost distributions (helper rule vs naive
+// baseline, protocol A vs protocol B at equal budgets).  Means alone can
+// mislead with the heavy-tailed costs adversarial runs produce; the U test
+// gives a distribution-free significance statement: P(sample from X
+// exceeds sample from Y) shifted from 1/2.
+#pragma once
+
+#include <span>
+
+namespace rcb {
+
+struct MannWhitneyResult {
+  double u = 0.0;            ///< U statistic for the first sample
+  /// Common-language effect size: P(x > y) + 0.5 P(x == y), in [0, 1].
+  double effect = 0.5;
+  /// Two-sided p-value from the normal approximation with tie correction
+  /// (accurate for samples of ~10+; exact enumeration is not attempted).
+  double p_value = 1.0;
+};
+
+/// Compares two samples; requires both non-empty.
+MannWhitneyResult mann_whitney(std::span<const double> xs,
+                               std::span<const double> ys);
+
+}  // namespace rcb

@@ -1,0 +1,58 @@
+#include "rcb/stats/regression.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "rcb/common/contracts.hpp"
+
+namespace rcb {
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  RCB_REQUIRE(xs.size() == ys.size());
+  RCB_REQUIRE(xs.size() >= 2);
+  const auto n = static_cast<double>(xs.size());
+
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  RCB_REQUIRE(sxx > 0.0);
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+PowerLawFit fit_power_law(std::span<const double> xs,
+                          std::span<const double> ys) {
+  RCB_REQUIRE(xs.size() == ys.size());
+  std::vector<double> lx(xs.size());
+  std::vector<double> ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    RCB_REQUIRE(xs[i] > 0.0 && ys[i] > 0.0);
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  const LinearFit lf = fit_linear(lx, ly);
+  PowerLawFit fit;
+  fit.exponent = lf.slope;
+  fit.prefactor = std::exp(lf.intercept);
+  fit.r_squared = lf.r_squared;
+  return fit;
+}
+
+}  // namespace rcb

@@ -1,0 +1,32 @@
+// Least-squares fits used to estimate scaling exponents.
+//
+// The paper's bounds are power laws (cost ~ T^0.5, ~T^(phi-1), ~sqrt(T/n));
+// the benches fit log(y) = alpha * log(x) + log(c) over a sweep and report
+// alpha — the measured exponent — alongside the paper's prediction.
+#pragma once
+
+#include <span>
+
+namespace rcb {
+
+struct PowerLawFit {
+  double exponent = 0.0;   ///< alpha in y = c * x^alpha
+  double prefactor = 0.0;  ///< c
+  double r_squared = 0.0;  ///< goodness of fit in log space
+};
+
+/// Fits y = c * x^alpha by ordinary least squares in log-log space.
+/// Requires xs.size() == ys.size() >= 2 and strictly positive data.
+PowerLawFit fit_power_law(std::span<const double> xs,
+                          std::span<const double> ys);
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Ordinary least-squares line fit.
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace rcb

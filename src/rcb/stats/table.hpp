@@ -1,0 +1,37 @@
+// ASCII table / CSV emitter for bench output.
+//
+// Every bench prints the rows the corresponding paper claim is about; this
+// keeps the formatting in one place so EXPERIMENTS.md and the captured
+// bench_output.txt stay mechanically comparable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rcb {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` significant-ish digits.
+  static std::string num(double value, int precision = 4);
+
+  /// Renders with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rcb

@@ -1,0 +1,179 @@
+// Tests for budgets and jamming strategies.
+#include <gtest/gtest.h>
+
+#include "rcb/adversary/budget.hpp"
+#include "rcb/adversary/spoofing.hpp"
+#include "rcb/adversary/strategies.hpp"
+#include "rcb/adversary/threshold.hpp"
+#include "rcb/adversary/two_uniform.hpp"
+#include "rcb/rng/rng.hpp"
+
+namespace rcb {
+namespace {
+
+TEST(BudgetTest, TakeSaturates) {
+  Budget b(10);
+  EXPECT_EQ(b.take(4), 4u);
+  EXPECT_EQ(b.spent(), 4u);
+  EXPECT_EQ(b.remaining(), 6u);
+  EXPECT_EQ(b.take(100), 6u);
+  EXPECT_TRUE(b.exhausted());
+  EXPECT_EQ(b.take(1), 0u);
+}
+
+TEST(BudgetTest, UnlimitedNeverExhausts) {
+  Budget b = Budget::unlimited();
+  EXPECT_EQ(b.take(1ull << 40), 1ull << 40);
+  EXPECT_FALSE(b.exhausted());
+}
+
+TEST(NoJamAdversaryTest, NeverJams) {
+  NoJamAdversary adv;
+  Rng rng(1);
+  RepetitionContext ctx{5, 0, 10, 32};
+  EXPECT_EQ(adv.plan(ctx, rng).jammed_count(), 0u);
+}
+
+TEST(SuffixBlockerTest, QBlocksWhileBudgetLasts) {
+  SuffixBlockerAdversary adv(Budget(100), 0.5);
+  Rng rng(2);
+  RepetitionContext ctx{5, 0, 10, 64};
+  // First three repetitions: 32 + 32 + 32 wanted, but only 100 available.
+  auto s1 = adv.plan(ctx, rng);
+  EXPECT_EQ(s1.jammed_count(), 32u);
+  EXPECT_TRUE(s1.is_jammed(63));
+  EXPECT_FALSE(s1.is_jammed(31));
+  auto s2 = adv.plan(ctx, rng);
+  EXPECT_EQ(s2.jammed_count(), 32u);
+  auto s3 = adv.plan(ctx, rng);
+  EXPECT_EQ(s3.jammed_count(), 32u);
+  auto s4 = adv.plan(ctx, rng);
+  EXPECT_EQ(s4.jammed_count(), 4u);  // budget remainder
+  auto s5 = adv.plan(ctx, rng);
+  EXPECT_EQ(s5.jammed_count(), 0u);
+  EXPECT_EQ(adv.budget().spent(), 100u);
+}
+
+TEST(SuffixBlockerTest, JamsAreASuffix) {
+  SuffixBlockerAdversary adv(Budget::unlimited(), 0.25);
+  Rng rng(3);
+  RepetitionContext ctx{6, 0, 10, 128};
+  auto s = adv.plan(ctx, rng);
+  EXPECT_EQ(s.jammed_count(), 32u);
+  EXPECT_FALSE(s.is_jammed(95));
+  EXPECT_TRUE(s.is_jammed(96));
+}
+
+TEST(EpochFractionBlockerTest, BlocksRoughlyTheRequestedFraction) {
+  EpochFractionBlockerAdversary adv(Budget::unlimited(), 0.5, 0.3);
+  Rng rng(4);
+  int blocked = 0;
+  const int reps = 2000;
+  for (int r = 0; r < reps; ++r) {
+    RepetitionContext ctx{6, static_cast<std::uint64_t>(r), 2000, 128};
+    blocked += (adv.plan(ctx, rng).jammed_count() > 0);
+  }
+  EXPECT_NEAR(static_cast<double>(blocked) / reps, 0.3, 0.04);
+}
+
+TEST(RandomJammerTest, RateAndBudgetRespected) {
+  RandomJammerAdversary adv(Budget(1000), 0.1);
+  Rng rng(5);
+  Cost total = 0;
+  for (int r = 0; r < 100; ++r) {
+    RepetitionContext ctx{7, static_cast<std::uint64_t>(r), 100, 256};
+    total += adv.plan(ctx, rng).jammed_count();
+  }
+  EXPECT_EQ(total, adv.budget().spent());
+  EXPECT_LE(total, 1000u);
+  EXPECT_EQ(total, 1000u);  // 100 reps * ~25.6 expected >> 1000, so exhausted
+}
+
+TEST(BurstJammerTest, PeriodicPattern) {
+  BurstJammerAdversary adv(Budget::unlimited(), 2, 8);
+  Rng rng(6);
+  RepetitionContext ctx{5, 0, 10, 32};
+  auto s = adv.plan(ctx, rng);
+  EXPECT_EQ(s.jammed_count(), 8u);  // 4 periods * 2 slots
+  EXPECT_TRUE(s.is_jammed(0));
+  EXPECT_TRUE(s.is_jammed(1));
+  EXPECT_FALSE(s.is_jammed(2));
+  EXPECT_TRUE(s.is_jammed(8));
+}
+
+TEST(ThresholdAdversaryTest, FiresOnlyAboveThreshold) {
+  ThresholdAdversary adv(100);
+  EXPECT_FALSE(adv.jam(0.05, 0.1));  // 0.005 <= 1/100
+  EXPECT_TRUE(adv.jam(0.2, 0.1));    // 0.02 > 1/100
+  EXPECT_EQ(adv.spent(), 1u);
+}
+
+TEST(ThresholdAdversaryTest, StopsWhenBudgetExhausted) {
+  ThresholdAdversary adv(3);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(adv.jam(1.0, 1.0));
+  EXPECT_FALSE(adv.jam(1.0, 1.0));
+  EXPECT_EQ(adv.spent(), 3u);
+}
+
+TEST(DuelAdversaryTest, SendPhaseBlockerTargetsBobOnly) {
+  SendPhaseBlocker adv(Budget::unlimited(), 0.5);
+  Rng rng(7);
+  DuelPhaseContext send{5, DuelPhase::kSend, 64, 0.2, true, true};
+  auto plan = adv.plan(send, rng);
+  EXPECT_EQ(plan.alice_view.jammed_count(), 0u);
+  EXPECT_EQ(plan.bob_view.jammed_count(), 32u);
+  DuelPhaseContext nack{5, DuelPhase::kNack, 64, 0.2, true, true};
+  plan = adv.plan(nack, rng);
+  EXPECT_EQ(plan.bob_view.jammed_count(), 0u);
+}
+
+TEST(DuelAdversaryTest, FullDuelBlockerSplitsAcrossPhases) {
+  FullDuelBlocker adv(Budget::unlimited(), 0.5);
+  Rng rng(8);
+  DuelPhaseContext send{5, DuelPhase::kSend, 64, 0.2, true, true};
+  auto plan = adv.plan(send, rng);
+  EXPECT_EQ(plan.bob_view.jammed_count(), 32u);
+  EXPECT_EQ(plan.alice_view.jammed_count(), 0u);
+  DuelPhaseContext nack{5, DuelPhase::kNack, 64, 0.2, true, true};
+  plan = adv.plan(nack, rng);
+  EXPECT_EQ(plan.alice_view.jammed_count(), 32u);
+  EXPECT_EQ(plan.bob_view.jammed_count(), 0u);
+}
+
+TEST(DuelAdversaryTest, FullDuelBlockerSkipsHaltedParties) {
+  FullDuelBlocker adv(Budget::unlimited(), 0.5);
+  Rng rng(9);
+  DuelPhaseContext send{5, DuelPhase::kSend, 64, 0.2, true, false};
+  EXPECT_EQ(adv.plan(send, rng).bob_view.jammed_count(), 0u);
+}
+
+TEST(DuelAdversaryTest, BothViewsBlockerChargesTwice) {
+  BothViewsSuffixBlocker adv(Budget(64), 0.5);
+  Rng rng(10);
+  DuelPhaseContext ctx{5, DuelPhase::kSend, 64, 0.2, true, true};
+  auto plan = adv.plan(ctx, rng);
+  EXPECT_EQ(plan.alice_view.jammed_count(), 32u);
+  EXPECT_EQ(plan.bob_view.jammed_count(), 32u);
+  EXPECT_TRUE(adv.budget().exhausted());
+}
+
+TEST(SpoofingAdversaryTest, SpoofsNackPhaseAtProtocolRate) {
+  SpoofingNackAdversary adv(Budget::unlimited());
+  Rng rng(11);
+  DuelPhaseContext nack{5, DuelPhase::kNack, 64, 0.37, true, true};
+  auto plan = adv.plan(nack, rng);
+  EXPECT_DOUBLE_EQ(plan.spoof_nack_prob, 0.37);
+  EXPECT_EQ(plan.alice_view.jammed_count(), 0u);
+  DuelPhaseContext send{5, DuelPhase::kSend, 64, 0.37, true, true};
+  EXPECT_DOUBLE_EQ(adv.plan(send, rng).spoof_nack_prob, 0.0);
+}
+
+TEST(SpoofingAdversaryTest, StopsWhenBudgetExhausted) {
+  SpoofingNackAdversary adv(Budget(0));
+  Rng rng(12);
+  DuelPhaseContext nack{5, DuelPhase::kNack, 64, 0.37, true, true};
+  EXPECT_DOUBLE_EQ(adv.plan(nack, rng).spoof_nack_prob, 0.0);
+}
+
+}  // namespace
+}  // namespace rcb

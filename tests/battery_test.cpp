@@ -1,0 +1,87 @@
+// Tests for the node-battery extension (forced death on energy exhaustion).
+#include <gtest/gtest.h>
+
+#include "rcb/protocols/broadcast_n.hpp"
+#include "rcb/rng/rng.hpp"
+
+namespace rcb {
+namespace {
+
+TEST(BatteryTest, UnlimitedByDefault) {
+  const BroadcastNParams params = BroadcastNParams::sim();
+  EXPECT_EQ(params.node_energy_budget, 0u);
+  NoJamAdversary adv;
+  Rng rng(1);
+  const auto r = run_broadcast_n(16, params, adv, rng);
+  EXPECT_EQ(r.dead_count, 0u);
+  EXPECT_TRUE(r.all_terminated);
+}
+
+TEST(BatteryTest, TinyBatteryKillsEveryone) {
+  BroadcastNParams params = BroadcastNParams::sim();
+  params.node_energy_budget = 10;  // far below even the first epoch's spend
+  NoJamAdversary adv;
+  Rng rng(2);
+  const auto r = run_broadcast_n(16, params, adv, rng);
+  EXPECT_EQ(r.dead_count, 16u);
+  EXPECT_FALSE(r.all_terminated);
+  for (const auto& node : r.nodes) {
+    EXPECT_EQ(node.final_status, BroadcastStatus::kDead);
+  }
+}
+
+TEST(BatteryTest, GenerousBatterySurvivesUnattacked) {
+  BroadcastNParams params = BroadcastNParams::sim();
+  params.node_energy_budget = 1 << 20;
+  NoJamAdversary adv;
+  Rng rng(3);
+  const auto r = run_broadcast_n(16, params, adv, rng);
+  EXPECT_EQ(r.dead_count, 0u);
+  EXPECT_TRUE(r.all_terminated);
+  EXPECT_TRUE(r.all_informed);
+}
+
+TEST(BatteryTest, DeadNodesStopSpending) {
+  BroadcastNParams params = BroadcastNParams::sim();
+  params.node_energy_budget = 500;
+  NoJamAdversary adv;
+  Rng rng(4);
+  const auto r = run_broadcast_n(8, params, adv, rng);
+  for (const auto& node : r.nodes) {
+    if (node.final_status == BroadcastStatus::kDead) {
+      // Death is checked at repetition boundaries, so the overshoot is at
+      // most one repetition's worth of activity.
+      EXPECT_LT(node.cost, 500u + 2000u);
+      EXPECT_GE(node.cost, 500u);
+    }
+  }
+}
+
+TEST(BatteryTest, JammingDrainsBatteriesFasterThanPeace) {
+  // With a battery that easily survives peacetime, a heavy attack should
+  // kill at least some nodes — and the adversary must outspend the fleet
+  // to do it.
+  BroadcastNParams params = BroadcastNParams::sim();
+  NoJamAdversary peace;
+  Rng rng1(5);
+  const auto calm = run_broadcast_n(16, params, peace, rng1);
+
+  params.node_energy_budget = calm.max_cost * 2;
+  {
+    NoJamAdversary adv;
+    Rng rng(6);
+    const auto r = run_broadcast_n(16, params, adv, rng);
+    EXPECT_EQ(r.dead_count, 0u);
+  }
+  {
+    SuffixBlockerAdversary adv(Budget(1 << 22), 0.9);
+    Rng rng(6);
+    const auto r = run_broadcast_n(16, params, adv, rng);
+    EXPECT_GT(r.dead_count, 0u);
+    // The kill cost the adversary far more than any node had in its tank.
+    EXPECT_GT(r.adversary_cost, 4 * params.node_energy_budget);
+  }
+}
+
+}  // namespace
+}  // namespace rcb

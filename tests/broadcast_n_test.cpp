@@ -1,0 +1,202 @@
+// Tests for the Figure-2 1-to-n protocol (Theorem 3 claims at test scale).
+#include "rcb/protocols/broadcast_n.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rcb/common/mathutil.hpp"
+#include "rcb/rng/rng.hpp"
+
+namespace rcb {
+namespace {
+
+TEST(BroadcastNParamsTest, TheoryPresetMatchesPaperForms) {
+  const BroadcastNParams p = BroadcastNParams::theory();
+  // b * i^2 repetitions.
+  EXPECT_EQ(p.repetitions(10), 1000u);
+  // d * i^3 listen factor.
+  EXPECT_DOUBLE_EQ(p.listen_factor(10), 80.0 * 1000.0);
+  // gamma = i: divisor S * d * i^4.
+  EXPECT_DOUBLE_EQ(p.growth_damping(10), 10.0);
+  // helper threshold d*i^3/200.
+  EXPECT_DOUBLE_EQ(p.helper_threshold(10), 80.0 * 1000.0 / 200.0);
+}
+
+TEST(BroadcastNParamsTest, SimPresetKeepsFunctionalForms) {
+  const BroadcastNParams p = BroadcastNParams::sim();
+  EXPECT_GT(p.repetitions(12), p.repetitions(6));
+  EXPECT_GT(p.listen_factor(12), p.listen_factor(6));
+  EXPECT_GT(p.helper_threshold(12), 0.0);
+}
+
+TEST(BroadcastNTest, SingleNodeTerminatesViaSafetyValve) {
+  // n = 1: the sender hears no messages, never becomes a helper, and must
+  // exit through Case 1.
+  const BroadcastNParams params = BroadcastNParams::sim();
+  NoJamAdversary adv;
+  Rng rng(1);
+  const auto r = run_broadcast_n(1, params, adv, rng);
+  EXPECT_TRUE(r.all_terminated);
+  EXPECT_TRUE(r.all_informed);
+  EXPECT_LE(r.final_epoch, params.max_epoch);
+}
+
+TEST(BroadcastNTest, NoJamInformsEveryone) {
+  const BroadcastNParams params = BroadcastNParams::sim();
+  for (std::uint32_t n : {2u, 8u, 32u}) {
+    int all_informed = 0, all_terminated = 0;
+    const int trials = 20;
+    for (int t = 0; t < trials; ++t) {
+      NoJamAdversary adv;
+      Rng rng = Rng::stream(100 + n, t);
+      const auto r = run_broadcast_n(n, params, adv, rng);
+      all_informed += r.all_informed;
+      all_terminated += r.all_terminated;
+    }
+    EXPECT_GE(all_informed, trials - 1) << "n=" << n;
+    EXPECT_GE(all_terminated, trials - 1) << "n=" << n;
+  }
+}
+
+TEST(BroadcastNTest, NoJamTerminatesNearLgNEpochs) {
+  const BroadcastNParams params = BroadcastNParams::sim();
+  for (std::uint32_t n : {4u, 16u, 64u}) {
+    NoJamAdversary adv;
+    Rng rng = Rng::stream(200, n);
+    const auto r = run_broadcast_n(n, params, adv, rng);
+    ASSERT_TRUE(r.all_terminated) << "n=" << n;
+    // Termination by ~lg n + O(1) epochs (Theorem 3's latency claim).
+    EXPECT_LE(r.final_epoch, floor_log2(n) + 10) << "n=" << n;
+  }
+}
+
+TEST(BroadcastNTest, NoJamCostIsPolylog) {
+  const BroadcastNParams params = BroadcastNParams::sim();
+  // tau = O(log^6 n): the max cost at n=64 should stay tiny relative to
+  // total slots elapsed, and grow only mildly from n=8 to n=64.
+  auto max_cost = [&](std::uint32_t n) {
+    double sum = 0.0;
+    const int trials = 10;
+    for (int t = 0; t < trials; ++t) {
+      NoJamAdversary adv;
+      Rng rng = Rng::stream(300 + n, t);
+      sum += static_cast<double>(run_broadcast_n(n, params, adv, rng).max_cost);
+    }
+    return sum / trials;
+  };
+  const double c8 = max_cost(8);
+  const double c64 = max_cost(64);
+  EXPECT_LT(c64 / c8, 6.0);  // polylog growth, nothing like the 8x of linear
+}
+
+TEST(BroadcastNTest, HelperEstimatesTrackN) {
+  // n_u should scale with n (up to the calibrated constant bias).
+  const BroadcastNParams params = BroadcastNParams::sim();
+  auto mean_estimate = [&](std::uint32_t n) {
+    double sum = 0.0;
+    int count = 0;
+    for (int t = 0; t < 8; ++t) {
+      NoJamAdversary adv;
+      Rng rng = Rng::stream(400 + n, t);
+      const auto r = run_broadcast_n(n, params, adv, rng);
+      for (const auto& node : r.nodes) {
+        if (node.n_estimate > 0.0) {
+          sum += node.n_estimate;
+          ++count;
+        }
+      }
+    }
+    return count > 0 ? sum / count : 0.0;
+  };
+  const double e8 = mean_estimate(8);
+  const double e64 = mean_estimate(64);
+  ASSERT_GT(e8, 0.0);
+  ASSERT_GT(e64, 0.0);
+  const double ratio = e64 / e8;
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 32.0);
+}
+
+TEST(BroadcastNTest, JammingForcesHigherCostButStillInforms) {
+  const BroadcastNParams params = BroadcastNParams::sim();
+  const std::uint32_t n = 16;
+  double cost_jammed = 0.0, cost_free = 0.0, adv_total = 0.0;
+  int informed = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    {
+      NoJamAdversary adv;
+      Rng rng = Rng::stream(500, t);
+      cost_free += static_cast<double>(
+          run_broadcast_n(n, params, adv, rng).max_cost);
+    }
+    {
+      SuffixBlockerAdversary adv(Budget(1 << 17), 0.9);
+      Rng rng = Rng::stream(500, t);
+      const auto r = run_broadcast_n(n, params, adv, rng);
+      cost_jammed += static_cast<double>(r.max_cost);
+      adv_total += static_cast<double>(r.adversary_cost);
+      informed += r.all_informed;
+    }
+  }
+  EXPECT_GE(informed, trials - 1);
+  EXPECT_GT(cost_jammed, cost_free);       // jamming costs the nodes
+  EXPECT_LT(cost_jammed, 0.5 * adv_total); // ...but costs the adversary more
+}
+
+TEST(BroadcastNTest, PerNodeCostDropsAsNGrows) {
+  // Theorem 3's headline: at (roughly) fixed T, bigger systems pay less
+  // per node.  The adversary budget forces the same last-blocked epoch.
+  const BroadcastNParams params = BroadcastNParams::sim();
+  auto mean_max_cost = [&](std::uint32_t n) {
+    double sum = 0.0;
+    const int trials = 8;
+    for (int t = 0; t < trials; ++t) {
+      SuffixBlockerAdversary adv(Budget(1 << 19), 0.9);
+      Rng rng = Rng::stream(600 + n, t);
+      sum += static_cast<double>(run_broadcast_n(n, params, adv, rng).max_cost);
+    }
+    return sum / trials;
+  };
+  const double c4 = mean_max_cost(4);
+  const double c64 = mean_max_cost(64);
+  // sqrt(T/n) predicts 16x more nodes -> 4x cheaper; at this scale the
+  // additive polylog term (the paper's log^6 n) softens the contrast.
+  EXPECT_LT(c64, 0.8 * c4);
+}
+
+TEST(BroadcastNTest, ResultInvariants) {
+  const BroadcastNParams params = BroadcastNParams::sim();
+  for (int t = 0; t < 6; ++t) {
+    RandomJammerAdversary adv(Budget(20000), 0.2);
+    Rng rng = Rng::stream(700, t);
+    const auto r = run_broadcast_n(24, params, adv, rng);
+    EXPECT_EQ(r.n, 24u);
+    EXPECT_EQ(r.nodes.size(), 24u);
+    EXPECT_LE(r.informed_count, 24u);
+    EXPECT_GE(r.informed_count, 1u);  // the sender
+    Cost max_seen = 0;
+    for (const auto& node : r.nodes) {
+      EXPECT_LE(node.cost, r.latency);
+      max_seen = std::max(max_seen, node.cost);
+      if (node.final_status == BroadcastStatus::kHelper ||
+          node.n_estimate > 0.0) {
+        EXPECT_TRUE(node.informed);
+      }
+    }
+    EXPECT_EQ(max_seen, r.max_cost);
+    EXPECT_EQ(r.all_informed, r.informed_count == r.n);
+  }
+}
+
+TEST(BroadcastNTest, AdversaryCostMatchesBudgetSpend) {
+  const BroadcastNParams params = BroadcastNParams::sim();
+  SuffixBlockerAdversary adv(Budget(50000), 0.5);
+  Rng rng(42);
+  const auto r = run_broadcast_n(8, params, adv, rng);
+  EXPECT_EQ(r.adversary_cost, adv.budget().spent());
+}
+
+}  // namespace
+}  // namespace rcb

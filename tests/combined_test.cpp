@@ -1,0 +1,100 @@
+// Tests for the combined (interleaved Fig.1 + KSY) 1-to-1 protocol.
+#include "rcb/protocols/combined.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rcb/adversary/spoofing.hpp"
+#include "rcb/rng/rng.hpp"
+
+namespace rcb {
+namespace {
+
+TEST(CombinedTest, NoJamDelivers) {
+  int delivered = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    CombinedParams params;
+    params.fig1 = OneToOneParams::sim(0.05);
+    DuelNoJam adv;
+    Rng rng = Rng::stream(10, t);
+    const auto r = run_combined(params, adv, rng);
+    delivered += r.delivered;
+    EXPECT_TRUE(r.alice_halted);
+    EXPECT_TRUE(r.bob_halted);
+    EXPECT_FALSE(r.hit_epoch_cap);
+  }
+  EXPECT_GE(static_cast<double>(delivered) / trials, 0.9);
+}
+
+TEST(CombinedTest, NoJamCostIsAtMostSumOfBoth) {
+  // The interleaving can only cost the union of what each stream would
+  // spend before its own halt; with no attack both halt in their first
+  // epochs, so the total stays small.
+  double total = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    CombinedParams params;
+    params.fig1 = OneToOneParams::sim(0.01);
+    DuelNoJam adv;
+    Rng rng = Rng::stream(20, t);
+    total += static_cast<double>(run_combined(params, adv, rng).max_cost());
+  }
+  EXPECT_LT(total / trials, 400.0);
+}
+
+TEST(CombinedTest, SurvivesSpoofingUnlikePureFig1) {
+  // The headline property: a nack spoofer traps the pure Fig.1 protocol
+  // (it runs to its epoch cap), but the combined protocol halts via the
+  // KSY stream, which ignores unauthenticated traffic.
+  int halted = 0, delivered = 0;
+  const int trials = 150;
+  double node_cost = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    CombinedParams params;
+    params.fig1 = OneToOneParams::sim(0.05);
+    SpoofingNackAdversary adv(Budget::unlimited());
+    Rng rng = Rng::stream(30, t);
+    const auto r = run_combined(params, adv, rng);
+    halted += !r.hit_epoch_cap;
+    delivered += r.delivered;
+    node_cost += static_cast<double>(r.max_cost());
+  }
+  EXPECT_GE(halted, trials * 9 / 10);
+  EXPECT_GE(static_cast<double>(delivered) / trials, 0.9);
+  EXPECT_LT(node_cost / trials, 2000.0);  // no runaway Fig.1 stream
+}
+
+TEST(CombinedTest, UnderBlockingBothStreamsStayResourceCompetitive) {
+  double node_cost = 0.0, adv_cost = 0.0;
+  int delivered = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    CombinedParams params;
+    params.fig1 = OneToOneParams::sim(0.05);
+    BothViewsSuffixBlocker adv(Budget(1 << 14), 0.6);
+    Rng rng = Rng::stream(40, t);
+    const auto r = run_combined(params, adv, rng);
+    node_cost += static_cast<double>(r.max_cost());
+    adv_cost += static_cast<double>(r.adversary_cost);
+    delivered += r.delivered;
+  }
+  EXPECT_GE(static_cast<double>(delivered) / trials, 0.85);
+  EXPECT_GT(adv_cost / trials, 500.0);
+  EXPECT_LT(node_cost, 0.75 * adv_cost);
+}
+
+TEST(CombinedTest, ResultInvariants) {
+  for (int t = 0; t < 50; ++t) {
+    CombinedParams params;
+    params.fig1 = OneToOneParams::sim(0.1);
+    SymmetricRandomDuelJammer adv(Budget(4000), 0.3);
+    Rng rng = Rng::stream(50, t);
+    const auto r = run_combined(params, adv, rng);
+    EXPECT_LE(r.alice_cost, r.latency);
+    EXPECT_LE(r.bob_cost, r.latency);
+    EXPECT_GT(r.latency, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace rcb

@@ -1,0 +1,157 @@
+// Behavioural tests: each 2-uniform strategy vs the Fig. 1 protocol.
+//
+// These pin down *why* each adversary works (or doesn't), not just that
+// code runs: send-phase blocking starves Bob, nack-phase blocking strings
+// Alice along, and neither defeats delivery once the budget dies.
+#include <gtest/gtest.h>
+
+#include "rcb/adversary/two_uniform.hpp"
+#include "rcb/protocols/one_to_one.hpp"
+#include "rcb/rng/rng.hpp"
+
+namespace rcb {
+namespace {
+
+double mean_no_jam_cost(const OneToOneParams& params, bool alice) {
+  double sum = 0.0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    DuelNoJam adv;
+    Rng rng = Rng::stream(900, t);
+    const auto r = run_one_to_one(params, adv, rng);
+    sum += static_cast<double>(alice ? r.alice_cost : r.bob_cost);
+  }
+  return sum / trials;
+}
+
+TEST(DuelStrategyTest, PartialSendBlockingBarelyDelaysDelivery) {
+  // The protocol's birthday-paradox core is robust: even with 90% of every
+  // send phase jammed, the unjammed prefix still delivers with constant
+  // probability per epoch, so executions end within an epoch or two.
+  const OneToOneParams params = OneToOneParams::sim(0.05);
+  int delivered = 0;
+  double epochs = 0.0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    SendPhaseBlocker adv(Budget(1 << 12), 0.9);
+    Rng rng = Rng::stream(901, t);
+    const auto r = run_one_to_one(params, adv, rng);
+    delivered += r.delivered;
+    epochs += r.final_epoch;
+  }
+  EXPECT_GE(delivered, trials * 9 / 10);
+  EXPECT_LT(epochs / trials, params.first_epoch() + 2.0);
+}
+
+TEST(DuelStrategyTest, TotalSendBlockingDelaysUntilBudgetDies) {
+  // Jamming *all* of Bob's send phases starves him until the budget is
+  // exhausted; delivery then completes in the first clean epoch.
+  const OneToOneParams params = OneToOneParams::sim(0.05);
+  int delivered = 0;
+  double epochs = 0.0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    SendPhaseBlocker adv(Budget(1 << 12), 1.0);
+    Rng rng = Rng::stream(906, t);
+    const auto r = run_one_to_one(params, adv, rng);
+    delivered += r.delivered;
+    epochs += r.final_epoch;
+  }
+  EXPECT_GE(delivered, trials * 8 / 10);
+  // The 2^12 budget covers send phases through roughly epoch 11.
+  EXPECT_GT(epochs / trials, params.first_epoch() + 3.0);
+}
+
+TEST(DuelStrategyTest, NackPhaseBlockerInflatesAliceNotBob) {
+  const OneToOneParams params = OneToOneParams::sim(0.05);
+  const double alice_baseline = mean_no_jam_cost(params, true);
+  const double bob_baseline = mean_no_jam_cost(params, false);
+
+  double alice = 0.0, bob = 0.0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    NackPhaseBlocker adv(Budget(1 << 12), 0.9);
+    Rng rng = Rng::stream(902, t);
+    const auto r = run_one_to_one(params, adv, rng);
+    alice += static_cast<double>(r.alice_cost);
+    bob += static_cast<double>(r.bob_cost);
+  }
+  alice /= trials;
+  bob /= trials;
+  // Alice cannot tell Bob is done, so she keeps paying; Bob received m in
+  // the (unjammed) send phase and halted at baseline cost.
+  EXPECT_GT(alice, 2.0 * alice_baseline);
+  EXPECT_LT(bob, 2.0 * bob_baseline + 10.0);
+}
+
+TEST(DuelStrategyTest, SustainingTheRunRequiresJammingBothPhases) {
+  // A send-only blocker cannot keep the execution alive: once Bob is
+  // informed (or starved but quiet), Alice's nack phase goes silent and
+  // she halts.  FullDuelBlocker jams her nack view too, so executions run
+  // on (and the adversary pays correspondingly more).
+  const OneToOneParams params = OneToOneParams::sim(0.05);
+  double full_epochs = 0.0, send_epochs = 0.0;
+  double t_full = 0.0, t_send = 0.0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    OneToOneParams capped = params;
+    capped.max_epoch = params.first_epoch() + 3;
+    {
+      FullDuelBlocker adv(Budget::unlimited(), 0.5);
+      Rng rng = Rng::stream(903, t);
+      const auto r = run_one_to_one(capped, adv, rng);
+      full_epochs += r.final_epoch;
+      t_full += static_cast<double>(r.adversary_cost);
+    }
+    {
+      SendPhaseBlocker adv(Budget::unlimited(), 0.5);
+      Rng rng = Rng::stream(903, t);
+      const auto r = run_one_to_one(capped, adv, rng);
+      send_epochs += r.final_epoch;
+      t_send += static_cast<double>(r.adversary_cost);
+    }
+  }
+  EXPECT_GT(full_epochs / trials, send_epochs / trials + 1.0);
+  EXPECT_GT(t_full, 2.0 * t_send);
+}
+
+class RandomDuelJammerTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RandomDuelJammerTest, DeliveryRobustAcrossNoiseRates) {
+  const double rate = GetParam();
+  const OneToOneParams params = OneToOneParams::sim(0.05);
+  int delivered = 0;
+  const int trials = 80;
+  for (int t = 0; t < trials; ++t) {
+    SymmetricRandomDuelJammer adv(Budget(1 << 13), rate);
+    Rng rng = Rng::stream(904 + static_cast<std::uint64_t>(rate * 100), t);
+    const auto r = run_one_to_one(params, adv, rng);
+    delivered += r.delivered;
+    EXPECT_FALSE(r.hit_epoch_cap);
+  }
+  EXPECT_GE(delivered, trials * 8 / 10) << "rate=" << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RandomDuelJammerTest,
+                         ::testing::Values(0.05, 0.2, 0.5, 0.8));
+
+TEST(DuelStrategyTest, ExhaustedAdversaryAlwaysLosesEventually) {
+  // Whatever the strategy, once the budget is gone the next epoch is
+  // clean and the protocol finishes.
+  const OneToOneParams params = OneToOneParams::sim(0.05);
+  const Cost budget = 1 << 11;
+  int delivered = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    BothViewsSuffixBlocker adv(Budget(budget), 1.0);  // scorched earth
+    Rng rng = Rng::stream(905, t);
+    const auto r = run_one_to_one(params, adv, rng);
+    delivered += r.delivered;
+    EXPECT_LE(r.adversary_cost, 2 * budget);
+    EXPECT_FALSE(r.hit_epoch_cap);
+  }
+  EXPECT_GE(delivered, trials * 9 / 10);
+}
+
+}  // namespace
+}  // namespace rcb

@@ -1,0 +1,52 @@
+// Tests for energy ledgers.
+#include "rcb/sim/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rcb {
+namespace {
+
+TEST(EnergyLedgerTest, StartsAtZero) {
+  EnergyLedger ledger(3);
+  EXPECT_EQ(ledger.num_nodes(), 3u);
+  EXPECT_EQ(ledger.max_node_cost(), 0u);
+  EXPECT_EQ(ledger.total_node_cost(), 0u);
+  EXPECT_EQ(ledger.adversary_cost(), 0u);
+  EXPECT_DOUBLE_EQ(ledger.mean_node_cost(), 0.0);
+}
+
+TEST(EnergyLedgerTest, ChargesAccumulate) {
+  EnergyLedger ledger(2);
+  ledger.charge_send(0);
+  ledger.charge_send(0, 4);
+  ledger.charge_listen(1, 10);
+  EXPECT_EQ(ledger.node(0).sends, 5u);
+  EXPECT_EQ(ledger.node(0).listens, 0u);
+  EXPECT_EQ(ledger.node(1).listens, 10u);
+  EXPECT_EQ(ledger.node(0).total(), 5u);
+  EXPECT_EQ(ledger.max_node_cost(), 10u);
+  EXPECT_EQ(ledger.total_node_cost(), 15u);
+  EXPECT_DOUBLE_EQ(ledger.mean_node_cost(), 7.5);
+}
+
+TEST(EnergyLedgerTest, AdversaryIndependentOfNodes) {
+  EnergyLedger ledger(1);
+  ledger.charge_adversary(100);
+  ledger.charge_adversary(23);
+  EXPECT_EQ(ledger.adversary_cost(), 123u);
+  EXPECT_EQ(ledger.total_node_cost(), 0u);
+}
+
+TEST(EnergyLedgerTest, ZeroNodesMeanIsZero) {
+  EnergyLedger ledger(0);
+  EXPECT_DOUBLE_EQ(ledger.mean_node_cost(), 0.0);
+}
+
+TEST(EnergyLedgerDeathTest, OutOfRangeNodeRejected) {
+  EnergyLedger ledger(2);
+  EXPECT_DEATH(ledger.charge_send(2), "precondition");
+  EXPECT_DEATH(ledger.node(5), "precondition");
+}
+
+}  // namespace
+}  // namespace rcb

@@ -1,0 +1,102 @@
+// Cross-validation of the two channel engines.
+//
+// The batch (event-driven) engine and the slotwise engine implement the
+// same channel semantics through entirely different code paths.  With the
+// same per-slot action probabilities and equivalent jam schedules, their
+// observation distributions must agree.  We compare Monte-Carlo means with
+// tolerance scaled to the standard error.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "rcb/rng/rng.hpp"
+#include "rcb/sim/repetition_engine.hpp"
+#include "rcb/sim/slot_engine.hpp"
+
+namespace rcb {
+namespace {
+
+/// Slotwise adversary replaying a fixed schedule.
+class ScheduleAdversary final : public SlotAdversary {
+ public:
+  explicit ScheduleAdversary(const JamSchedule& js) : js_(&js) {}
+  bool jam(SlotIndex slot, std::span<const SlotActivity>) override {
+    return js_->is_jammed(slot);
+  }
+
+ private:
+  const JamSchedule* js_;
+};
+
+struct Moments {
+  double sends = 0, listens = 0, clear = 0, messages = 0, noise = 0;
+
+  void accumulate(const NodeObservation& o, double weight) {
+    sends += weight * static_cast<double>(o.sends);
+    listens += weight * static_cast<double>(o.listens);
+    clear += weight * static_cast<double>(o.clear);
+    messages += weight * static_cast<double>(o.messages);
+    noise += weight * static_cast<double>(o.noise);
+  }
+};
+
+class EngineCrosscheckTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(EngineCrosscheckTest, MeansAgree) {
+  const auto [send_p, listen_p, jam_q] = GetParam();
+  const SlotCount slots = 512;
+  const int trials = 300;
+  const JamSchedule jam = JamSchedule::blocking_fraction(slots, jam_q);
+
+  std::vector<NodeAction> actions = {
+      NodeAction{send_p, Payload::kMessage, listen_p},
+      NodeAction{send_p / 2, Payload::kNoise, listen_p},
+      NodeAction{0.0, Payload::kNoise, std::min(1.0, listen_p * 2)},
+  };
+
+  Moments batch[3], slotwise[3];
+  const double w = 1.0 / trials;
+  for (int t = 0; t < trials; ++t) {
+    {
+      Rng rng = Rng::stream(1, t);
+      auto r = run_repetition(slots, actions, jam, rng);
+      for (int u = 0; u < 3; ++u) batch[u].accumulate(r.obs[u], w);
+    }
+    {
+      Rng rng = Rng::stream(2, t);
+      ScheduleAdversary adv(jam);
+      auto r = run_repetition_slotwise(slots, actions, adv, rng);
+      for (int u = 0; u < 3; ++u) slotwise[u].accumulate(r.rep.obs[u], w);
+    }
+  }
+
+  // Standard error of a per-slot-count mean is at most
+  // sqrt(slots)/sqrt(trials) ~ 1.3; use 6-sigma-ish tolerances plus floor.
+  auto close = [&](double a, double b, const char* what, int node) {
+    const double tol = 6.0 * std::sqrt(std::max(a, b) / trials + 0.01) + 0.5;
+    EXPECT_NEAR(a, b, tol) << what << " node=" << node << " send_p=" << send_p
+                           << " listen_p=" << listen_p << " q=" << jam_q;
+  };
+  for (int u = 0; u < 3; ++u) {
+    close(batch[u].sends, slotwise[u].sends, "sends", u);
+    close(batch[u].listens, slotwise[u].listens, "listens", u);
+    close(batch[u].clear, slotwise[u].clear, "clear", u);
+    close(batch[u].messages, slotwise[u].messages, "messages", u);
+    close(batch[u].noise, slotwise[u].noise, "noise", u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineCrosscheckTest,
+    ::testing::Values(std::make_tuple(0.02, 0.05, 0.0),
+                      std::make_tuple(0.02, 0.05, 0.5),
+                      std::make_tuple(0.1, 0.1, 0.25),
+                      std::make_tuple(0.5, 0.5, 0.1),
+                      std::make_tuple(0.0, 0.3, 0.9),
+                      std::make_tuple(1.0, 1.0, 0.0)));
+
+}  // namespace
+}  // namespace rcb

@@ -1,0 +1,146 @@
+// Randomized differential tests ("fuzz") against reference implementations.
+//
+// Each test generates many random configurations and compares the optimised
+// implementation against an obviously-correct reference (a bitset, a naive
+// per-slot loop, ...).  Seeds are fixed, so failures are reproducible.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rcb/rng/rng.hpp"
+#include "rcb/rng/sampling.hpp"
+#include "rcb/sim/jam_schedule.hpp"
+#include "rcb/sim/repetition_engine.hpp"
+
+namespace rcb {
+namespace {
+
+TEST(JamScheduleFuzzTest, MatchesBitsetReference) {
+  Rng rng(101);
+  for (int iter = 0; iter < 300; ++iter) {
+    const SlotCount slots = 1 + rng.uniform_u64(512);
+    std::set<SlotIndex> reference;
+    JamSchedule schedule = JamSchedule::none();
+
+    switch (rng.uniform_u64(4)) {
+      case 0:
+        schedule = JamSchedule::none();
+        break;
+      case 1:
+        schedule = JamSchedule::all(slots);
+        for (SlotIndex s = 0; s < slots; ++s) reference.insert(s);
+        break;
+      case 2: {
+        const SlotIndex start = rng.uniform_u64(slots + 1);
+        schedule = JamSchedule::suffix(slots, start);
+        for (SlotIndex s = start; s < slots; ++s) reference.insert(s);
+        break;
+      }
+      default: {
+        std::vector<SlotIndex> list;
+        for (SlotIndex s = 0; s < slots; ++s) {
+          if (rng.bernoulli(0.3)) {
+            list.push_back(s);
+            reference.insert(s);
+          }
+        }
+        schedule = JamSchedule::slots(slots, std::move(list));
+        break;
+      }
+    }
+
+    ASSERT_EQ(schedule.jammed_count(), reference.size()) << "iter " << iter;
+    for (SlotIndex s = 0; s < slots; ++s) {
+      ASSERT_EQ(schedule.is_jammed(s), reference.count(s) > 0)
+          << "iter " << iter << " slot " << s;
+    }
+    // jammed_before at random cut points.
+    for (int k = 0; k < 5; ++k) {
+      const SlotIndex cut = rng.uniform_u64(slots + 2);
+      const auto expected = static_cast<SlotCount>(std::count_if(
+          reference.begin(), reference.end(),
+          [cut](SlotIndex s) { return s < cut; }));
+      ASSERT_EQ(schedule.jammed_before(cut), expected)
+          << "iter " << iter << " cut " << cut;
+    }
+  }
+}
+
+TEST(SamplerFuzzTest, SkipSamplerMatchesNaiveBernoulliDistribution) {
+  // For a moderate number of slots, compare the per-slot hit frequency of
+  // the skip sampler against the analytic p across many rounds.
+  Rng rng(202);
+  for (double p : {0.02, 0.37, 0.81}) {
+    const SlotCount slots = 64;
+    std::vector<int> hits(slots, 0);
+    const int rounds = 30000;
+    std::vector<SlotIndex> out;
+    for (int round = 0; round < rounds; ++round) {
+      sample_bernoulli_slots(slots, p, rng, out);
+      for (SlotIndex s : out) ++hits[s];
+    }
+    for (SlotIndex s = 0; s < slots; ++s) {
+      const double freq = static_cast<double>(hits[s]) / rounds;
+      ASSERT_NEAR(freq, p, 5.0 * std::sqrt(p * (1 - p) / rounds) + 1e-3)
+          << "p=" << p << " slot=" << s;
+    }
+  }
+}
+
+TEST(EngineFuzzTest, RandomConfigurationsSatisfyConservation) {
+  Rng meta(303);
+  for (int iter = 0; iter < 150; ++iter) {
+    const SlotCount slots = 1 + meta.uniform_u64(2048);
+    const std::size_t nodes = 1 + meta.uniform_u64(8);
+    std::vector<NodeAction> actions;
+    for (std::size_t u = 0; u < nodes; ++u) {
+      const auto payload = static_cast<Payload>(meta.uniform_u64(3));
+      actions.push_back(NodeAction{meta.uniform_double(), payload,
+                                   meta.uniform_double()});
+    }
+    const JamSchedule jam =
+        JamSchedule::blocking_fraction(slots, meta.uniform_double());
+    Rng rng(1000 + iter);
+    const auto r = run_repetition(slots, actions, jam, rng);
+
+    ASSERT_EQ(r.obs.size(), nodes);
+    for (const auto& o : r.obs) {
+      ASSERT_LE(o.sends + o.listens, slots);
+      ASSERT_EQ(o.clear + o.messages + o.nacks + o.noise, o.listens);
+      ASSERT_LE(o.listens_until_first_message, o.listens);
+      if (o.first_message_slot != kNoSlot) {
+        ASSERT_LT(o.first_message_slot, slots);
+        ASSERT_FALSE(jam.is_jammed(o.first_message_slot));
+      }
+    }
+  }
+}
+
+TEST(EngineFuzzTest, TotalSendsConsistentAcrossObservers) {
+  // With one deterministic sender and k always-on listeners, every listener
+  // hears exactly the same number of message slots (they all listen to the
+  // same channel in every slot).
+  Rng meta(404);
+  for (int iter = 0; iter < 50; ++iter) {
+    const SlotCount slots = 64 + meta.uniform_u64(512);
+    std::vector<NodeAction> actions = {
+        NodeAction{meta.uniform_double(), Payload::kMessage, 0.0}};
+    const std::size_t listeners = 2 + meta.uniform_u64(4);
+    for (std::size_t u = 0; u < listeners; ++u) {
+      actions.push_back(NodeAction{0.0, Payload::kNoise, 1.0});
+    }
+    Rng rng(2000 + iter);
+    const auto r = run_repetition(slots, actions, JamSchedule::none(), rng);
+    for (std::size_t u = 2; u <= listeners; ++u) {
+      ASSERT_EQ(r.obs[u].messages, r.obs[1].messages) << "iter " << iter;
+      ASSERT_EQ(r.obs[u].clear, r.obs[1].clear) << "iter " << iter;
+    }
+    ASSERT_EQ(r.obs[1].messages, r.obs[0].sends) << "iter " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace rcb

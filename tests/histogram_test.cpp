@@ -1,0 +1,89 @@
+// Tests for histograms and the bootstrap confidence interval.
+#include "rcb/stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace rcb {
+namespace {
+
+TEST(HistogramTest, EmptyInputSingleEmptyBin) {
+  Histogram h({}, 5);
+  EXPECT_EQ(h.num_bins(), 1u);
+  EXPECT_EQ(h.count(0), 0u);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(HistogramTest, ConstantInputCollapsesToOneBin) {
+  const std::vector<double> xs = {3.0, 3.0, 3.0};
+  Histogram h(xs, 10);
+  EXPECT_EQ(h.num_bins(), 1u);
+  EXPECT_EQ(h.count(0), 3u);
+}
+
+TEST(HistogramTest, UniformDataSpreadsAcrossBins) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(static_cast<double>(i));
+  Histogram h(xs, 4);
+  ASSERT_EQ(h.num_bins(), 4u);
+  for (std::size_t b = 0; b < 4; ++b) EXPECT_EQ(h.count(b), 25u);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(3), 99.0);
+}
+
+TEST(HistogramTest, MaxValueLandsInLastBin) {
+  const std::vector<double> xs = {0.0, 10.0};
+  Histogram h(xs, 5);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(HistogramTest, PrintRendersBars) {
+  const std::vector<double> xs = {1, 1, 1, 2};
+  Histogram h(xs, 2);
+  std::ostringstream os;
+  h.print(os, 10);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("##########"), std::string::npos);  // full bar
+  EXPECT_NE(out.find(" 3"), std::string::npos);
+  EXPECT_NE(out.find(" 1"), std::string::npos);
+}
+
+TEST(BootstrapTest, DegenerateInputs) {
+  Rng rng(1);
+  const BootstrapCi empty = bootstrap_mean_ci({}, 100, 0.05, rng);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  const std::vector<double> one = {5.0};
+  const BootstrapCi single = bootstrap_mean_ci(one, 100, 0.05, rng);
+  EXPECT_DOUBLE_EQ(single.mean, 5.0);
+  EXPECT_DOUBLE_EQ(single.lo, 5.0);
+  EXPECT_DOUBLE_EQ(single.hi, 5.0);
+}
+
+TEST(BootstrapTest, IntervalBracketsTheMean) {
+  Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.uniform_double() * 10.0);
+  const BootstrapCi ci = bootstrap_mean_ci(xs, 2000, 0.05, rng);
+  EXPECT_LT(ci.lo, ci.mean);
+  EXPECT_GT(ci.hi, ci.mean);
+  // Width should be around 2 * 1.96 * sigma/sqrt(n) ~ 0.8 for U(0,10).
+  EXPECT_LT(ci.hi - ci.lo, 2.0);
+  EXPECT_GT(ci.hi - ci.lo, 0.3);
+}
+
+TEST(BootstrapTest, TighterForLargerSamples) {
+  Rng rng(3);
+  std::vector<double> small_s, large_s;
+  for (int i = 0; i < 50; ++i) small_s.push_back(rng.uniform_double());
+  for (int i = 0; i < 5000; ++i) large_s.push_back(rng.uniform_double());
+  const BootstrapCi a = bootstrap_mean_ci(small_s, 1000, 0.05, rng);
+  const BootstrapCi b = bootstrap_mean_ci(large_s, 1000, 0.05, rng);
+  EXPECT_LT(b.hi - b.lo, a.hi - a.lo);
+}
+
+}  // namespace
+}  // namespace rcb

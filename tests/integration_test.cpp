@@ -1,0 +1,134 @@
+// End-to-end integration: Monte-Carlo pipelines over full protocol runs,
+// exercising the same paths the benches use (runtime + protocols + stats),
+// with assertions on the paper's qualitative claims at reduced scale.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rcb/adversary/strategies.hpp"
+#include "rcb/adversary/two_uniform.hpp"
+#include "rcb/protocols/broadcast_n.hpp"
+#include "rcb/protocols/naive_broadcast.hpp"
+#include "rcb/protocols/one_to_one.hpp"
+#include "rcb/runtime/montecarlo.hpp"
+#include "rcb/stats/regression.hpp"
+#include "rcb/stats/summary.hpp"
+
+namespace rcb {
+namespace {
+
+TEST(IntegrationTest, OneToOneSqrtScalingExponent) {
+  // Fit cost ~ T^alpha across a budget sweep; Theorem 1 predicts 0.5.
+  const OneToOneParams params = OneToOneParams::sim(0.05);
+  std::vector<double> budgets, costs;
+  for (Cost budget : {Cost{1} << 11, Cost{1} << 13, Cost{1} << 15,
+                      Cost{1} << 17}) {
+    struct Sample {
+      double cost = 0, t = 0;
+    };
+    auto samples = run_trials<Sample>(96, 1000 + budget, [&](std::size_t,
+                                                             Rng& rng) {
+      FullDuelBlocker adv(Budget(budget), 0.6);
+      const auto r = run_one_to_one(params, adv, rng);
+      return Sample{static_cast<double>(r.max_cost()),
+                    static_cast<double>(r.adversary_cost)};
+    });
+    double cost = 0, t = 0;
+    for (const auto& s : samples) {
+      cost += s.cost;
+      t += s.t;
+    }
+    budgets.push_back(t / static_cast<double>(samples.size()));
+    costs.push_back(cost / static_cast<double>(samples.size()));
+  }
+  const PowerLawFit fit = fit_power_law(budgets, costs);
+  EXPECT_GT(fit.exponent, 0.3);
+  EXPECT_LT(fit.exponent, 0.75);
+  EXPECT_GT(fit.r_squared, 0.9);
+}
+
+TEST(IntegrationTest, BroadcastPerNodeCostFallsWithN) {
+  // Theorem 3/4: mean per-node cost ~ sqrt(T/n) — fit the n-exponent at
+  // fixed adversary budget; expect it in [-0.9, -0.15] (prediction -0.5).
+  const BroadcastNParams params = BroadcastNParams::sim();
+  std::vector<double> ns, costs;
+  for (std::uint32_t n : {4u, 16u, 64u}) {
+    auto samples = run_trials<double>(12, 2000 + n, [&](std::size_t, Rng& rng) {
+      SuffixBlockerAdversary adv(Budget(1 << 19), 0.9);
+      return run_broadcast_n(n, params, adv, rng).mean_cost;
+    });
+    const Summary s = summarize(samples);
+    ns.push_back(static_cast<double>(n));
+    costs.push_back(s.mean);
+  }
+  const PowerLawFit fit = fit_power_law(ns, costs);
+  EXPECT_LT(fit.exponent, -0.1);
+  EXPECT_GT(fit.exponent, -0.95);
+}
+
+TEST(IntegrationTest, HelperRuleBeatsNaiveOnMaxCost) {
+  // The section-3.1 argument: under metered jamming the naive halting rule
+  // concentrates cost on the last survivors.  Compare max-cost under the
+  // same adversary budget.
+  const BroadcastNParams params = BroadcastNParams::sim();
+  const std::uint32_t n = 32;
+  auto helper_cost = run_trials<double>(10, 31, [&](std::size_t, Rng& rng) {
+    SuffixBlockerAdversary adv(Budget(1 << 17), 0.9);
+    return static_cast<double>(run_broadcast_n(n, params, adv, rng).max_cost);
+  });
+  auto naive_cost = run_trials<double>(10, 31, [&](std::size_t, Rng& rng) {
+    SuffixBlockerAdversary adv(Budget(1 << 17), 0.9);
+    return static_cast<double>(
+        run_naive_broadcast(n, params, adv, rng).max_cost);
+  });
+  const double helper_mean = summarize(helper_cost).mean;
+  const double naive_mean = summarize(naive_cost).mean;
+  // The helper rule should not be more expensive than naive beyond noise.
+  EXPECT_LT(helper_mean, 1.5 * naive_mean);
+}
+
+TEST(IntegrationTest, LatencyScalesWithTAcrossProtocols) {
+  const OneToOneParams params = OneToOneParams::sim(0.05);
+  std::vector<double> ts, lats;
+  for (Cost budget : {Cost{1} << 12, Cost{1} << 14, Cost{1} << 16}) {
+    auto samples = run_trials<std::pair<double, double>>(
+        48, 4000 + budget, [&](std::size_t, Rng& rng) {
+          FullDuelBlocker adv(Budget(budget), 0.6);
+          const auto r = run_one_to_one(params, adv, rng);
+          return std::make_pair(static_cast<double>(r.adversary_cost),
+                                static_cast<double>(r.latency));
+        });
+    double t = 0, lat = 0;
+    for (const auto& [a, b] : samples) {
+      t += a;
+      lat += b;
+    }
+    ts.push_back(t / static_cast<double>(samples.size()));
+    lats.push_back(lat / static_cast<double>(samples.size()));
+  }
+  // O(T) latency: the fitted exponent should be close to 1.
+  const PowerLawFit fit = fit_power_law(ts, lats);
+  EXPECT_GT(fit.exponent, 0.75);
+  EXPECT_LT(fit.exponent, 1.25);
+}
+
+TEST(IntegrationTest, EpsilonControlsFailureRate) {
+  // Sweep eps and verify the empirical failure rate stays below eps (with
+  // binomial slack) under a mid-strength attack.
+  for (double eps : {0.2, 0.05}) {
+    const OneToOneParams params = OneToOneParams::sim(eps);
+    auto delivered = run_trials<bool>(400, 5000, [&](std::size_t, Rng& rng) {
+      FullDuelBlocker adv(Budget(1 << 12), 0.5);
+      return run_one_to_one(params, adv, rng).delivered;
+    });
+    int fails = 0;
+    for (bool d : delivered) fails += !d;
+    const double rate = static_cast<double>(fails) / 400.0;
+    EXPECT_LE(rate, eps + 3.0 * std::sqrt(eps / 400.0) + 0.01)
+        << "eps=" << eps;
+  }
+}
+
+}  // namespace
+}  // namespace rcb

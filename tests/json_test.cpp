@@ -1,0 +1,106 @@
+// Tests for the streaming JSON writer.
+#include "rcb/cli/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rcb {
+namespace {
+
+TEST(JsonTest, FlatObject) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("a").value(std::int64_t{1});
+  w.key("b").value("two");
+  w.key("c").value(true);
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(), R"({"a":1,"b":"two","c":true})");
+}
+
+TEST(JsonTest, NestedStructures) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("list").begin_array();
+  w.value(std::int64_t{1}).value(std::int64_t{2});
+  w.begin_object().key("x").value(false).end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(os.str(), R"({"list":[1,2,{"x":false}]})");
+}
+
+TEST(JsonTest, StringEscaping) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.value(std::string("a\"b\\c\nd\te"));
+  EXPECT_EQ(os.str(), "\"a\\\"b\\\\c\\nd\\te\"");
+}
+
+TEST(JsonTest, ControlCharacterEscaping) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.value(std::string("x\x01y"));
+  EXPECT_EQ(os.str(), "\"x\\u0001y\"");
+}
+
+TEST(JsonTest, DoubleFormatting) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  w.value(0.5);
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  EXPECT_EQ(os.str(), "[0.5,null]");
+}
+
+TEST(JsonTest, EmptyContainers) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("arr").begin_array().end_array();
+  w.key("obj").begin_object().end_object();
+  w.end_object();
+  EXPECT_EQ(os.str(), R"({"arr":[],"obj":{}})");
+}
+
+TEST(JsonTest, TopLevelArray) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array().value("x").value(std::uint64_t{9}).end_array();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(), R"(["x",9])");
+}
+
+TEST(JsonDeathTest, ObjectValueWithoutKeyRejected) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  EXPECT_DEATH(w.value("oops"), "precondition");
+}
+
+TEST(JsonDeathTest, KeyOutsideObjectRejected) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  EXPECT_DEATH(w.key("k"), "precondition");
+}
+
+TEST(JsonDeathTest, MismatchedCloseRejected) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  EXPECT_DEATH(w.end_object(), "precondition");
+}
+
+TEST(JsonDeathTest, TwoTopLevelValuesRejected) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.value(std::int64_t{1});
+  EXPECT_DEATH(w.value(std::int64_t{2}), "precondition");
+}
+
+}  // namespace
+}  // namespace rcb

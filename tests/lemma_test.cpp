@@ -1,0 +1,175 @@
+// Empirical analogues of the paper's supporting lemmas, at sim() scale.
+//
+// These are the structural facts the Theorem 3 proof leans on; each test
+// recreates the lemma's setting with the simulator and checks the claimed
+// behaviour (with constants adapted to the sim preset where the paper's
+// own constants only hold asymptotically — see DESIGN.md §2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rcb/common/mathutil.hpp"
+#include "rcb/protocols/broadcast_n.hpp"
+#include "rcb/rng/rng.hpp"
+#include "rcb/sim/repetition_engine.hpp"
+
+namespace rcb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lemma 2: S_A e^{-2 S_V} <= p_m <= e S_A e^{-S_V} for the probability that
+// exactly one informed node's message occupies a slot.
+// ---------------------------------------------------------------------------
+
+class MessageProbabilityTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(MessageProbabilityTest, Lemma2MessageBounds) {
+  const auto [S_A, S_V] = GetParam();
+  ASSERT_LE(S_A, S_V);
+  const int informed = 4;
+  const int uninformed = 4;
+  const SlotCount slots = 4096;
+
+  std::vector<NodeAction> actions;
+  for (int u = 0; u < informed; ++u) {
+    actions.push_back(NodeAction{S_A / informed, Payload::kMessage, 0.0});
+  }
+  for (int u = 0; u < uninformed; ++u) {
+    actions.push_back(
+        NodeAction{(S_V - S_A) / uninformed, Payload::kNoise, 0.0});
+  }
+  actions.push_back(NodeAction{0.0, Payload::kNoise, 1.0});  // observer
+
+  double message_slots = 0.0, heard = 0.0;
+  Rng rng(7);
+  for (int t = 0; t < 40; ++t) {
+    const auto r = run_repetition(slots, actions, JamSchedule::none(), rng);
+    const auto& obs = r.obs.back();
+    message_slots += static_cast<double>(obs.messages);
+    heard += static_cast<double>(obs.heard_total());
+  }
+  const double p_m = message_slots / heard;
+  EXPECT_GE(p_m, S_A * std::exp(-2.0 * S_V) - 0.02)
+      << "S_A=" << S_A << " S_V=" << S_V;
+  EXPECT_LE(p_m, std::exp(1.0) * S_A * std::exp(-S_V) + 0.02)
+      << "S_A=" << S_A << " S_V=" << S_V;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MessageProbabilityTest,
+    ::testing::Values(std::make_pair(0.1, 0.1), std::make_pair(0.1, 0.5),
+                      std::make_pair(0.25, 1.0), std::make_pair(0.5, 0.5),
+                      std::make_pair(0.5, 2.0), std::make_pair(1.0, 1.0)));
+
+// ---------------------------------------------------------------------------
+// Lemma 3/4 analogue: in dense epochs (2^i not much larger than S_0 * n) no
+// clear slots are heard, S_u does not grow, and no node reaches helper
+// status — nodes are only uninformed or informed.
+// ---------------------------------------------------------------------------
+
+TEST(LemmaTest, DenseEpochsFreezeRatesAndPreventTermination) {
+  BroadcastNParams params = BroadcastNParams::sim();
+  const std::uint32_t n = 64;
+  // Cap the run inside the dense regime: S_eq = 1.39 * 2^i / n exceeds the
+  // initial rate only past lg n + 1.5, so epochs up to lg n stay frozen.
+  params.max_epoch = floor_log2(n);
+  NoJamAdversary adv;
+  Rng rng(11);
+  const auto r = run_broadcast_n(n, params, adv, rng);
+
+  // The sim-scale form of Lemmas 3/4: rates do not grow and nobody halts.
+  // (Unlike at paper constants, helper *promotion* can occur in the dense
+  // regime once most nodes are informed — but only with a conservative
+  // under-estimate n_u < n, so the Case-4 halt threshold stays out of
+  // reach and correctness is unaffected.)
+  EXPECT_EQ(r.dead_count, 0u);
+  for (const auto& node : r.nodes) {
+    EXPECT_NE(node.final_status, BroadcastStatus::kTerminated);
+    // S_u stays within a factor ~2 of the initial value: no genuine growth.
+    EXPECT_LT(node.final_S, 2.5 * params.initial_S);
+    if (node.n_estimate > 0.0) {
+      EXPECT_LT(node.n_estimate, static_cast<double>(n));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 5 analogue: rate divergence between nodes stays bounded (factor 2)
+// throughout an unjammed run.
+// ---------------------------------------------------------------------------
+
+TEST(LemmaTest, RateDivergenceStaysBounded) {
+  // Run to completion and inspect the terminal S values of nodes that
+  // terminated in the same (final) epoch: their spread reflects the
+  // accumulated drift the Lemma-5 argument bounds.
+  const BroadcastNParams params = BroadcastNParams::sim();
+  for (std::uint32_t n : {8u, 32u}) {
+    NoJamAdversary adv;
+    Rng rng(13 + n);
+    const auto r = run_broadcast_n(n, params, adv, rng);
+    ASSERT_TRUE(r.all_terminated);
+    double s_min = 1e300, s_max = 0.0;
+    for (const auto& node : r.nodes) {
+      if (node.terminated_epoch != r.final_epoch) continue;
+      s_min = std::min(s_min, node.final_S);
+      s_max = std::max(s_max, node.final_S);
+    }
+    ASSERT_LT(s_min, s_max + 1.0);
+    // Divergence bounded: the halting threshold plus one repetition's
+    // growth bounds the spread well under a factor of 4.
+    EXPECT_LT(s_max / s_min, 4.0) << "n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 6 analogue: helpers and uninformed nodes never coexist at the end
+// of an epoch.
+// ---------------------------------------------------------------------------
+
+TEST(LemmaTest, NoHelperWhileUninformedRemain) {
+  const BroadcastNParams params = BroadcastNParams::sim();
+  for (int t = 0; t < 10; ++t) {
+    SuffixBlockerAdversary adv(Budget(1 << 15), 0.9);
+    Rng rng = Rng::stream(17, t);
+    const auto r = run_broadcast_n(24, params, adv, rng);
+    bool any_helper_or_terminated = false;
+    bool any_uninformed = false;
+    for (const auto& node : r.nodes) {
+      if (node.final_status == BroadcastStatus::kHelper ||
+          node.final_status == BroadcastStatus::kTerminated) {
+        any_helper_or_terminated = true;
+      }
+      if (node.final_status == BroadcastStatus::kUninformed) {
+        any_uninformed = true;
+      }
+    }
+    EXPECT_FALSE(any_helper_or_terminated && any_uninformed) << "trial " << t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 10 analogue: helper n-estimates are never gross over-estimates —
+// n_u <= C * n for a modest constant (the direction Lemma 10 bounds, which
+// is what makes halting *safe*).
+// ---------------------------------------------------------------------------
+
+TEST(LemmaTest, HelperEstimateNeverGrosslyOverestimatesN) {
+  const BroadcastNParams params = BroadcastNParams::sim();
+  for (std::uint32_t n : {8u, 32u, 128u}) {
+    for (int t = 0; t < 5; ++t) {
+      NoJamAdversary adv;
+      Rng rng = Rng::stream(19 + n, t);
+      const auto r = run_broadcast_n(n, params, adv, rng);
+      for (const auto& node : r.nodes) {
+        if (node.n_estimate > 0.0) {
+          EXPECT_LT(node.n_estimate, 16.0 * n) << "n=" << n;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rcb

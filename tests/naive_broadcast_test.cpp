@@ -1,0 +1,58 @@
+// Tests for the halt-on-count strawman baseline.
+#include "rcb/protocols/naive_broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rcb/rng/rng.hpp"
+
+namespace rcb {
+namespace {
+
+TEST(NaiveBroadcastTest, NoJamInformsEveryone) {
+  const BroadcastNParams params = BroadcastNParams::sim();
+  for (std::uint32_t n : {2u, 8u, 32u}) {
+    int all_informed = 0;
+    const int trials = 15;
+    for (int t = 0; t < trials; ++t) {
+      NoJamAdversary adv;
+      Rng rng = Rng::stream(1000 + n, t);
+      const auto r = run_naive_broadcast(n, params, adv, rng);
+      all_informed += r.all_informed;
+      EXPECT_TRUE(r.all_terminated) << "n=" << n;
+    }
+    EXPECT_GE(all_informed, trials - 2) << "n=" << n;
+  }
+}
+
+TEST(NaiveBroadcastTest, SingleNodeTerminates) {
+  const BroadcastNParams params = BroadcastNParams::sim();
+  NoJamAdversary adv;
+  Rng rng(1);
+  const auto r = run_naive_broadcast(1, params, adv, rng);
+  EXPECT_TRUE(r.all_terminated);
+}
+
+TEST(NaiveBroadcastTest, StatusesAreOnlyNaiveOnes) {
+  const BroadcastNParams params = BroadcastNParams::sim();
+  NoJamAdversary adv;
+  Rng rng(2);
+  const auto r = run_naive_broadcast(16, params, adv, rng);
+  for (const auto& node : r.nodes) {
+    EXPECT_NE(node.final_status, BroadcastStatus::kHelper);
+    EXPECT_DOUBLE_EQ(node.n_estimate, 0.0);
+  }
+}
+
+TEST(NaiveBroadcastTest, InvariantHolds) {
+  const BroadcastNParams params = BroadcastNParams::sim();
+  for (int t = 0; t < 6; ++t) {
+    SuffixBlockerAdversary adv(Budget(30000), 0.5);
+    Rng rng = Rng::stream(1100, t);
+    const auto r = run_naive_broadcast(12, params, adv, rng);
+    for (const auto& node : r.nodes) EXPECT_LE(node.cost, r.latency);
+    EXPECT_EQ(r.adversary_cost, adv.budget().spent());
+  }
+}
+
+}  // namespace
+}  // namespace rcb

@@ -1,0 +1,95 @@
+// Tests for the Theorem-2 lower-bound game.
+#include "rcb/protocols/oblivious_pair.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rcb/rng/rng.hpp"
+
+namespace rcb {
+namespace {
+
+TEST(ObliviousPairTest, StayBelowNeverTriggersJamming) {
+  Rng rng(1);
+  ThresholdAdversary adv(1000);
+  const auto r = play_stay_below(1000, 0.5, 1 << 22, adv, rng);
+  EXPECT_EQ(r.adversary_cost, 0u);
+  EXPECT_TRUE(r.delivered);
+}
+
+TEST(ObliviousPairTest, StayBelowCostsMatchTheoremTwo) {
+  // a = b = 1/sqrt(T): E(A) = E(B) = sqrt(T), so E(A)*E(B) ~ T.
+  const Cost T = 4096;
+  double alice = 0.0, bob = 0.0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng = Rng::stream(10, t);
+    ThresholdAdversary adv(T);
+    const auto r = play_stay_below(T, 0.5, 1 << 24, adv, rng);
+    ASSERT_TRUE(r.delivered);
+    alice += static_cast<double>(r.alice_cost);
+    bob += static_cast<double>(r.bob_cost);
+  }
+  alice /= trials;
+  bob /= trials;
+  const double product = alice * bob;
+  EXPECT_GT(product, 0.6 * static_cast<double>(T));
+  EXPECT_LT(product, 1.8 * static_cast<double>(T));
+}
+
+TEST(ObliviousPairTest, ImbalancedSplitStillSatisfiesProductBound) {
+  const Cost T = 4096;
+  for (double delta : {0.3, 0.7}) {
+    double alice = 0.0, bob = 0.0;
+    const int trials = 300;
+    for (int t = 0; t < trials; ++t) {
+      Rng rng = Rng::stream(20, t);
+      ThresholdAdversary adv(T);
+      const auto r = play_stay_below(T, delta, 1 << 24, adv, rng);
+      ASSERT_TRUE(r.delivered);
+      alice += static_cast<double>(r.alice_cost);
+      bob += static_cast<double>(r.bob_cost);
+    }
+    alice /= trials;
+    bob /= trials;
+    EXPECT_GT(alice * bob, 0.5 * static_cast<double>(T)) << "delta=" << delta;
+    // max(E(A), E(B)) = Omega(sqrt(T)) — the imbalanced side pays more.
+    EXPECT_GT(std::max(alice, bob), std::sqrt(static_cast<double>(T)))
+        << "delta=" << delta;
+  }
+}
+
+TEST(ObliviousPairTest, ExhaustStrategyPaysAtLeastLinear) {
+  // Burning through the budget costs the pair ~burn_prob * T each before
+  // the first possible success.
+  const Cost T = 2000;
+  double alice = 0.0, bob = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng = Rng::stream(30, t);
+    ThresholdAdversary adv(T);
+    const auto r = play_exhaust(T, 0.5, adv, rng);
+    EXPECT_TRUE(r.delivered);
+    EXPECT_EQ(r.adversary_cost, T);
+    alice += static_cast<double>(r.alice_cost);
+    bob += static_cast<double>(r.bob_cost);
+  }
+  alice /= trials;
+  bob /= trials;
+  // Both pay ~0.5 * T during the burn.
+  EXPECT_GT(alice, 0.4 * static_cast<double>(T));
+  EXPECT_GT(bob, 0.4 * static_cast<double>(T));
+  EXPECT_GT(alice * bob,
+            static_cast<double>(T) * static_cast<double>(T) * 0.15);
+}
+
+TEST(ObliviousPairTest, SlotsBounded) {
+  Rng rng(4);
+  ThresholdAdversary adv(100);
+  const auto r = play_stay_below(100, 0.5, 50, adv, rng);
+  EXPECT_LE(r.slots, 50u);
+}
+
+}  // namespace
+}  // namespace rcb

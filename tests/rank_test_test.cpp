@@ -1,0 +1,93 @@
+// Tests for the Mann-Whitney U test.
+#include "rcb/stats/rank_test.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rcb/rng/rng.hpp"
+
+namespace rcb {
+namespace {
+
+TEST(MannWhitneyTest, IdenticalSamplesAreNotSignificant) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto r = mann_whitney(xs, xs);
+  EXPECT_NEAR(r.effect, 0.5, 1e-12);
+  EXPECT_GT(r.p_value, 0.9);
+}
+
+TEST(MannWhitneyTest, DisjointSamplesAreExtreme) {
+  const std::vector<double> lo = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const std::vector<double> hi = {11, 12, 13, 14, 15, 16, 17, 18, 19, 20};
+  const auto r = mann_whitney(hi, lo);
+  EXPECT_DOUBLE_EQ(r.effect, 1.0);  // every hi beats every lo
+  EXPECT_LT(r.p_value, 0.001);
+  const auto rev = mann_whitney(lo, hi);
+  EXPECT_DOUBLE_EQ(rev.effect, 0.0);
+  EXPECT_LT(rev.p_value, 0.001);
+}
+
+TEST(MannWhitneyTest, KnownSmallExample) {
+  // xs = {1, 3}, ys = {2, 4}: U counts pairs (x > y): (3 > 2) only -> U=1;
+  // effect = 1/4.
+  const std::vector<double> xs = {1, 3};
+  const std::vector<double> ys = {2, 4};
+  const auto r = mann_whitney(xs, ys);
+  EXPECT_DOUBLE_EQ(r.u, 1.0);
+  EXPECT_DOUBLE_EQ(r.effect, 0.25);
+}
+
+TEST(MannWhitneyTest, TiesGetHalfCredit) {
+  const std::vector<double> xs = {1, 2};
+  const std::vector<double> ys = {2, 3};
+  // Pairs: (1,2) x<y, (1,3) x<y, (2,2) tie -> 0.5, (2,3) x<y.  U = 0.5.
+  const auto r = mann_whitney(xs, ys);
+  EXPECT_DOUBLE_EQ(r.u, 0.5);
+  EXPECT_DOUBLE_EQ(r.effect, 0.125);
+}
+
+TEST(MannWhitneyTest, AllValuesTiedIsPValueOne) {
+  const std::vector<double> xs = {5, 5, 5};
+  const std::vector<double> ys = {5, 5};
+  const auto r = mann_whitney(xs, ys);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_DOUBLE_EQ(r.effect, 0.5);
+}
+
+TEST(MannWhitneyTest, DetectsShiftedDistributions) {
+  Rng rng(1);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 60; ++i) {
+    xs.push_back(rng.uniform_double());
+    ys.push_back(rng.uniform_double() + 0.4);
+  }
+  const auto r = mann_whitney(ys, xs);
+  EXPECT_GT(r.effect, 0.7);
+  EXPECT_LT(r.p_value, 0.001);
+}
+
+TEST(MannWhitneyTest, FalsePositiveRateRoughlyCalibrated) {
+  // Under the null, p < 0.05 should occur ~5% of the time.
+  Rng rng(2);
+  int rejections = 0;
+  const int reps = 400;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 25; ++i) {
+      xs.push_back(rng.uniform_double());
+      ys.push_back(rng.uniform_double());
+    }
+    rejections += (mann_whitney(xs, ys).p_value < 0.05);
+  }
+  EXPECT_NEAR(static_cast<double>(rejections) / reps, 0.05, 0.035);
+}
+
+TEST(MannWhitneyDeathTest, EmptySampleRejected) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_DEATH(mann_whitney(xs, {}), "precondition");
+  EXPECT_DEATH(mann_whitney({}, xs), "precondition");
+}
+
+}  // namespace
+}  // namespace rcb

@@ -1,0 +1,221 @@
+// Tests for the event-driven repetition engine: channel semantics, cost
+// accounting, l-uniform jamming, and half-duplex behaviour.
+#include "rcb/sim/repetition_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "rcb/rng/rng.hpp"
+
+namespace rcb {
+namespace {
+
+RepetitionResult run(SlotCount slots, std::vector<NodeAction> actions,
+                     const JamSchedule& jam, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return run_repetition(slots, actions, jam, rng);
+}
+
+TEST(RepetitionEngineTest, CertainSenderCertainListenerDelivers) {
+  auto r = run(100,
+               {NodeAction{1.0, Payload::kMessage, 0.0},
+                NodeAction{0.0, Payload::kNoise, 1.0}},
+               JamSchedule::none());
+  EXPECT_EQ(r.obs[0].sends, 100u);
+  EXPECT_EQ(r.obs[1].listens, 100u);
+  EXPECT_EQ(r.obs[1].messages, 100u);
+  EXPECT_EQ(r.obs[1].noise, 0u);
+  EXPECT_EQ(r.obs[1].clear, 0u);
+  EXPECT_EQ(r.obs[1].first_message_slot, 0u);
+  EXPECT_EQ(r.obs[1].listens_until_first_message, 1u);
+}
+
+TEST(RepetitionEngineTest, NackPayloadIsHeardAsNack) {
+  auto r = run(50,
+               {NodeAction{1.0, Payload::kNack, 0.0},
+                NodeAction{0.0, Payload::kNoise, 1.0}},
+               JamSchedule::none());
+  EXPECT_EQ(r.obs[1].nacks, 50u);
+  EXPECT_EQ(r.obs[1].messages, 0u);
+}
+
+TEST(RepetitionEngineTest, NoisePayloadIsHeardAsNoise) {
+  auto r = run(50,
+               {NodeAction{1.0, Payload::kNoise, 0.0},
+                NodeAction{0.0, Payload::kNoise, 1.0}},
+               JamSchedule::none());
+  EXPECT_EQ(r.obs[1].noise, 50u);
+  EXPECT_EQ(r.obs[1].messages, 0u);
+}
+
+TEST(RepetitionEngineTest, SilenceIsClear) {
+  auto r = run(64, {NodeAction{0.0, Payload::kNoise, 1.0}},
+               JamSchedule::none());
+  EXPECT_EQ(r.obs[0].clear, 64u);
+  EXPECT_EQ(r.obs[0].heard_total(), 64u);
+}
+
+TEST(RepetitionEngineTest, TwoSendersCollideIntoNoise) {
+  auto r = run(80,
+               {NodeAction{1.0, Payload::kMessage, 0.0},
+                NodeAction{1.0, Payload::kMessage, 0.0},
+                NodeAction{0.0, Payload::kNoise, 1.0}},
+               JamSchedule::none());
+  EXPECT_EQ(r.obs[2].noise, 80u);
+  EXPECT_EQ(r.obs[2].messages, 0u);
+}
+
+TEST(RepetitionEngineTest, JammedSlotsHeardAsNoiseEvenWithMessage) {
+  auto r = run(100,
+               {NodeAction{1.0, Payload::kMessage, 0.0},
+                NodeAction{0.0, Payload::kNoise, 1.0}},
+               JamSchedule::suffix(100, 40));
+  EXPECT_EQ(r.obs[1].messages, 40u);
+  EXPECT_EQ(r.obs[1].noise, 60u);
+  EXPECT_EQ(r.obs[1].first_message_slot, 0u);
+}
+
+TEST(RepetitionEngineTest, JammedSilenceIsNoiseNotClear) {
+  auto r = run(100, {NodeAction{0.0, Payload::kNoise, 1.0}},
+               JamSchedule::all(100));
+  EXPECT_EQ(r.obs[0].noise, 100u);
+  EXPECT_EQ(r.obs[0].clear, 0u);
+}
+
+TEST(RepetitionEngineTest, HalfDuplexSendPreemptsListen) {
+  // A node with send_prob = 1 and listen_prob = 1 only ever sends.
+  auto r = run(100, {NodeAction{1.0, Payload::kMessage, 1.0}},
+               JamSchedule::none());
+  EXPECT_EQ(r.obs[0].sends, 100u);
+  EXPECT_EQ(r.obs[0].listens, 0u);
+  EXPECT_EQ(r.obs[0].heard_total(), 0u);
+}
+
+TEST(RepetitionEngineTest, SenderDoesNotHearItself) {
+  // Sender always transmits; another node always listens.  The sender's own
+  // message count stays zero even though it "listens" with probability 1 —
+  // every listen is pre-empted.
+  auto r = run(100,
+               {NodeAction{1.0, Payload::kMessage, 1.0},
+                NodeAction{0.0, Payload::kNoise, 1.0}},
+               JamSchedule::none());
+  EXPECT_EQ(r.obs[0].messages, 0u);
+  EXPECT_EQ(r.obs[1].messages, 100u);
+}
+
+TEST(RepetitionEngineTest, CostEqualsActionCounts) {
+  Rng rng(3);
+  std::vector<NodeAction> actions = {
+      NodeAction{0.3, Payload::kMessage, 0.2},
+      NodeAction{0.1, Payload::kNoise, 0.4},
+  };
+  auto r = run_repetition(2048, actions, JamSchedule::none(), rng);
+  for (const auto& o : r.obs) {
+    EXPECT_EQ(o.heard_total(), o.listens);
+    EXPECT_LE(o.sends + o.listens, 2048u);
+  }
+  // Sends should be near expectation.
+  EXPECT_NEAR(static_cast<double>(r.obs[0].sends), 0.3 * 2048, 5 * std::sqrt(0.3 * 2048));
+  EXPECT_NEAR(static_cast<double>(r.obs[1].sends), 0.1 * 2048, 5 * std::sqrt(0.1 * 2048));
+}
+
+TEST(RepetitionEngineTest, ProbabilisticDeliveryMatchesBirthdayParadox) {
+  // Alice sends w.p. p, Bob listens w.p. p: P(Bob never hears m) over N
+  // slots is (1 - p^2)^N.  This is the Fig. 1 send-phase core.
+  const double p = 0.05;
+  const SlotCount slots = 2048;
+  const double p_fail = std::pow(1.0 - p * p, static_cast<double>(slots));
+  int failures = 0;
+  const int trials = 2000;
+  Rng rng(4);
+  std::vector<NodeAction> actions = {NodeAction{p, Payload::kMessage, 0.0},
+                                     NodeAction{0.0, Payload::kNoise, p}};
+  for (int t = 0; t < trials; ++t) {
+    auto r = run_repetition(slots, actions, JamSchedule::none(), rng);
+    failures += (r.obs[1].messages == 0);
+  }
+  const double observed = static_cast<double>(failures) / trials;
+  EXPECT_NEAR(observed, p_fail, 4.0 * std::sqrt(p_fail / trials) + 0.005);
+}
+
+TEST(RepetitionEngineTest, LUniformJamsOnlyTargetPartition) {
+  // Partition 0 clear, partition 1 fully jammed; one sender of m.
+  std::vector<NodeAction> actions = {
+      NodeAction{1.0, Payload::kMessage, 0.0},
+      NodeAction{0.0, Payload::kNoise, 1.0},  // partition 0
+      NodeAction{0.0, Payload::kNoise, 1.0},  // partition 1
+  };
+  std::vector<std::uint32_t> partition = {0, 0, 1};
+  std::vector<JamSchedule> schedules = {JamSchedule::none(),
+                                        JamSchedule::all(60)};
+  Rng rng(5);
+  auto r = run_repetition_luniform(60, actions, partition, schedules, rng);
+  EXPECT_EQ(r.obs[1].messages, 60u);
+  EXPECT_EQ(r.obs[2].messages, 0u);
+  EXPECT_EQ(r.obs[2].noise, 60u);
+}
+
+TEST(RepetitionEngineTest, ListensUntilFirstMessageStopsCounting) {
+  // Message only delivered in the suffix after slot 50 (prefix jammed).
+  std::vector<NodeAction> actions = {NodeAction{1.0, Payload::kMessage, 0.0},
+                                     NodeAction{0.0, Payload::kNoise, 1.0}};
+  std::vector<SlotIndex> prefix;
+  for (SlotIndex s = 0; s < 50; ++s) prefix.push_back(s);
+  auto jam = JamSchedule::slots(100, std::move(prefix));
+  Rng rng(6);
+  auto r = run_repetition(100, actions, jam, rng);
+  EXPECT_EQ(r.obs[1].first_message_slot, 50u);
+  EXPECT_EQ(r.obs[1].listens_until_first_message, 51u);
+  EXPECT_EQ(r.obs[1].listens, 100u);
+}
+
+TEST(RepetitionEngineTest, TraceRecordsActivity) {
+  Trace trace(1000);
+  trace.begin_phase(7);
+  std::vector<NodeAction> actions = {NodeAction{1.0, Payload::kMessage, 0.0},
+                                     NodeAction{0.0, Payload::kNoise, 1.0}};
+  Rng rng(7);
+  run_repetition(10, actions, JamSchedule::none(), rng, &trace);
+  ASSERT_EQ(trace.events().size(), 10u);
+  EXPECT_EQ(trace.events()[0].phase, 7u);
+  EXPECT_EQ(trace.events()[0].senders, 1u);
+  EXPECT_EQ(trace.events()[0].listeners, 1u);
+  EXPECT_FALSE(trace.events()[0].jammed);
+  EXPECT_FALSE(trace.truncated());
+}
+
+TEST(RepetitionEngineTest, TraceTruncatesAtCapacity) {
+  Trace trace(5);
+  std::vector<NodeAction> actions = {NodeAction{1.0, Payload::kMessage, 0.0}};
+  Rng rng(8);
+  run_repetition(10, actions, JamSchedule::none(), rng, &trace);
+  EXPECT_EQ(trace.events().size(), 5u);
+  EXPECT_TRUE(trace.truncated());
+}
+
+TEST(RepetitionEngineTest, DeterministicForSameSeed) {
+  std::vector<NodeAction> actions = {NodeAction{0.1, Payload::kMessage, 0.1},
+                                     NodeAction{0.05, Payload::kNoise, 0.3}};
+  Rng rng1(99), rng2(99);
+  auto a = run_repetition(4096, actions, JamSchedule::none(), rng1);
+  auto b = run_repetition(4096, actions, JamSchedule::none(), rng2);
+  for (std::size_t u = 0; u < 2; ++u) {
+    EXPECT_EQ(a.obs[u].sends, b.obs[u].sends);
+    EXPECT_EQ(a.obs[u].listens, b.obs[u].listens);
+    EXPECT_EQ(a.obs[u].clear, b.obs[u].clear);
+    EXPECT_EQ(a.obs[u].messages, b.obs[u].messages);
+  }
+}
+
+TEST(RepetitionEngineTest, EmptyActionsProduceEmptyResult) {
+  Rng rng(1);
+  std::vector<NodeAction> actions;
+  auto r = run_repetition(100, actions, JamSchedule::none(), rng);
+  EXPECT_TRUE(r.obs.empty());
+}
+
+}  // namespace
+}  // namespace rcb

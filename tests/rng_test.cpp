@@ -1,0 +1,115 @@
+// Tests for the deterministic RNG core.
+#include "rcb/rng/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace rcb {
+namespace {
+
+TEST(Splitmix64Test, MatchesReferenceVector) {
+  // Reference outputs for seed 1234567 from the public-domain splitmix64.c.
+  std::uint64_t state = 1234567;
+  EXPECT_EQ(splitmix64_next(state), 6457827717110365317ull);
+  EXPECT_EQ(splitmix64_next(state), 3203168211198807973ull);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, StreamsAreIndependentAndDeterministic) {
+  Rng s0 = Rng::stream(99, 0);
+  Rng s0b = Rng::stream(99, 0);
+  Rng s1 = Rng::stream(99, 1);
+  EXPECT_EQ(s0.next_u64(), s0b.next_u64());
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (s0.next_u64() == s1.next_u64());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform_double();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformDoubleOpenNeverZero) {
+  Rng rng(8);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_GT(rng.uniform_double_open(), 0.0);
+    ASSERT_LE(rng.uniform_double_open(), 1.0);
+  }
+}
+
+TEST(RngTest, UniformU64RespectsBound) {
+  Rng rng(9);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.uniform_u64(bound), bound);
+  }
+}
+
+TEST(RngTest, UniformU64CoversSmallRangeUniformly) {
+  Rng rng(10);
+  std::vector<int> counts(8, 0);
+  const int draws = 80000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform_u64(8)];
+  for (int c : counts) EXPECT_NEAR(c, draws / 8, 500);
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(11);
+  for (double p : {0.0, 0.01, 0.25, 0.5, 0.9, 1.0}) {
+    int hits = 0;
+    const int draws = 50000;
+    for (int i = 0; i < draws; ++i) hits += rng.bernoulli(p);
+    EXPECT_NEAR(static_cast<double>(hits) / draws, p, 0.01) << "p=" << p;
+  }
+}
+
+TEST(RngTest, ExponentialHasUnitMean) {
+  Rng rng(12);
+  double sum = 0.0;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) sum += rng.exponential();
+  EXPECT_NEAR(sum / draws, 1.0, 0.02);
+}
+
+TEST(RngTest, StateNeverAllZero) {
+  for (std::uint64_t seed : {0ull, 1ull, 0xFFFFFFFFFFFFFFFFull}) {
+    Rng rng(seed);
+    const auto s = rng.state();
+    EXPECT_NE(s[0] | s[1] | s[2] | s[3], 0u);
+  }
+}
+
+TEST(RngTest, BitMixingPassesMonobitSanity) {
+  Rng rng(13);
+  std::uint64_t ones = 0;
+  const int draws = 10000;
+  for (int i = 0; i < draws; ++i) {
+    ones += static_cast<std::uint64_t>(__builtin_popcountll(rng.next_u64()));
+  }
+  const double fraction = static_cast<double>(ones) / (64.0 * draws);
+  EXPECT_NEAR(fraction, 0.5, 0.005);
+}
+
+}  // namespace
+}  // namespace rcb

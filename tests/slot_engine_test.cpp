@@ -1,0 +1,98 @@
+// Tests for the slot-by-slot engine and reactive adversaries.
+#include "rcb/sim/slot_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rcb/rng/rng.hpp"
+
+namespace rcb {
+namespace {
+
+/// Never jams.
+class PassiveAdversary final : public SlotAdversary {
+ public:
+  bool jam(SlotIndex, std::span<const SlotActivity>) override { return false; }
+};
+
+/// Jams every slot.
+class AlwaysJam final : public SlotAdversary {
+ public:
+  bool jam(SlotIndex, std::span<const SlotActivity>) override { return true; }
+};
+
+/// Reactive: jams slot t iff slot t-1 carried at least one transmission.
+class ReactiveAdversary final : public SlotAdversary {
+ public:
+  bool jam(SlotIndex, std::span<const SlotActivity> history) override {
+    return !history.empty() && history.back().senders > 0;
+  }
+};
+
+TEST(SlotEngineTest, DeliveryWithoutJamming) {
+  std::vector<NodeAction> actions = {NodeAction{1.0, Payload::kMessage, 0.0},
+                                     NodeAction{0.0, Payload::kNoise, 1.0}};
+  PassiveAdversary adv;
+  Rng rng(1);
+  auto r = run_repetition_slotwise(100, actions, adv, rng);
+  EXPECT_EQ(r.rep.obs[1].messages, 100u);
+  EXPECT_EQ(r.jammed_slots, 0u);
+}
+
+TEST(SlotEngineTest, FullJamBlocksEverything) {
+  std::vector<NodeAction> actions = {NodeAction{1.0, Payload::kMessage, 0.0},
+                                     NodeAction{0.0, Payload::kNoise, 1.0}};
+  AlwaysJam adv;
+  Rng rng(2);
+  auto r = run_repetition_slotwise(100, actions, adv, rng);
+  EXPECT_EQ(r.rep.obs[1].messages, 0u);
+  EXPECT_EQ(r.rep.obs[1].noise, 100u);
+  EXPECT_EQ(r.jammed_slots, 100u);
+}
+
+TEST(SlotEngineTest, ReactiveAdversarySeesHistory) {
+  // Sender transmits in every slot, so the reactive adversary jams every
+  // slot except the first.
+  std::vector<NodeAction> actions = {NodeAction{1.0, Payload::kMessage, 0.0},
+                                     NodeAction{0.0, Payload::kNoise, 1.0}};
+  ReactiveAdversary adv;
+  Rng rng(3);
+  auto r = run_repetition_slotwise(50, actions, adv, rng);
+  EXPECT_EQ(r.jammed_slots, 49u);
+  EXPECT_EQ(r.rep.obs[1].messages, 1u);
+  EXPECT_EQ(r.rep.obs[1].first_message_slot, 0u);
+}
+
+TEST(SlotEngineTest, HalfDuplexSendWins) {
+  std::vector<NodeAction> actions = {NodeAction{1.0, Payload::kMessage, 1.0}};
+  PassiveAdversary adv;
+  Rng rng(4);
+  auto r = run_repetition_slotwise(30, actions, adv, rng);
+  EXPECT_EQ(r.rep.obs[0].sends, 30u);
+  EXPECT_EQ(r.rep.obs[0].listens, 0u);
+}
+
+TEST(SlotEngineTest, CollisionsAreNoise) {
+  std::vector<NodeAction> actions = {NodeAction{1.0, Payload::kMessage, 0.0},
+                                     NodeAction{1.0, Payload::kNack, 0.0},
+                                     NodeAction{0.0, Payload::kNoise, 1.0}};
+  PassiveAdversary adv;
+  Rng rng(5);
+  auto r = run_repetition_slotwise(40, actions, adv, rng);
+  EXPECT_EQ(r.rep.obs[2].noise, 40u);
+}
+
+TEST(SlotEngineTest, ClearSlotCountingMatchesActivity) {
+  // Nobody sends: listener hears clear in every listened slot.
+  std::vector<NodeAction> actions = {NodeAction{0.0, Payload::kNoise, 0.5}};
+  PassiveAdversary adv;
+  Rng rng(6);
+  auto r = run_repetition_slotwise(1000, actions, adv, rng);
+  EXPECT_EQ(r.rep.obs[0].clear, r.rep.obs[0].listens);
+  EXPECT_GT(r.rep.obs[0].listens, 400u);
+  EXPECT_LT(r.rep.obs[0].listens, 600u);
+}
+
+}  // namespace
+}  // namespace rcb

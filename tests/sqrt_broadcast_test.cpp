@@ -1,0 +1,91 @@
+// Tests for the sqrt(T) "extension of Theorem 1" 1-to-n baseline.
+#include "rcb/protocols/sqrt_broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rcb/rng/rng.hpp"
+
+namespace rcb {
+namespace {
+
+TEST(SqrtBroadcastTest, NoJamInformsEveryone) {
+  const OneToOneParams params = OneToOneParams::sim(0.02);
+  for (std::uint32_t n : {2u, 8u, 32u}) {
+    int all_informed = 0;
+    const int trials = 40;
+    for (int t = 0; t < trials; ++t) {
+      NoJamAdversary adv;
+      Rng rng = Rng::stream(100 + n, t);
+      const auto r = run_sqrt_broadcast(n, params, adv, rng);
+      all_informed += r.all_informed;
+      EXPECT_TRUE(r.all_terminated);
+    }
+    // Each receiver independently misses with probability <= ~eps.
+    EXPECT_GE(all_informed, trials * 2 / 3) << "n=" << n;
+  }
+}
+
+TEST(SqrtBroadcastTest, SenderAloneTerminatesQuickly) {
+  const OneToOneParams params = OneToOneParams::sim(0.02);
+  NoJamAdversary adv;
+  Rng rng(1);
+  const auto r = run_sqrt_broadcast(1, params, adv, rng);
+  EXPECT_TRUE(r.all_terminated);
+  EXPECT_LE(r.final_epoch, params.first_epoch() + 2);
+}
+
+TEST(SqrtBroadcastTest, MaxCostDoesNotImproveWithN) {
+  // The defining weakness vs Fig. 2: the worst-off node (the sender, who
+  // cannot hand the dissemination burden to anyone) pays ~sqrt(T)
+  // regardless of n.  Theorem 3's helper mechanism exists precisely to
+  // spread that burden.
+  const OneToOneParams params = OneToOneParams::sim(0.02);
+  auto max_cost = [&](std::uint32_t n) {
+    double sum = 0.0;
+    const int trials = 15;
+    for (int t = 0; t < trials; ++t) {
+      SuffixBlockerAdversary adv(Budget(1 << 16), 0.6);
+      Rng rng = Rng::stream(200 + n, t);
+      sum += static_cast<double>(
+          run_sqrt_broadcast(n, params, adv, rng).max_cost);
+    }
+    return sum / trials;
+  };
+  const double c4 = max_cost(4);
+  const double c64 = max_cost(64);
+  EXPECT_GT(c64, 0.5 * c4);  // Fig.2's max cost would fall ~4x here
+  EXPECT_LT(c64, 2.0 * c4);
+}
+
+TEST(SqrtBroadcastTest, CostGrowsWithT) {
+  const OneToOneParams params = OneToOneParams::sim(0.02);
+  auto mean_cost = [&](Cost budget) {
+    double sum = 0.0;
+    const int trials = 20;
+    for (int t = 0; t < trials; ++t) {
+      SuffixBlockerAdversary adv(Budget(budget), 0.6);
+      Rng rng = Rng::stream(300 + budget, t);
+      sum += run_sqrt_broadcast(16, params, adv, rng).mean_cost;
+    }
+    return sum / trials;
+  };
+  const double small = mean_cost(Cost{1} << 12);
+  const double big = mean_cost(Cost{1} << 16);
+  EXPECT_GT(big, 1.5 * small);
+  EXPECT_LT(big, 10.0 * small);  // sqrt predicts 4x
+}
+
+TEST(SqrtBroadcastTest, ResultInvariants) {
+  const OneToOneParams params = OneToOneParams::sim(0.05);
+  for (int t = 0; t < 20; ++t) {
+    RandomJammerAdversary adv(Budget(10000), 0.3);
+    Rng rng = Rng::stream(400, t);
+    const auto r = run_sqrt_broadcast(12, params, adv, rng);
+    EXPECT_EQ(r.adversary_cost, adv.budget().spent());
+    for (const auto& node : r.nodes) EXPECT_LE(node.cost, r.latency);
+    EXPECT_GE(r.informed_count, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace rcb

@@ -1,0 +1,95 @@
+// Tests for the thread pool and Monte-Carlo runner.
+#include "rcb/runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "rcb/runtime/montecarlo.hpp"
+
+namespace rcb {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, DestructorDrains) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelForTest, CoversExactRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, 1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 5, 5, [](std::size_t) { FAIL(); });
+  SUCCEED();
+}
+
+TEST(ParallelForTest, SubRange) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  parallel_for(pool, 10, 20,
+               [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  EXPECT_EQ(sum.load(), 145);  // 10 + ... + 19
+}
+
+TEST(MonteCarloTest, ResultsInTrialOrder) {
+  ThreadPool pool(4);
+  auto results = run_trials<std::size_t>(
+      64, 1, [](std::size_t t, Rng&) { return t * t; }, pool);
+  ASSERT_EQ(results.size(), 64u);
+  for (std::size_t t = 0; t < 64; ++t) EXPECT_EQ(results[t], t * t);
+}
+
+TEST(MonteCarloTest, DeterministicAcrossPoolSizes) {
+  auto draw = [](std::size_t, Rng& rng) { return rng.next_u64(); };
+  ThreadPool pool1(1), pool8(8);
+  const auto a = run_trials<std::uint64_t>(128, 7, draw, pool1);
+  const auto b = run_trials<std::uint64_t>(128, 7, draw, pool8);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MonteCarloTest, DifferentSeedsDiffer) {
+  auto draw = [](std::size_t, Rng& rng) { return rng.next_u64(); };
+  ThreadPool pool(4);
+  const auto a = run_trials<std::uint64_t>(16, 1, draw, pool);
+  const auto b = run_trials<std::uint64_t>(16, 2, draw, pool);
+  EXPECT_NE(a, b);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsUsable) {
+  std::atomic<int> counter{0};
+  parallel_for(ThreadPool::global(), 0, 10,
+               [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+}  // namespace
+}  // namespace rcb

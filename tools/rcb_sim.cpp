@@ -1,0 +1,203 @@
+// rcb_sim — command-line Monte-Carlo driver for every protocol/adversary
+// combination in the library.
+//
+//   rcb_sim --protocol=one_to_one --adversary=full_duel --budget=16384 ...
+//       ... --q=0.6 --eps=0.01 --trials=200 --format=table
+//
+//   rcb_sim --protocol=broadcast --n=64 --adversary=suffix --budget=131072 ...
+//       ... --q=0.9 --format=json | jq .max_cost.mean
+//
+// Protocols: one_to_one (Fig. 1), ksy (golden-ratio baseline), combined
+// (interleaved min), broadcast (Fig. 2), naive (halt-on-count strawman),
+// sqrt (the "extension of Theorem 1" 1-to-n baseline).
+// Adversaries: none, suffix, fraction, random, burst (1-uniform, broadcast
+// protocols); none, send_phase, nack_phase, full_duel, both_views,
+// sym_random, spoof (2-uniform, 1-to-1 protocols).
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rcb/cli/flags.hpp"
+#include "rcb/cli/json.hpp"
+#include "rcb/cli/json_parse.hpp"
+#include "rcb/stats/histogram.hpp"
+#include "rcb/stats/table.hpp"
+#include "sim_runner.hpp"
+
+namespace rcb {
+namespace {
+
+int run_tool(int argc, const char* const* argv) {
+  FlagSet flags(
+      "rcb_sim: Monte-Carlo simulator for resource-competitive broadcast "
+      "(SPAA'14 reproduction)");
+  flags.add_string("protocol", "one_to_one",
+                   "one_to_one | ksy | combined | broadcast | naive | sqrt");
+  flags.add_string("adversary", "none",
+                   "1-to-1: none|send_phase|nack_phase|full_duel|both_views|"
+                   "sym_random|spoof; broadcast: none|suffix|fraction|random|"
+                   "burst");
+  flags.add_int("budget", 16384, "adversary energy budget (slot-units)");
+  flags.add_double("q", 0.6, "blocking fraction for suffix-style adversaries");
+  flags.add_double("rate", 0.3, "per-slot rate for random jammers");
+  flags.add_int("n", 32, "number of nodes (broadcast protocols)");
+  flags.add_double("eps", 0.01, "Fig. 1 failure parameter");
+  flags.add_int("trials", 100, "Monte-Carlo trials");
+  flags.add_int("seed", 1, "master seed (trials derive independent streams)");
+  flags.add_int("max_epoch_extra", 0,
+                "cap epochs at first_epoch + this (0 = protocol default; "
+                "needed for --adversary=spoof, which never lets Fig.1 halt)");
+  flags.add_string("format", "table", "table | json | csv");
+  flags.add_bool("histogram", false,
+                 "print an ASCII histogram of per-trial max cost");
+  flags.add_string("config", "",
+                   "JSON file of flag values, e.g. {\"protocol\": "
+                   "\"broadcast\", \"n\": 64}; command-line flags override");
+
+  // Apply config-file values before the command line so that explicit
+  // flags override the file.  The file is located by a pre-scan, since the
+  // full parse has not run yet.
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string path;
+    if (arg.rfind("--config=", 0) == 0) {
+      path = arg.substr(9);
+    } else if (arg == "--config" && i + 1 < argc) {
+      path = argv[i + 1];
+    } else {
+      continue;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open config file '%s'\n", path.c_str());
+      return 1;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+      text.append(buf, got);
+    }
+    std::fclose(f);
+    const JsonParseResult parsed = json_parse(text);
+    if (!parsed.ok) {
+      std::fprintf(stderr, "config '%s': %s at offset %zu\n", path.c_str(),
+                   parsed.error.c_str(), parsed.error_offset);
+      return 1;
+    }
+    if (!parsed.value.is_object()) {
+      std::fprintf(stderr, "config '%s': top level must be an object\n",
+                   path.c_str());
+      return 1;
+    }
+    for (const auto& [key, value] : parsed.value.as_object()) {
+      std::string repr;
+      if (value.is_string()) {
+        repr = value.as_string();
+      } else if (value.is_bool()) {
+        repr = value.as_bool() ? "true" : "false";
+      } else if (value.is_number()) {
+        char nbuf[64];
+        std::snprintf(nbuf, sizeof nbuf, "%.17g", value.as_number());
+        repr = nbuf;
+      } else {
+        std::fprintf(stderr, "config key '%s': unsupported value type\n",
+                     key.c_str());
+        return 1;
+      }
+      if (!flags.set(key, repr)) return 1;
+    }
+  }
+
+  if (!flags.parse(argc, argv)) return 1;
+
+  const std::string protocol = flags.get_string("protocol");
+  const std::string adversary = flags.get_string("adversary");
+  const auto budget = static_cast<Cost>(flags.get_int("budget"));
+  const double q = flags.get_double("q");
+  const double rate = flags.get_double("rate");
+  const auto n = static_cast<std::uint32_t>(flags.get_int("n"));
+  const double eps = flags.get_double("eps");
+  const auto trials = static_cast<std::size_t>(flags.get_int("trials"));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const auto extra = static_cast<std::uint32_t>(flags.get_int("max_epoch_extra"));
+  const std::string format = flags.get_string("format");
+  tools::SimConfig cfg;
+  cfg.protocol = protocol;
+  cfg.adversary = adversary;
+  cfg.budget = budget;
+  cfg.q = q;
+  cfg.rate = rate;
+  cfg.n = n;
+  cfg.eps = eps;
+  cfg.trials = trials;
+  cfg.seed = seed;
+  cfg.max_epoch_extra = extra;
+
+  const tools::SimAggregate agg = tools::run_sim(cfg);
+  if (!agg.valid) {
+    std::fprintf(stderr, "%s\n", agg.error.c_str());
+    return 1;
+  }
+
+  if (format == "json") {
+    JsonWriter json(std::cout);
+    json.begin_object();
+    json.key("protocol").value(protocol);
+    json.key("adversary").value(adversary);
+    json.key("trials").value(static_cast<std::uint64_t>(trials));
+    json.key("success_rate").value(agg.success_rate);
+    auto emit = [&](const char* name, const Summary& s) {
+      json.key(name).begin_object();
+      json.key("mean").value(s.mean);
+      json.key("stddev").value(s.stddev);
+      json.key("median").value(s.median);
+      json.key("p10").value(s.p10);
+      json.key("p90").value(s.p90);
+      json.key("min").value(s.min);
+      json.key("max").value(s.max);
+      json.end_object();
+    };
+    emit("max_cost", agg.max_cost);
+    emit("mean_cost", agg.mean_cost);
+    emit("adversary_cost", agg.adversary_cost);
+    emit("latency", agg.latency);
+    json.end_object();
+    std::cout << '\n';
+    return 0;
+  }
+
+  Table table({"metric", "mean", "median", "p10", "p90", "min", "max"});
+  auto row = [&](const char* name, const Summary& s) {
+    table.add_row({name, Table::num(s.mean), Table::num(s.median),
+                   Table::num(s.p10), Table::num(s.p90), Table::num(s.min),
+                   Table::num(s.max)});
+  };
+  row("max node cost", agg.max_cost);
+  row("mean node cost", agg.mean_cost);
+  row("adversary cost T", agg.adversary_cost);
+  row("latency (slots)", agg.latency);
+
+  if (format == "csv") {
+    table.print_csv(std::cout);
+  } else {
+    std::printf("%s vs %s, %zu trials, success rate %.4f\n\n",
+                protocol.c_str(), adversary.c_str(), trials,
+                agg.success_rate);
+    table.print(std::cout);
+  }
+
+  if (flags.get_bool("histogram")) {
+    std::cout << "\nper-trial max cost distribution:\n";
+    Histogram hist(agg.max_cost_samples, 12);
+    hist.print(std::cout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rcb
+
+int main(int argc, char** argv) { return rcb::run_tool(argc, argv); }

@@ -1,0 +1,156 @@
+// rcb_sweep — one-dimensional parameter sweeps over any protocol/adversary
+// combination, with CSV output and an automatic power-law fit.
+//
+//   rcb_sweep --protocol=broadcast --adversary=suffix --q=0.9 ...
+//       --sweep=budget --values=16384,65536,262144,1048576 --trials=20
+//
+//   rcb_sweep --protocol=one_to_one --adversary=full_duel ...
+//       --sweep=eps --values=0.3,0.1,0.03,0.01 --fit=none
+//
+// Sweepable flags: budget, q, rate, n, eps, trials.  The fit (when the
+// sweep variable and the chosen y-metric are positive) reports the fitted
+// exponent of y ~ x^alpha — the quantity the paper's theorems are about.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rcb/cli/flags.hpp"
+#include "rcb/stats/regression.hpp"
+#include "rcb/stats/table.hpp"
+#include "sim_runner.hpp"
+
+namespace rcb {
+namespace {
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> parts;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) parts.push_back(item);
+  }
+  return parts;
+}
+
+int run_tool(int argc, const char* const* argv) {
+  FlagSet flags("rcb_sweep: 1-D parameter sweeps with power-law fits");
+  flags.add_string("protocol", "one_to_one",
+                   "one_to_one | ksy | combined | broadcast | naive | sqrt");
+  flags.add_string("adversary", "none", "see rcb_sim --help");
+  flags.add_int("budget", 16384, "adversary energy budget");
+  flags.add_double("q", 0.6, "blocking fraction");
+  flags.add_double("rate", 0.3, "random-jammer rate");
+  flags.add_int("n", 32, "number of nodes");
+  flags.add_double("eps", 0.01, "Fig. 1 failure parameter");
+  flags.add_int("trials", 50, "Monte-Carlo trials per sweep point");
+  flags.add_int("seed", 1, "master seed");
+  flags.add_int("max_epoch_extra", 0, "epoch cap offset (0 = default)");
+  flags.add_string("sweep", "budget",
+                   "flag to sweep: budget | q | rate | n | eps | trials");
+  flags.add_string("values", "4096,16384,65536",
+                   "comma-separated sweep values");
+  flags.add_string("metric", "max_cost",
+                   "y for the fit: max_cost | mean_cost | latency");
+  flags.add_string("fit", "power",
+                   "power (fit y ~ x^alpha over the sweep) | none");
+  flags.add_string("format", "csv", "csv | table");
+  if (!flags.parse(argc, argv)) return 1;
+
+  tools::SimConfig base;
+  base.protocol = flags.get_string("protocol");
+  base.adversary = flags.get_string("adversary");
+  base.budget = static_cast<Cost>(flags.get_int("budget"));
+  base.q = flags.get_double("q");
+  base.rate = flags.get_double("rate");
+  base.n = static_cast<std::uint32_t>(flags.get_int("n"));
+  base.eps = flags.get_double("eps");
+  base.trials = static_cast<std::size_t>(flags.get_int("trials"));
+  base.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  base.max_epoch_extra =
+      static_cast<std::uint32_t>(flags.get_int("max_epoch_extra"));
+
+  const std::string sweep = flags.get_string("sweep");
+  const std::string metric = flags.get_string("metric");
+  const auto values = split_csv(flags.get_string("values"));
+  if (values.empty()) {
+    std::fprintf(stderr, "--values is empty\n");
+    return 1;
+  }
+
+  Table table({sweep, "success", "max cost", "mean cost", "T (mean)",
+               "latency"});
+  std::vector<double> xs, ys;
+
+  std::uint64_t seed_offset = 0;
+  for (const std::string& value : values) {
+    tools::SimConfig cfg = base;
+    cfg.seed = base.seed + (seed_offset++) * 1000003;
+    char* end = nullptr;
+    const double x = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      std::fprintf(stderr, "sweep value '%s' is not numeric\n", value.c_str());
+      return 1;
+    }
+    if (sweep == "budget") {
+      cfg.budget = static_cast<Cost>(x);
+    } else if (sweep == "q") {
+      cfg.q = x;
+    } else if (sweep == "rate") {
+      cfg.rate = x;
+    } else if (sweep == "n") {
+      cfg.n = static_cast<std::uint32_t>(x);
+    } else if (sweep == "eps") {
+      cfg.eps = x;
+    } else if (sweep == "trials") {
+      cfg.trials = static_cast<std::size_t>(x);
+    } else {
+      std::fprintf(stderr, "unknown sweep flag '%s'\n", sweep.c_str());
+      return 1;
+    }
+
+    const tools::SimAggregate agg = tools::run_sim(cfg);
+    if (!agg.valid) {
+      std::fprintf(stderr, "%s\n", agg.error.c_str());
+      return 1;
+    }
+    table.add_row({value, Table::num(agg.success_rate, 4),
+                   Table::num(agg.max_cost.mean),
+                   Table::num(agg.mean_cost.mean),
+                   Table::num(agg.adversary_cost.mean),
+                   Table::num(agg.latency.mean)});
+
+    double y = agg.max_cost.mean;
+    if (metric == "mean_cost") {
+      y = agg.mean_cost.mean;
+    } else if (metric == "latency") {
+      y = agg.latency.mean;
+    }
+    // Fit against realised T when sweeping the budget (the theorems are
+    // about T, and a budget may not be fully spent).
+    const double fit_x = sweep == "budget" ? agg.adversary_cost.mean : x;
+    if (fit_x > 0.0 && y > 0.0) {
+      xs.push_back(fit_x);
+      ys.push_back(y);
+    }
+  }
+
+  if (flags.get_string("format") == "table") {
+    table.print(std::cout);
+  } else {
+    table.print_csv(std::cout);
+  }
+
+  if (flags.get_string("fit") == "power" && xs.size() >= 2) {
+    const PowerLawFit fit = fit_power_law(xs, ys);
+    std::printf("# fit: %s ~ %s^%.3f (R^2 %.3f)\n", metric.c_str(),
+                sweep.c_str(), fit.exponent, fit.r_squared);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rcb
+
+int main(int argc, char** argv) { return rcb::run_tool(argc, argv); }
