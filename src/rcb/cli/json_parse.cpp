@@ -291,7 +291,12 @@ class Parser {
       if (!consume(':')) return fail("expected ':' after object key");
       JsonValue value;
       if (!parse_value(value, depth + 1)) return false;
-      members.emplace(std::move(key), std::move(value));
+      // Reject duplicates: first-wins or last-wins semantics would let two
+      // documents that look different parse identically, which is poison
+      // for repro records.
+      if (!members.emplace(std::move(key), std::move(value)).second) {
+        return fail("duplicate object key");
+      }
       skip_whitespace();
       if (consume('}')) break;
       if (!consume(',')) return fail("expected ',' or '}' in object");

@@ -1,7 +1,10 @@
 // Minimal recursive-descent JSON parser (RFC 8259 subset) for tool config
 // files.  Paired with the writer in json.hpp; round-trips everything the
 // writer emits.  No exceptions: parse() returns an error description with
-// position on malformed input.
+// position on malformed input.  Hardened for adversarial input (crash-repro
+// records travel through logs): nesting is depth-capped, duplicate object
+// keys are rejected, and no input can make the parser read out of bounds —
+// fuzz_test.cpp exercises random, truncated and mutated documents.
 #pragma once
 
 #include <cstdint>

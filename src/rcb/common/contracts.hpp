@@ -1,19 +1,65 @@
-// Lightweight contract checking.
+// Lightweight contract checking with machine-readable failure records.
 //
 // RCB_REQUIRE is kept on in all build types: the simulator is a research
 // instrument, and a silently-violated precondition invalidates experiment
 // output, which is worse than the branch cost.  Hot inner loops use
 // RCB_ASSERT, which compiles out when NDEBUG is defined.
+//
+// Crash repro: a contract failure emits a one-line JSON record
+// ("RCB_REPRO {...}") to stderr before aborting.  If the failing thread has
+// a ReproScope installed (the Monte-Carlo runners install one per trial),
+// the record carries the master seed, trial index, and scenario JSON needed
+// to re-execute the exact failing trial bit-identically — see
+// runtime/scenario.hpp and tools/replay.  Tests can intercept the record
+// (and avoid the abort) with set_contract_failure_handler.
 #pragma once
 
+#include <cstdint>
+#include <string>
 #include <string_view>
 
-namespace rcb::detail {
+namespace rcb {
+
+/// Ambient description of the experiment the current thread is executing,
+/// attached to contract-failure repro records.
+struct ReproContext {
+  std::uint64_t master_seed = 0;
+  std::uint64_t trial = 0;
+  /// JSON text describing the scenario (see runtime/scenario.hpp), or
+  /// empty when unknown.  Embedded verbatim into the repro record.
+  std::string scenario_json;
+};
+
+/// RAII installer for the thread-local ReproContext; nests.
+class ReproScope {
+ public:
+  ReproScope(std::uint64_t master_seed, std::uint64_t trial,
+             std::string scenario_json);
+  ~ReproScope();
+  ReproScope(const ReproScope&) = delete;
+  ReproScope& operator=(const ReproScope&) = delete;
+
+ private:
+  const ReproContext* previous_;
+  ReproContext context_;
+};
+
+/// Innermost installed context for this thread, or nullptr.
+const ReproContext* current_repro_context();
+
+/// Invoked with the repro record before the default stderr+abort path.
+/// A handler may throw (test capture) or terminate; if it returns, the
+/// default path runs.  Process-global; returns the previous handler.
+using ContractFailureHandler = void (*)(std::string_view record_json);
+ContractFailureHandler set_contract_failure_handler(ContractFailureHandler h);
+
+namespace detail {
 
 [[noreturn]] void contract_failure(std::string_view kind, std::string_view expr,
                                    std::string_view file, int line);
 
-}  // namespace rcb::detail
+}  // namespace detail
+}  // namespace rcb
 
 #define RCB_REQUIRE(expr)                                                     \
   do {                                                                        \

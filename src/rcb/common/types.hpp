@@ -25,6 +25,9 @@ using Cost = std::uint64_t;
 /// Sentinel for "no node".
 inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
 
+/// Sentinel slot index meaning "never happened".
+inline constexpr SlotIndex kNoSlot = std::numeric_limits<SlotIndex>::max();
+
 /// What a transmitting radio puts on the channel in a slot.
 enum class Payload : std::uint8_t {
   kMessage,  ///< the authenticated broadcast message m

@@ -10,10 +10,13 @@
 namespace rcb {
 
 BroadcastNEngine::BroadcastNEngine(std::uint32_t n,
-                                   const BroadcastNParams& params)
-    : n_(n), params_(params), epoch_(params.first_epoch), active_(n) {
+                                   const BroadcastNParams& params,
+                                   FaultPlan* faults)
+    : n_(n), params_(params), faults_(faults), epoch_(params.first_epoch),
+      active_(n) {
   RCB_REQUIRE(n >= 1);
   RCB_REQUIRE(params.first_epoch >= 1);
+  if (faults_ != nullptr && !faults_->active()) faults_ = nullptr;
   nodes_.resize(n);
   actions_.resize(n);
   nodes_[0].status = BroadcastStatus::kInformed;
@@ -30,8 +33,36 @@ void BroadcastNEngine::begin_epoch() {
   for (auto& node : nodes_) node.S = params_.initial_S;
 }
 
+// Crash/restart churn is applied at repetition granularity: a node that the
+// fault plan has down at the repetition's first slot sits this repetition
+// out entirely (kCrashed); a previously crashed node that is back up rejoins
+// with its volatile state wiped — uninformed (the sender re-reads m from
+// stable storage) and S_u reset.  Sticky `informed` flags keep the
+// ever-informed count from double-counting re-informed nodes.
+void BroadcastNEngine::sync_crash_states() {
+  for (NodeId u = 0; u < n_; ++u) {
+    BroadcastNodeState& node = nodes_[u];
+    const bool down = faults_->node_down_at(u, latency_);
+    const bool live = node.status == BroadcastStatus::kUninformed ||
+                      node.status == BroadcastStatus::kInformed ||
+                      node.status == BroadcastStatus::kHelper;
+    if (down && live) {
+      node.status = BroadcastStatus::kCrashed;
+      node.terminated_epoch = epoch_;
+      --active_;
+    } else if (!down && node.status == BroadcastStatus::kCrashed) {
+      node.status =
+          u == 0 ? BroadcastStatus::kInformed : BroadcastStatus::kUninformed;
+      node.S = params_.initial_S;
+      node.n_estimate = 0.0;
+      ++active_;
+    }
+  }
+}
+
 bool BroadcastNEngine::step(RepetitionAdversary& adversary, Rng& rng) {
   if (finished_) return false;
+  if (faults_ != nullptr) sync_crash_states();
   if (active_ == 0 || epoch_ > params_.max_epoch) {
     finished_ = true;
     return false;
@@ -50,7 +81,8 @@ bool BroadcastNEngine::step(RepetitionAdversary& adversary, Rng& rng) {
   for (NodeId u = 0; u < n_; ++u) {
     const BroadcastNodeState& node = nodes_[u];
     if (node.status == BroadcastStatus::kTerminated ||
-        node.status == BroadcastStatus::kDead) {
+        node.status == BroadcastStatus::kDead ||
+        node.status == BroadcastStatus::kCrashed) {
       actions_[u] = NodeAction{};
       continue;
     }
@@ -61,23 +93,31 @@ bool BroadcastNEngine::step(RepetitionAdversary& adversary, Rng& rng) {
         clamp_probability(node.S * lf / slots)};
   }
 
-  const RepetitionResult rep =
-      run_repetition(num_slots, actions_, jam, rng, nullptr, params_.cca);
+  const SlotIndex phase_start = latency_;
+  const RepetitionResult rep = run_repetition(num_slots, actions_, jam, rng,
+                                              nullptr, params_.cca, faults_);
   adversary_cost_ += jam.jammed_count();
   latency_ += num_slots;
 
   for (NodeId u = 0; u < n_; ++u) {
     BroadcastNodeState& node = nodes_[u];
     if (node.status == BroadcastStatus::kTerminated ||
-        node.status == BroadcastStatus::kDead) {
+        node.status == BroadcastStatus::kDead ||
+        node.status == BroadcastStatus::kCrashed) {
       continue;
     }
     const NodeObservation& obs = rep.obs[u];
     node.cost += obs.sends + obs.listens;
 
-    // Battery extension: a node that has spent its capacity dies.
-    if (params_.node_energy_budget > 0 &&
-        node.cost >= params_.node_energy_budget) {
+    // Battery extension: a node that has spent its capacity dies.  A
+    // brownout (faults.hpp) shrinks the usable capacity mid-run.
+    Cost capacity = params_.node_energy_budget;
+    if (capacity > 0 && faults_ != nullptr) {
+      capacity = static_cast<Cost>(
+          static_cast<double>(capacity) *
+          faults_->battery_factor(u, phase_start));
+    }
+    if (capacity > 0 && node.cost >= capacity) {
       node.status = BroadcastStatus::kDead;
       node.terminated_epoch = epoch_;
       --active_;
@@ -105,9 +145,11 @@ bool BroadcastNEngine::step(RepetitionAdversary& adversary, Rng& rng) {
     } else if (node.status == BroadcastStatus::kUninformed) {
       if (obs.messages > 0) {  // Case 2
         node.status = BroadcastStatus::kInformed;
-        node.informed = true;
-        node.informed_epoch = epoch_;
-        if (++informed_count_ == n_) informed_latency_ = latency_;
+        if (!node.informed) {  // sticky across crash/restart churn
+          node.informed = true;
+          node.informed_epoch = epoch_;
+          if (++informed_count_ == n_) informed_latency_ = latency_;
+        }
       }
     } else if (node.status == BroadcastStatus::kInformed) {
       if (heard_m > helper_threshold) {  // Case 3
@@ -150,6 +192,7 @@ BroadcastNResult BroadcastNEngine::result() const {
   result.final_epoch = std::min(epoch_, params_.max_epoch);
 
   std::uint32_t dead = 0;
+  std::uint32_t crashed = 0;
   for (NodeId u = 0; u < n_; ++u) {
     const BroadcastNodeState& node = nodes_[u];
     BroadcastNodeOutcome& out = result.nodes[u];
@@ -162,14 +205,17 @@ BroadcastNResult BroadcastNEngine::result() const {
     out.terminated_epoch = node.terminated_epoch;
     if (node.informed) ++result.informed_count;
     if (node.status == BroadcastStatus::kDead) ++dead;
+    if (node.status == BroadcastStatus::kCrashed) ++crashed;
     result.max_cost = std::max(result.max_cost, node.cost);
   }
   result.dead_count = dead;
+  result.crashed_count = crashed;
+  result.hit_epoch_cap = finished_ && active_ > 0;
   double total = 0.0;
   for (const auto& node : nodes_) total += static_cast<double>(node.cost);
   result.mean_cost = total / static_cast<double>(n_);
   result.all_informed = (result.informed_count == n_);
-  result.all_terminated = (active_ == 0 && dead == 0);
+  result.all_terminated = (active_ == 0 && dead == 0 && crashed == 0);
   return result;
 }
 

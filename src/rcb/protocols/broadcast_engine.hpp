@@ -32,8 +32,11 @@ struct BroadcastNodeState {
 
 class BroadcastNEngine {
  public:
-  /// Node 0 is the sender and starts informed.
-  BroadcastNEngine(std::uint32_t n, const BroadcastNParams& params);
+  /// Node 0 is the sender and starts informed.  `faults` (optional, not
+  /// owned, must outlive the engine) injects crash/restart churn, channel
+  /// faults and battery brownouts; see run_broadcast_n.
+  BroadcastNEngine(std::uint32_t n, const BroadcastNParams& params,
+                   FaultPlan* faults = nullptr);
 
   /// Runs the next repetition (advancing to the next epoch when the current
   /// one is exhausted, resetting S_u per Fig. 2).  Returns false when the
@@ -67,9 +70,11 @@ class BroadcastNEngine {
 
  private:
   void begin_epoch();
+  void sync_crash_states();
 
   std::uint32_t n_;
   BroadcastNParams params_;
+  FaultPlan* faults_ = nullptr;
   std::uint32_t epoch_;
   std::uint64_t repetition_ = 0;
   std::uint64_t repetitions_in_epoch_ = 0;

@@ -75,8 +75,9 @@ double BroadcastNParams::helper_threshold(std::uint32_t epoch) const {
 
 BroadcastNResult run_broadcast_n(std::uint32_t n,
                                  const BroadcastNParams& params,
-                                 RepetitionAdversary& adversary, Rng& rng) {
-  BroadcastNEngine engine(n, params);
+                                 RepetitionAdversary& adversary, Rng& rng,
+                                 FaultPlan* faults) {
+  BroadcastNEngine engine(n, params, faults);
   engine.run(adversary, rng);
   return engine.result();
 }

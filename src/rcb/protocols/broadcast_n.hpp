@@ -32,18 +32,22 @@
 #include "rcb/common/types.hpp"
 #include "rcb/rng/rng.hpp"
 #include "rcb/sim/cca.hpp"
+#include "rcb/sim/faults.hpp"
 
 namespace rcb {
 
 /// Node status, in the order of Figure 2's case analysis.  kDead is the
 /// battery-exhaustion state of the optional node_energy_budget extension —
-/// unlike kTerminated it is a failure, not a decision.
+/// unlike kTerminated it is a failure, not a decision.  kCrashed is the
+/// fault-injection state (sim/faults.hpp): the node is down and may later
+/// restart with its volatile state (S_u, informedness) wiped.
 enum class BroadcastStatus : std::uint8_t {
   kUninformed,
   kInformed,
   kHelper,
   kTerminated,
   kDead,
+  kCrashed,
 };
 
 struct BroadcastNParams {
@@ -116,8 +120,12 @@ struct BroadcastNResult {
   std::uint32_t n = 0;
   bool all_informed = false;
   bool all_terminated = false;  ///< every node terminated *by choice*
+  /// True when the run was cut off at max_epoch with nodes still active —
+  /// the graceful-degradation signal that the protocol did not converge.
+  bool hit_epoch_cap = false;
   std::uint64_t informed_count = 0;
   std::uint64_t dead_count = 0;  ///< battery-exhausted nodes (extension)
+  std::uint64_t crashed_count = 0;  ///< fault-injected nodes down at the end
   Cost max_cost = 0;
   double mean_cost = 0.0;
   Cost adversary_cost = 0;
@@ -129,9 +137,15 @@ struct BroadcastNResult {
 };
 
 /// Runs Figure 2 with n nodes (node 0 is the sender and starts informed)
-/// against a 1-uniform repetition adversary.
+/// against a 1-uniform repetition adversary.  `faults` (optional) injects
+/// the device/environment faults of sim/faults.hpp: the engine additionally
+/// tracks crash/restart churn at repetition granularity (crashed nodes stop
+/// holding up termination; a restarted node rejoins uninformed with a fresh
+/// S_u — the sender re-reads m from stable storage) and applies battery
+/// brownouts to node_energy_budget.
 BroadcastNResult run_broadcast_n(std::uint32_t n,
                                  const BroadcastNParams& params,
-                                 RepetitionAdversary& adversary, Rng& rng);
+                                 RepetitionAdversary& adversary, Rng& rng,
+                                 FaultPlan* faults = nullptr);
 
 }  // namespace rcb

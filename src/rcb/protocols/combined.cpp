@@ -33,7 +33,8 @@ struct Fig1Stream {
 
   bool active() const { return alice_running || bob_running; }
 
-  void step(DuelAdversary& adversary, Rng& rng, Shared& sh) {
+  void step(DuelAdversary& adversary, Rng& rng, Shared& sh,
+            FaultPlan* faults) {
     if (epoch > params->max_epoch) {
       alice_running = bob_running = false;
       return;
@@ -53,7 +54,8 @@ struct Fig1Stream {
       auto rep = run_repetition_luniform(
           num_slots, std::span<const NodeAction>(actions.data(), 3),
           std::span<const std::uint32_t>(kPartition.data(), 3),
-          std::span<const JamSchedule>(views.data(), 2), rng);
+          std::span<const JamSchedule>(views.data(), 2), rng, nullptr,
+        CcaModel{}, faults);
       sh.result.latency += num_slots;
       sh.result.adversary_cost +=
           plan.alice_view.jammed_count() + plan.bob_view.jammed_count();
@@ -87,7 +89,8 @@ struct Fig1Stream {
       auto rep = run_repetition_luniform(
           num_slots, std::span<const NodeAction>(actions.data(), 3),
           std::span<const std::uint32_t>(kPartition.data(), 3),
-          std::span<const JamSchedule>(views.data(), 2), rng);
+          std::span<const JamSchedule>(views.data(), 2), rng, nullptr,
+        CcaModel{}, faults);
       sh.result.latency += num_slots;
       sh.result.adversary_cost +=
           plan.alice_view.jammed_count() + plan.bob_view.jammed_count();
@@ -116,7 +119,8 @@ struct KsyStream {
 
   bool active() const { return alice_running || bob_running; }
 
-  void step(DuelAdversary& adversary, Rng& rng, Shared& sh) {
+  void step(DuelAdversary& adversary, Rng& rng, Shared& sh,
+            FaultPlan* faults) {
     if (epoch > params->max_epoch) {
       alice_running = bob_running = false;
       return;
@@ -139,7 +143,8 @@ struct KsyStream {
     auto rep = run_repetition_luniform(
         num_slots, std::span<const NodeAction>(actions.data(), 3),
         std::span<const std::uint32_t>(kPartition.data(), 3),
-        std::span<const JamSchedule>(views.data(), 2), rng);
+        std::span<const JamSchedule>(views.data(), 2), rng, nullptr,
+        CcaModel{}, faults);
     sh.result.latency += num_slots;
     sh.result.adversary_cost +=
         plan.alice_view.jammed_count() + plan.bob_view.jammed_count();
@@ -176,10 +181,12 @@ struct KsyStream {
 }  // namespace
 
 OneToOneResult run_combined(const CombinedParams& params,
-                            DuelAdversary& adversary, Rng& rng) {
+                            DuelAdversary& adversary, Rng& rng,
+                            FaultPlan* faults) {
   Shared sh;
   Fig1Stream fig1(params.fig1);
   KsyStream ksy(params.ksy);
+  if (faults != nullptr && !faults->active()) faults = nullptr;
 
   // A party halts overall as soon as either stream halts it; once Bob is
   // informed through either stream he stops listening in both.
@@ -188,18 +195,22 @@ OneToOneResult run_combined(const CombinedParams& params,
     const bool bob_running =
         !sh.bob_informed && (fig1.bob_running && ksy.bob_running);
     if (!alice_running && !bob_running) break;
+    if (params.timeout_slots > 0 && sh.result.latency >= params.timeout_slots) {
+      sh.result.aborted = true;
+      break;
+    }
 
     // Propagate halting decisions across streams.
     fig1.alice_running = ksy.alice_running = alice_running;
     fig1.bob_running = ksy.bob_running = bob_running;
 
     sh.result.final_epoch = fig1.epoch;
-    fig1.step(adversary, rng, sh);
+    fig1.step(adversary, rng, sh, faults);
 
     // Bob may have been informed by the Fig.1 step; silence him in KSY.
     if (sh.bob_informed) ksy.bob_running = false;
 
-    ksy.step(adversary, rng, sh);
+    ksy.step(adversary, rng, sh, faults);
 
     // Hard stop if both streams ran off their epoch caps.
     if (fig1.epoch > params.fig1.max_epoch && ksy.epoch > params.ksy.max_epoch) {

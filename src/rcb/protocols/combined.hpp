@@ -26,11 +26,17 @@ namespace rcb {
 struct CombinedParams {
   OneToOneParams fig1 = OneToOneParams::sim(0.01);
   KsyParams ksy;
+  /// Wall-clock abort across both streams (0 disables); see
+  /// OneToOneParams::timeout_slots.
+  SlotCount timeout_slots = 0;
 };
 
 /// Runs the interleaved combination; reuses OneToOneResult.  final_epoch
-/// reports the Fig.1 stream's last epoch index.
+/// reports the Fig.1 stream's last epoch index.  `faults` (optional)
+/// applies the channel faults of sim/faults.hpp to every phase of both
+/// streams.
 OneToOneResult run_combined(const CombinedParams& params,
-                            DuelAdversary& adversary, Rng& rng);
+                            DuelAdversary& adversary, Rng& rng,
+                            FaultPlan* faults = nullptr);
 
 }  // namespace rcb

@@ -34,8 +34,9 @@ double KsyParams::bob_listen_prob(std::uint32_t epoch) const {
 }
 
 OneToOneResult run_ksy(const KsyParams& params, DuelAdversary& adversary,
-                       Rng& rng) {
+                       Rng& rng, FaultPlan* faults) {
   RCB_REQUIRE(params.first_epoch >= 1);
+  if (faults != nullptr && !faults->active()) faults = nullptr;
   OneToOneResult result;
   bool alice_running = true;
   bool bob_running = true;
@@ -68,7 +69,8 @@ OneToOneResult run_ksy(const KsyParams& params, DuelAdversary& adversary,
     RepetitionResult rep = run_repetition_luniform(
         num_slots, std::span<const NodeAction>(actions.data(), 3),
         std::span<const std::uint32_t>(partition.data(), 3),
-        std::span<const JamSchedule>(views.data(), 2), rng);
+        std::span<const JamSchedule>(views.data(), 2), rng, nullptr,
+        CcaModel{}, faults);
 
     result.latency += num_slots;
     result.adversary_cost +=

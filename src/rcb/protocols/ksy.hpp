@@ -50,7 +50,8 @@ struct KsyParams {
 };
 
 /// Runs the KSY-style protocol; reuses OneToOneResult for comparability.
+/// `faults` (optional) applies the channel faults of sim/faults.hpp.
 OneToOneResult run_ksy(const KsyParams& params, DuelAdversary& adversary,
-                       Rng& rng);
+                       Rng& rng, FaultPlan* faults = nullptr);
 
 }  // namespace rcb

@@ -21,8 +21,9 @@ struct NodeState {
 BroadcastNResult run_naive_broadcast(std::uint32_t n,
                                      const BroadcastNParams& params,
                                      RepetitionAdversary& adversary,
-                                     Rng& rng) {
+                                     Rng& rng, FaultPlan* faults) {
   RCB_REQUIRE(n >= 1);
+  if (faults != nullptr && !faults->active()) faults = nullptr;
 
   BroadcastNResult result;
   result.n = n;
@@ -66,8 +67,8 @@ BroadcastNResult run_naive_broadcast(std::uint32_t n,
             clamp_probability(st.S * lf / slots)};
       }
 
-      RepetitionResult rep_result =
-          run_repetition(num_slots, actions, jam, rng);
+      RepetitionResult rep_result = run_repetition(
+          num_slots, actions, jam, rng, nullptr, CcaModel{}, faults);
       result.adversary_cost += jam.jammed_count();
       result.latency += num_slots;
 

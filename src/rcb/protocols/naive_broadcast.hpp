@@ -17,6 +17,7 @@ namespace rcb {
 /// The returned BroadcastNResult uses kTerminated/kInformed statuses only.
 BroadcastNResult run_naive_broadcast(std::uint32_t n,
                                      const BroadcastNParams& params,
-                                     RepetitionAdversary& adversary, Rng& rng);
+                                     RepetitionAdversary& adversary, Rng& rng,
+                                     FaultPlan* faults = nullptr);
 
 }  // namespace rcb

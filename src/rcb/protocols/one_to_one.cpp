@@ -52,11 +52,13 @@ constexpr NodeId kSpoofer = 2;
 }  // namespace
 
 OneToOneResult run_one_to_one(const OneToOneParams& params,
-                              DuelAdversary& adversary, Rng& rng) {
+                              DuelAdversary& adversary, Rng& rng,
+                              FaultPlan* faults) {
   OneToOneResult result;
   bool alice_running = true;
   bool bob_running = true;
   bool bob_informed = false;
+  if (faults != nullptr && !faults->active()) faults = nullptr;
 
   // Partition 0 = Alice's channel view, partition 1 = Bob's.  The spoofer
   // transmits into the shared channel and never listens; its partition
@@ -65,6 +67,11 @@ OneToOneResult run_one_to_one(const OneToOneParams& params,
 
   std::uint32_t epoch = params.first_epoch();
   for (; epoch <= params.max_epoch && (alice_running || bob_running); ++epoch) {
+    // Wall-clock abort: give up rather than escalate into the next epoch.
+    if (params.timeout_slots > 0 && result.latency >= params.timeout_slots) {
+      result.aborted = true;
+      break;
+    }
     result.final_epoch = epoch;
     const SlotCount num_slots = pow2(epoch);
     const double p = params.slot_probability(epoch);
@@ -88,7 +95,8 @@ OneToOneResult run_one_to_one(const OneToOneParams& params,
       RepetitionResult rep = run_repetition_luniform(
           num_slots, std::span<const NodeAction>(actions.data(), 3),
           std::span<const std::uint32_t>(partition.data(), 3),
-          std::span<const JamSchedule>(views.data(), 2), rng);
+          std::span<const JamSchedule>(views.data(), 2), rng, nullptr,
+          CcaModel{}, faults);
 
       result.latency += num_slots;
       result.adversary_cost +=
@@ -136,7 +144,8 @@ OneToOneResult run_one_to_one(const OneToOneParams& params,
       RepetitionResult rep = run_repetition_luniform(
           num_slots, std::span<const NodeAction>(actions.data(), 3),
           std::span<const std::uint32_t>(partition.data(), 3),
-          std::span<const JamSchedule>(views.data(), 2), rng);
+          std::span<const JamSchedule>(views.data(), 2), rng, nullptr,
+          CcaModel{}, faults);
 
       result.latency += num_slots;
       result.adversary_cost +=
@@ -158,7 +167,7 @@ OneToOneResult run_one_to_one(const OneToOneParams& params,
     }
   }
 
-  result.hit_epoch_cap = (alice_running || bob_running);
+  result.hit_epoch_cap = !result.aborted && (alice_running || bob_running);
   result.alice_halted = !alice_running;
   result.bob_halted = !bob_running;
   result.delivered = bob_informed;

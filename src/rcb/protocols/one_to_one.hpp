@@ -35,6 +35,7 @@
 #include "rcb/adversary/two_uniform.hpp"
 #include "rcb/common/types.hpp"
 #include "rcb/rng/rng.hpp"
+#include "rcb/sim/faults.hpp"
 
 namespace rcb {
 
@@ -51,6 +52,11 @@ struct OneToOneParams {
   /// Halting threshold as a fraction of p_i * 2^(i-1); the paper's proofs
   /// use 1/4.
   double halt_threshold_factor = 0.25;
+  /// Wall-clock abort: when > 0 and the slots elapsed reach this bound with
+  /// either party still running, the run is cut off and reported as
+  /// aborted rather than looping toward max_epoch.  Deployments use this
+  /// to bound the damage of a permanently-jammed channel; 0 disables.
+  SlotCount timeout_slots = 0;
 
   /// Paper-faithful constants.
   static OneToOneParams theory(double eps);
@@ -72,6 +78,9 @@ struct OneToOneResult {
   bool alice_halted = false;
   bool bob_halted = false;
   bool hit_epoch_cap = false;  ///< execution was truncated at max_epoch
+  /// True when timeout_slots elapsed with a party still running; the
+  /// protocol gave up rather than halting by its own rules.
+  bool aborted = false;
   Cost alice_cost = 0;
   Cost bob_cost = 0;
   Cost adversary_cost = 0;     ///< T actually spent (jamming + spoofed sends)
@@ -81,8 +90,11 @@ struct OneToOneResult {
   Cost max_cost() const { return alice_cost > bob_cost ? alice_cost : bob_cost; }
 };
 
-/// Runs the protocol to completion against `adversary`.
+/// Runs the protocol to completion against `adversary`.  `faults`
+/// (optional) applies the channel faults of sim/faults.hpp to every phase;
+/// crash churn uses node ids 0 = Alice, 1 = Bob.
 OneToOneResult run_one_to_one(const OneToOneParams& params,
-                              DuelAdversary& adversary, Rng& rng);
+                              DuelAdversary& adversary, Rng& rng,
+                              FaultPlan* faults = nullptr);
 
 }  // namespace rcb

@@ -11,8 +11,10 @@ namespace rcb {
 
 BroadcastNResult run_sqrt_broadcast(std::uint32_t n,
                                     const OneToOneParams& params,
-                                    RepetitionAdversary& adversary, Rng& rng) {
+                                    RepetitionAdversary& adversary, Rng& rng,
+                                    FaultPlan* faults) {
   RCB_REQUIRE(n >= 1);
+  if (faults != nullptr && !faults->active()) faults = nullptr;
 
   BroadcastNResult result;
   result.n = n;
@@ -45,7 +47,8 @@ BroadcastNResult run_sqrt_broadcast(std::uint32_t n,
       for (NodeId u = 1; u < n; ++u) {
         if (receiver_running[u]) actions[u] = NodeAction{0.0, Payload::kNoise, p};
       }
-      const auto rep = run_repetition(num_slots, actions, jam, rng);
+      const auto rep = run_repetition(num_slots, actions, jam, rng, nullptr,
+                                      CcaModel{}, faults);
       result.adversary_cost += jam.jammed_count();
       result.latency += num_slots;
       result.nodes[0].cost += rep.obs[0].sends;
@@ -85,7 +88,8 @@ BroadcastNResult run_sqrt_broadcast(std::uint32_t n,
       for (NodeId u = 1; u < n; ++u) {
         if (receiver_running[u]) actions[u] = NodeAction{p, Payload::kNack, 0.0};
       }
-      const auto rep = run_repetition(num_slots, actions, jam, rng);
+      const auto rep = run_repetition(num_slots, actions, jam, rng, nullptr,
+                                      CcaModel{}, faults);
       result.adversary_cost += jam.jammed_count();
       result.latency += num_slots;
 

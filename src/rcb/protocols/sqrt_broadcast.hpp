@@ -30,6 +30,7 @@ namespace rcb {
 /// kUninformed/kInformed/kTerminated).
 BroadcastNResult run_sqrt_broadcast(std::uint32_t n,
                                     const OneToOneParams& params,
-                                    RepetitionAdversary& adversary, Rng& rng);
+                                    RepetitionAdversary& adversary, Rng& rng,
+                                    FaultPlan* faults = nullptr);
 
 }  // namespace rcb

@@ -24,12 +24,18 @@ struct Event {
 
 // Generates all events for one node.  Listens that collide with the node's
 // own sends are dropped (half-duplex: the send wins and is the only charge).
+// A node that is crashed in a slot (fault injection) neither sends nor
+// listens there; the slots are sampled regardless, so the main Rng stream
+// is consumed identically with and without an active FaultPlan.
 void generate_node_events(NodeId u, const NodeAction& action,
                           SlotCount num_slots, Rng& rng,
-                          std::vector<Event>& events) {
+                          std::vector<Event>& events, FaultPlan* faults) {
   thread_local std::vector<SlotIndex> send_slots;
   sample_bernoulli_slots(num_slots, action.send_prob, rng, send_slots);
-  for (SlotIndex s : send_slots) events.push_back(Event{s, u, false});
+  for (SlotIndex s : send_slots) {
+    if (faults != nullptr && faults->node_down(u, s)) continue;
+    events.push_back(Event{s, u, false});
+  }
 
   BernoulliSlotSampler listens(num_slots, action.listen_prob, rng);
   std::size_t si = 0;  // cursor into send_slots
@@ -37,6 +43,7 @@ void generate_node_events(NodeId u, const NodeAction& action,
        s = listens.next()) {
     while (si < send_slots.size() && send_slots[si] < s) ++si;
     if (si < send_slots.size() && send_slots[si] == s) continue;  // busy sending
+    if (faults != nullptr && faults->node_down(u, s)) continue;
     events.push_back(Event{s, u, true});
   }
 }
@@ -63,10 +70,15 @@ RepetitionResult run_repetition_luniform(
     SlotCount num_slots, std::span<const NodeAction> actions,
     std::span<const std::uint32_t> partition,
     std::span<const JamSchedule> schedules, Rng& rng, Trace* trace,
-    const CcaModel& cca) {
+    const CcaModel& cca, FaultPlan* faults) {
   RCB_REQUIRE(actions.size() == partition.size());
   RCB_REQUIRE(!schedules.empty());
   for (std::uint32_t p : partition) RCB_REQUIRE(p < schedules.size());
+
+  if (faults != nullptr && !faults->active()) faults = nullptr;
+  if (faults != nullptr) {
+    faults->begin_phase(static_cast<std::uint32_t>(actions.size()), num_slots);
+  }
 
   RepetitionResult result;
   result.obs.resize(actions.size());
@@ -74,7 +86,7 @@ RepetitionResult run_repetition_luniform(
   thread_local std::vector<Event> events;
   events.clear();
   for (NodeId u = 0; u < actions.size(); ++u) {
-    generate_node_events(u, actions[u], num_slots, rng, events);
+    generate_node_events(u, actions[u], num_slots, rng, events, faults);
   }
   std::sort(events.begin(), events.end());
 
@@ -89,6 +101,11 @@ RepetitionResult run_repetition_luniform(
          ++j) {
       ++sender_count;
       single_payload = actions[events[j].node].payload;
+      // A clock-skewed transmitter straddles slot boundaries: its signal is
+      // energy without a decodable payload.
+      if (faults != nullptr && faults->node_skewed(events[j].node)) {
+        single_payload = Payload::kNoise;
+      }
       ++result.obs[events[j].node].sends;
     }
     std::uint32_t listener_count = 0;
@@ -102,6 +119,15 @@ RepetitionResult run_repetition_luniform(
       any_jam_seen = any_jam_seen || jammed;
       Reception heard = resolve(sender_count, single_payload, jammed);
       if (!cca.perfect()) heard = cca.apply(heard, rng);
+      if (faults != nullptr) {
+        // A skewed listener samples the channel off the slot grid: it can
+        // still detect energy but cannot decode a payload.
+        if (faults->node_skewed(u) && (heard == Reception::kMessage ||
+                                       heard == Reception::kNack)) {
+          heard = Reception::kNoise;
+        }
+        heard = faults->degrade(heard, slot, rng);
+      }
       switch (heard) {
         case Reception::kClear:
           ++o.clear;
@@ -137,12 +163,13 @@ RepetitionResult run_repetition_luniform(
 RepetitionResult run_repetition(SlotCount num_slots,
                                 std::span<const NodeAction> actions,
                                 const JamSchedule& jam, Rng& rng,
-                                Trace* trace, const CcaModel& cca) {
+                                Trace* trace, const CcaModel& cca,
+                                FaultPlan* faults) {
   thread_local std::vector<std::uint32_t> partition;
   partition.assign(actions.size(), 0);
   return run_repetition_luniform(num_slots, actions, partition,
                                  std::span<const JamSchedule>(&jam, 1), rng,
-                                 trace, cca);
+                                 trace, cca, faults);
 }
 
 }  // namespace rcb

@@ -21,13 +21,11 @@
 #include "rcb/common/types.hpp"
 #include "rcb/rng/rng.hpp"
 #include "rcb/sim/cca.hpp"
+#include "rcb/sim/faults.hpp"
 #include "rcb/sim/jam_schedule.hpp"
 #include "rcb/sim/trace.hpp"
 
 namespace rcb {
-
-/// Sentinel slot index meaning "never happened".
-inline constexpr SlotIndex kNoSlot = UINT64_MAX;
 
 /// A node's behaviour for the duration of one phase.
 struct NodeAction {
@@ -60,11 +58,14 @@ struct RepetitionResult {
 
 /// Simulates a 1-uniform phase: one jam schedule shared by every node.
 /// `cca` models imperfect clear-channel assessment (default: perfect).
+/// `faults`, when non-null and active, injects the device/environment
+/// faults of sim/faults.hpp (the engine registers the phase with the plan).
 RepetitionResult run_repetition(SlotCount num_slots,
                                 std::span<const NodeAction> actions,
                                 const JamSchedule& jam, Rng& rng,
                                 Trace* trace = nullptr,
-                                const CcaModel& cca = CcaModel{});
+                                const CcaModel& cca = CcaModel{},
+                                FaultPlan* faults = nullptr);
 
 /// Simulates an l-uniform phase.  `partition[u]` selects the jam schedule
 /// experienced by node u; `schedules` holds one schedule per partition.
@@ -72,6 +73,6 @@ RepetitionResult run_repetition_luniform(
     SlotCount num_slots, std::span<const NodeAction> actions,
     std::span<const std::uint32_t> partition,
     std::span<const JamSchedule> schedules, Rng& rng, Trace* trace = nullptr,
-    const CcaModel& cca = CcaModel{});
+    const CcaModel& cca = CcaModel{}, FaultPlan* faults = nullptr);
 
 }  // namespace rcb

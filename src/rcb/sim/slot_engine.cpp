@@ -6,7 +6,13 @@ namespace rcb {
 
 SlotwiseResult run_repetition_slotwise(SlotCount num_slots,
                                        std::span<const NodeAction> actions,
-                                       SlotAdversary& adversary, Rng& rng) {
+                                       SlotAdversary& adversary, Rng& rng,
+                                       const CcaModel& cca, FaultPlan* faults) {
+  if (faults != nullptr && !faults->active()) faults = nullptr;
+  if (faults != nullptr) {
+    faults->begin_phase(static_cast<std::uint32_t>(actions.size()), num_slots);
+  }
+
   SlotwiseResult result;
   result.rep.obs.resize(actions.size());
 
@@ -25,10 +31,14 @@ SlotwiseResult run_repetition_slotwise(SlotCount num_slots,
     for (NodeId u = 0; u < actions.size(); ++u) {
       const NodeAction& a = actions[u];
       NodeObservation& o = result.rep.obs[u];
+      if (faults != nullptr && faults->node_down(u, slot)) continue;
       if (rng.bernoulli(a.send_prob)) {
         ++o.sends;
         ++sender_count;
         single_payload = a.payload;
+        if (faults != nullptr && faults->node_skewed(u)) {
+          single_payload = Payload::kNoise;
+        }
       } else if (rng.bernoulli(a.listen_prob)) {
         ++o.listens;
         listeners.push_back(u);
@@ -37,19 +47,42 @@ SlotwiseResult run_repetition_slotwise(SlotCount num_slots,
 
     for (NodeId u : listeners) {
       NodeObservation& o = result.rep.obs[u];
+      Reception heard;
       if (jammed || sender_count > 1 ||
           (sender_count == 1 && single_payload == Payload::kNoise)) {
-        ++o.noise;
+        heard = Reception::kNoise;
       } else if (sender_count == 0) {
-        ++o.clear;
+        heard = Reception::kClear;
       } else if (single_payload == Payload::kMessage) {
-        ++o.messages;
-        if (o.first_message_slot == kNoSlot) {
-          o.first_message_slot = slot;
-          o.listens_until_first_message = o.listens;
-        }
+        heard = Reception::kMessage;
       } else {
-        ++o.nacks;
+        heard = Reception::kNack;
+      }
+      if (!cca.perfect()) heard = cca.apply(heard, rng);
+      if (faults != nullptr) {
+        if (faults->node_skewed(u) && (heard == Reception::kMessage ||
+                                       heard == Reception::kNack)) {
+          heard = Reception::kNoise;
+        }
+        heard = faults->degrade(heard, slot, rng);
+      }
+      switch (heard) {
+        case Reception::kClear:
+          ++o.clear;
+          break;
+        case Reception::kMessage:
+          ++o.messages;
+          if (o.first_message_slot == kNoSlot) {
+            o.first_message_slot = slot;
+            o.listens_until_first_message = o.listens;
+          }
+          break;
+        case Reception::kNack:
+          ++o.nacks;
+          break;
+        case Reception::kNoise:
+          ++o.noise;
+          break;
       }
     }
 

@@ -43,9 +43,13 @@ struct SlotwiseResult {
   SlotCount jammed_slots = 0;
 };
 
-/// Runs one phase slot by slot (1-uniform).
+/// Runs one phase slot by slot (1-uniform).  `cca` and `faults` mirror the
+/// batch engine's parameters so the two engines stay cross-checkable under
+/// imperfect CCA and an active fault plan.
 SlotwiseResult run_repetition_slotwise(SlotCount num_slots,
                                        std::span<const NodeAction> actions,
-                                       SlotAdversary& adversary, Rng& rng);
+                                       SlotAdversary& adversary, Rng& rng,
+                                       const CcaModel& cca = CcaModel{},
+                                       FaultPlan* faults = nullptr);
 
 }  // namespace rcb

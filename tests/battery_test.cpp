@@ -1,6 +1,7 @@
 // Tests for the node-battery extension (forced death on energy exhaustion).
 #include <gtest/gtest.h>
 
+#include "rcb/protocols/broadcast_engine.hpp"
 #include "rcb/protocols/broadcast_n.hpp"
 #include "rcb/rng/rng.hpp"
 
@@ -55,6 +56,51 @@ TEST(BatteryTest, DeadNodesStopSpending) {
       EXPECT_GE(node.cost, 500u);
     }
   }
+}
+
+TEST(BatteryTest, BudgetDepletedExactlyAtBoundaryCountsOnceAndFreezes) {
+  // Deplete a node's budget to the exact slot-unit it spends in its first
+  // repetition: the node must die at that boundary with cost == capacity
+  // (the >= check is inclusive), be counted exactly once in dead_count, and
+  // never spend again for the rest of the run.
+  const BroadcastNParams probe_params = BroadcastNParams::sim();
+  NoJamAdversary probe_adv;
+  Rng probe_rng(7);
+  BroadcastNEngine probe(8, probe_params);
+  ASSERT_TRUE(probe.step(probe_adv, probe_rng));
+
+  // Pick the node that spent the most in repetition 0 (certainly > 0).
+  NodeId victim = 0;
+  for (NodeId u = 0; u < 8; ++u) {
+    if (probe.nodes()[u].cost > probe.nodes()[victim].cost) victim = u;
+  }
+  const Cost c0 = probe.nodes()[victim].cost;
+  ASSERT_GT(c0, 0u);
+
+  // Re-run with the same seed and capacity exactly c0.
+  BroadcastNParams params = probe_params;
+  params.node_energy_budget = c0;
+  NoJamAdversary adv;
+  Rng rng(7);
+  BroadcastNEngine engine(8, params);
+  ASSERT_TRUE(engine.step(adv, rng));
+  EXPECT_EQ(engine.nodes()[victim].status, BroadcastStatus::kDead);
+  EXPECT_EQ(engine.nodes()[victim].cost, c0);
+
+  // The dead node's spend is frozen for every later repetition, and it is
+  // only ever counted once.
+  while (engine.step(adv, rng)) {
+    EXPECT_EQ(engine.nodes()[victim].cost, c0);
+    EXPECT_EQ(engine.nodes()[victim].status, BroadcastStatus::kDead);
+  }
+  const auto r = engine.result();
+  EXPECT_EQ(r.nodes[victim].cost, c0);
+  std::uint64_t dead_statuses = 0;
+  for (const auto& node : r.nodes) {
+    dead_statuses += node.final_status == BroadcastStatus::kDead ? 1u : 0u;
+  }
+  EXPECT_EQ(r.dead_count, dead_statuses);
+  EXPECT_GE(r.dead_count, 1u);
 }
 
 TEST(BatteryTest, JammingDrainsBatteriesFasterThanPeace) {

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "rcb/rng/rng.hpp"
+#include "rcb/sim/cca.hpp"
+#include "rcb/sim/faults.hpp"
 #include "rcb/sim/repetition_engine.hpp"
 #include "rcb/sim/slot_engine.hpp"
 
@@ -97,6 +99,104 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(0.5, 0.5, 0.1),
                       std::make_tuple(0.0, 0.3, 0.9),
                       std::make_tuple(1.0, 1.0, 0.0)));
+
+TEST(EngineCrosscheckFaultTest, MeansAgreeUnderImperfectCca) {
+  const SlotCount slots = 512;
+  const int trials = 300;
+  const JamSchedule jam = JamSchedule::blocking_fraction(slots, 0.4);
+  const CcaModel cca{0.15, 0.1};
+
+  std::vector<NodeAction> actions = {
+      NodeAction{0.05, Payload::kMessage, 0.2},
+      NodeAction{0.02, Payload::kNoise, 0.3},
+      NodeAction{0.0, Payload::kNoise, 0.5},
+  };
+
+  Moments batch[3], slotwise[3];
+  const double w = 1.0 / trials;
+  for (int t = 0; t < trials; ++t) {
+    {
+      Rng rng = Rng::stream(11, t);
+      auto r = run_repetition(slots, actions, jam, rng, nullptr, cca);
+      for (int u = 0; u < 3; ++u) batch[u].accumulate(r.obs[u], w);
+    }
+    {
+      Rng rng = Rng::stream(12, t);
+      ScheduleAdversary adv(jam);
+      auto r = run_repetition_slotwise(slots, actions, adv, rng, cca);
+      for (int u = 0; u < 3; ++u) slotwise[u].accumulate(r.rep.obs[u], w);
+    }
+  }
+
+  auto close = [&](double a, double b, const char* what, int node) {
+    const double tol = 6.0 * std::sqrt(std::max(a, b) / trials + 0.01) + 0.5;
+    EXPECT_NEAR(a, b, tol) << what << " node=" << node;
+  };
+  for (int u = 0; u < 3; ++u) {
+    close(batch[u].sends, slotwise[u].sends, "sends", u);
+    close(batch[u].listens, slotwise[u].listens, "listens", u);
+    close(batch[u].clear, slotwise[u].clear, "clear", u);
+    close(batch[u].messages, slotwise[u].messages, "messages", u);
+    close(batch[u].noise, slotwise[u].noise, "noise", u);
+  }
+}
+
+TEST(EngineCrosscheckFaultTest, MeansAgreeUnderActiveFaultPlan) {
+  // Node-level fault decisions (crash timelines, skew) are pure functions
+  // of the fault seed, so giving each engine its own FaultPlan built from
+  // the same config puts the same nodes down in the same slots; the
+  // remaining per-reception faults (loss/corruption) are i.i.d. draws, so
+  // the Monte-Carlo means must still agree.
+  const SlotCount slots = 512;
+  const int trials = 300;
+  const JamSchedule jam = JamSchedule::blocking_fraction(slots, 0.3);
+
+  FaultConfig cfg;
+  cfg.seed = 17;
+  cfg.crash_rate = 0.003;
+  cfg.restart_rate = 0.01;
+  cfg.loss_rate = 0.2;
+  cfg.corruption_rate = 0.1;
+  cfg.clock_skew_rate = 0.15;
+
+  std::vector<NodeAction> actions = {
+      NodeAction{0.05, Payload::kMessage, 0.2},
+      NodeAction{0.02, Payload::kNoise, 0.3},
+      NodeAction{0.0, Payload::kNoise, 0.5},
+  };
+
+  Moments batch[3], slotwise[3];
+  const double w = 1.0 / trials;
+  for (int t = 0; t < trials; ++t) {
+    {
+      FaultPlan faults(cfg);
+      Rng rng = Rng::stream(21, t);
+      auto r = run_repetition(slots, actions, jam, rng, nullptr, CcaModel{},
+                              &faults);
+      for (int u = 0; u < 3; ++u) batch[u].accumulate(r.obs[u], w);
+    }
+    {
+      FaultPlan faults(cfg);
+      Rng rng = Rng::stream(22, t);
+      ScheduleAdversary adv(jam);
+      auto r =
+          run_repetition_slotwise(slots, actions, adv, rng, CcaModel{}, &faults);
+      for (int u = 0; u < 3; ++u) slotwise[u].accumulate(r.rep.obs[u], w);
+    }
+  }
+
+  auto close = [&](double a, double b, const char* what, int node) {
+    const double tol = 6.0 * std::sqrt(std::max(a, b) / trials + 0.01) + 0.5;
+    EXPECT_NEAR(a, b, tol) << what << " node=" << node;
+  };
+  for (int u = 0; u < 3; ++u) {
+    close(batch[u].sends, slotwise[u].sends, "sends", u);
+    close(batch[u].listens, slotwise[u].listens, "listens", u);
+    close(batch[u].clear, slotwise[u].clear, "clear", u);
+    close(batch[u].messages, slotwise[u].messages, "messages", u);
+    close(batch[u].noise, slotwise[u].noise, "noise", u);
+  }
+}
 
 }  // namespace
 }  // namespace rcb

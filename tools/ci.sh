@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Local CI: build and test the plain and the ASan+UBSan configurations.
+#
+#   tools/ci.sh            # both configs
+#   tools/ci.sh plain      # RelWithDebInfo only
+#   tools/ci.sh sanitize   # ASan+UBSan only
+#
+# Exits non-zero on the first failing build or test run.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+what="${1:-all}"
+
+run_config() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "=== [$name] configure ==="
+  cmake -B "$dir" -S "$repo" "$@"
+  echo "=== [$name] build ==="
+  cmake --build "$dir" -j "$jobs"
+  echo "=== [$name] test ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+if [[ "$what" == "all" || "$what" == "plain" ]]; then
+  run_config plain "$repo/build" -DRCB_WERROR=ON
+fi
+
+if [[ "$what" == "all" || "$what" == "sanitize" ]]; then
+  run_config sanitize "$repo/build-sanitize" -DRCB_SANITIZE=ON
+fi
+
+echo "CI OK"

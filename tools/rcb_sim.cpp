@@ -49,6 +49,25 @@ int run_tool(int argc, const char* const* argv) {
   flags.add_int("max_epoch_extra", 0,
                 "cap epochs at first_epoch + this (0 = protocol default; "
                 "needed for --adversary=spoof, which never lets Fig.1 halt)");
+  flags.add_int("timeout", 0,
+                "wall-clock abort after this many slots (1-to-1 protocols; "
+                "0 = no timeout; aborted trials are reported, not failed)");
+  flags.add_int("fault_seed", 0, "seed for the fault-injection RNG streams");
+  flags.add_double("crash_rate", 0.0, "per-slot P(an up node crashes)");
+  flags.add_double("restart_rate", 0.0,
+                   "per-slot P(a crashed node restarts); 0 = crashes are "
+                   "permanent");
+  flags.add_double("crash_fraction", 1.0,
+                   "deterministic fraction of nodes eligible to crash");
+  flags.add_double("loss", 0.0, "P(m/nack reception fades to clear)");
+  flags.add_double("corruption", 0.0, "P(m/nack reception garbles to noise)");
+  flags.add_double("skew", 0.0, "per-phase P(a node is clock-desynchronised)");
+  flags.add_int("brownout_slot", -1,
+                "global slot a battery brownout begins (-1 = never)");
+  flags.add_double("brownout_fraction", 0.0,
+                   "fraction of nodes hit by the brownout");
+  flags.add_double("brownout_factor", 0.5,
+                   "battery capacity multiplier after the brownout");
   flags.add_string("format", "table", "table | json | csv");
   flags.add_bool("histogram", false,
                  "print an ASCII histogram of per-trial max cost");
@@ -135,6 +154,19 @@ int run_tool(int argc, const char* const* argv) {
   cfg.trials = trials;
   cfg.seed = seed;
   cfg.max_epoch_extra = extra;
+  cfg.timeout_slots = static_cast<SlotCount>(flags.get_int("timeout"));
+  cfg.faults.seed = static_cast<std::uint64_t>(flags.get_int("fault_seed"));
+  cfg.faults.crash_rate = flags.get_double("crash_rate");
+  cfg.faults.restart_rate = flags.get_double("restart_rate");
+  cfg.faults.crash_fraction = flags.get_double("crash_fraction");
+  cfg.faults.loss_rate = flags.get_double("loss");
+  cfg.faults.corruption_rate = flags.get_double("corruption");
+  cfg.faults.clock_skew_rate = flags.get_double("skew");
+  const std::int64_t brownout = flags.get_int("brownout_slot");
+  cfg.faults.brownout_slot =
+      brownout < 0 ? kNoSlot : static_cast<SlotIndex>(brownout);
+  cfg.faults.brownout_fraction = flags.get_double("brownout_fraction");
+  cfg.faults.brownout_factor = flags.get_double("brownout_factor");
 
   const tools::SimAggregate agg = tools::run_sim(cfg);
   if (!agg.valid) {
@@ -149,6 +181,9 @@ int run_tool(int argc, const char* const* argv) {
     json.key("adversary").value(adversary);
     json.key("trials").value(static_cast<std::uint64_t>(trials));
     json.key("success_rate").value(agg.success_rate);
+    json.key("abort_rate").value(agg.abort_rate);
+    json.key("mean_dead_count").value(agg.mean_dead_count);
+    json.key("mean_crashed_count").value(agg.mean_crashed_count);
     auto emit = [&](const char* name, const Summary& s) {
       json.key(name).begin_object();
       json.key("mean").value(s.mean);
@@ -183,9 +218,15 @@ int run_tool(int argc, const char* const* argv) {
   if (format == "csv") {
     table.print_csv(std::cout);
   } else {
-    std::printf("%s vs %s, %zu trials, success rate %.4f\n\n",
+    std::printf("%s vs %s, %zu trials, success rate %.4f\n",
                 protocol.c_str(), adversary.c_str(), trials,
                 agg.success_rate);
+    if (agg.abort_rate > 0.0 || agg.mean_dead_count > 0.0 ||
+        agg.mean_crashed_count > 0.0) {
+      std::printf("aborted %.4f, dead/trial %.2f, crashed/trial %.2f\n",
+                  agg.abort_rate, agg.mean_dead_count, agg.mean_crashed_count);
+    }
+    std::printf("\n");
     table.print(std::cout);
   }
 

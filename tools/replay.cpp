@@ -1,0 +1,142 @@
+// rcb_replay — deterministic re-execution of a crash-repro record.
+//
+// When a contract fails inside a Monte-Carlo trial, the process emits a
+// one-line machine-readable record to stderr:
+//
+//   RCB_REPRO {"rcb_repro":1,...,"master_seed":1,"trial":17,"scenario":{...}}
+//
+// Feed that line (or a file containing it) back through this tool to re-run
+// the exact failing trial:
+//
+//   rcb_replay --record=crash.json            # re-run the recorded trial
+//   rcb_replay --record=crash.json --verify   # run it twice, compare digests
+//
+// The tool re-executes the scenario's named trial and prints the outcome
+// (including the FNV-1a trajectory digest).  With --verify it executes the
+// trial twice and exits non-zero unless both digests agree — the
+// bit-identical-replay guarantee the simulator's determinism contract
+// promises.  Expect the re-run to hit the same contract failure the record
+// came from; that is the point: the crash is now a deterministic unit
+// reproduction instead of a one-in-a-million Monte-Carlo event.
+#include <cstdio>
+#include <string>
+
+#include "rcb/cli/flags.hpp"
+#include "rcb/runtime/scenario.hpp"
+
+namespace rcb {
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, got);
+  std::fclose(f);
+  return true;
+}
+
+void print_outcome(const TrialOutcome& out) {
+  std::printf("max_cost        %.0f\n", out.max_cost);
+  std::printf("mean_cost       %.2f\n", out.mean_cost);
+  std::printf("adversary_cost  %.0f\n", out.adversary_cost);
+  std::printf("latency         %.0f\n", out.latency);
+  std::printf("success         %s\n", out.success ? "true" : "false");
+  std::printf("aborted         %s\n", out.aborted ? "true" : "false");
+  std::printf("dead_count      %llu\n",
+              static_cast<unsigned long long>(out.dead_count));
+  std::printf("crashed_count   %llu\n",
+              static_cast<unsigned long long>(out.crashed_count));
+  std::printf("digest          %016llx\n",
+              static_cast<unsigned long long>(out.digest));
+}
+
+int run_tool(int argc, const char* const* argv) {
+  FlagSet flags(
+      "rcb_replay: re-execute the exact trial named by an RCB_REPRO "
+      "crash-repro record, bit-identically");
+  flags.add_string("record", "",
+                   "path to a file holding the repro record (a full RCB_REPRO "
+                   "stderr line or bare JSON); '-' reads stdin");
+  flags.add_int("trial", -1,
+                "override the trial index to run (-1 = the recorded one)");
+  flags.add_bool("verify", false,
+                 "run the trial twice and fail unless the trajectory digests "
+                 "are bit-identical");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const std::string path = flags.get_string("record");
+  if (path.empty()) {
+    std::fprintf(stderr, "--record is required (see --help)\n");
+    return 1;
+  }
+  std::string text;
+  if (path == "-") {
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, stdin)) > 0) {
+      text.append(buf, got);
+    }
+  } else if (!read_file(path, text)) {
+    std::fprintf(stderr, "cannot open record file '%s'\n", path.c_str());
+    return 1;
+  }
+
+  const ReproParseResult parsed = repro_record_from_json(text);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "bad repro record: %s\n", parsed.error.c_str());
+    return 1;
+  }
+  const ReproRecord& rec = parsed.record;
+  if (!rec.has_scenario) {
+    std::fprintf(stderr,
+                 "record has no scenario (the failing code ran outside a "
+                 "ReproScope); cannot replay\n");
+    return 1;
+  }
+  const std::string invalid = validate_scenario(rec.scenario);
+  if (!invalid.empty()) {
+    std::fprintf(stderr, "recorded scenario is invalid: %s\n",
+                 invalid.c_str());
+    return 1;
+  }
+
+  const std::int64_t trial_override = flags.get_int("trial");
+  const std::uint64_t trial =
+      trial_override >= 0 ? static_cast<std::uint64_t>(trial_override)
+                          : rec.trial;
+
+  std::printf("replaying %s vs %s, seed %llu, trial %llu",
+              rec.scenario.protocol.c_str(), rec.scenario.adversary.c_str(),
+              static_cast<unsigned long long>(rec.scenario.seed),
+              static_cast<unsigned long long>(trial));
+  if (!rec.expr.empty()) {
+    std::printf("  (original failure: %s at %s:%d)", rec.expr.c_str(),
+                rec.file.c_str(), rec.line);
+  }
+  std::printf("\n");
+
+  const TrialOutcome first = run_scenario_trial(rec.scenario, trial);
+  print_outcome(first);
+
+  if (flags.get_bool("verify")) {
+    const TrialOutcome second = run_scenario_trial(rec.scenario, trial);
+    if (second.digest != first.digest) {
+      std::fprintf(stderr,
+                   "DIGEST MISMATCH: %016llx vs %016llx — replay is not "
+                   "deterministic\n",
+                   static_cast<unsigned long long>(first.digest),
+                   static_cast<unsigned long long>(second.digest));
+      return 2;
+    }
+    std::printf("verified: second run reproduced digest %016llx\n",
+                static_cast<unsigned long long>(first.digest));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rcb
+
+int main(int argc, char** argv) { return rcb::run_tool(argc, argv); }

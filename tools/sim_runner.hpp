@@ -1,49 +1,31 @@
 // Shared Monte-Carlo runner for the command-line tools (rcb_sim,
-// rcb_sweep): one config struct covering every protocol x adversary
-// combination in the library, and an aggregate-result runner.
+// rcb_sweep), built on the scenario layer (rcb/runtime/scenario.hpp): one
+// Scenario covers every protocol x adversary combination in the library —
+// including fault injection and timeouts — and each trial runs under a
+// ReproScope, so a contract failure inside any tool invocation emits a
+// replayable RCB_REPRO record.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "rcb/adversary/spoofing.hpp"
-#include "rcb/adversary/strategies.hpp"
-#include "rcb/adversary/two_uniform.hpp"
-#include "rcb/protocols/broadcast_n.hpp"
-#include "rcb/protocols/combined.hpp"
-#include "rcb/protocols/ksy.hpp"
-#include "rcb/protocols/naive_broadcast.hpp"
-#include "rcb/protocols/one_to_one.hpp"
-#include "rcb/protocols/sqrt_broadcast.hpp"
 #include "rcb/runtime/montecarlo.hpp"
+#include "rcb/runtime/scenario.hpp"
 #include "rcb/stats/summary.hpp"
 
 namespace rcb::tools {
 
-struct SimConfig {
-  std::string protocol = "one_to_one";  // ksy|combined|broadcast|naive|sqrt
-  std::string adversary = "none";
-  Cost budget = 16384;
-  double q = 0.6;
-  double rate = 0.3;
-  std::uint32_t n = 32;
-  double eps = 0.01;
-  std::size_t trials = 100;
-  std::uint64_t seed = 1;
-  std::uint32_t max_epoch_extra = 0;  // 0 = protocol default
-
-  bool is_broadcast() const {
-    return protocol == "broadcast" || protocol == "naive" ||
-           protocol == "sqrt";
-  }
-};
+/// Tool-facing alias; the scenario IS the sim configuration.
+using SimConfig = Scenario;
 
 struct SimAggregate {
   bool valid = false;
   std::string error;
   double success_rate = 0.0;
+  double abort_rate = 0.0;       ///< trials cut off by timeout_slots
+  double mean_dead_count = 0.0;  ///< battery-exhausted nodes per trial
+  double mean_crashed_count = 0.0;  ///< fault-crashed nodes per trial
   Summary max_cost;
   Summary mean_cost;
   Summary adversary_cost;
@@ -51,152 +33,39 @@ struct SimAggregate {
   std::vector<double> max_cost_samples;
 };
 
-inline std::unique_ptr<RepetitionAdversary> make_broadcast_adversary(
-    const SimConfig& cfg) {
-  if (cfg.adversary == "none") return std::make_unique<NoJamAdversary>();
-  if (cfg.adversary == "suffix") {
-    return std::make_unique<SuffixBlockerAdversary>(Budget(cfg.budget), cfg.q);
-  }
-  if (cfg.adversary == "fraction") {
-    return std::make_unique<EpochFractionBlockerAdversary>(Budget(cfg.budget),
-                                                           cfg.q, 0.5);
-  }
-  if (cfg.adversary == "random") {
-    return std::make_unique<RandomJammerAdversary>(Budget(cfg.budget),
-                                                   cfg.rate);
-  }
-  if (cfg.adversary == "burst") {
-    return std::make_unique<BurstJammerAdversary>(Budget(cfg.budget), 8, 16);
-  }
-  return nullptr;
-}
-
-inline std::unique_ptr<DuelAdversary> make_duel_adversary(
-    const SimConfig& cfg) {
-  if (cfg.adversary == "none") return std::make_unique<DuelNoJam>();
-  if (cfg.adversary == "send_phase") {
-    return std::make_unique<SendPhaseBlocker>(Budget(cfg.budget), cfg.q);
-  }
-  if (cfg.adversary == "nack_phase") {
-    return std::make_unique<NackPhaseBlocker>(Budget(cfg.budget), cfg.q);
-  }
-  if (cfg.adversary == "full_duel") {
-    return std::make_unique<FullDuelBlocker>(Budget(cfg.budget), cfg.q);
-  }
-  if (cfg.adversary == "both_views") {
-    return std::make_unique<BothViewsSuffixBlocker>(Budget(cfg.budget), cfg.q);
-  }
-  if (cfg.adversary == "sym_random") {
-    return std::make_unique<SymmetricRandomDuelJammer>(Budget(cfg.budget),
-                                                       cfg.rate);
-  }
-  if (cfg.adversary == "spoof") {
-    return std::make_unique<SpoofingNackAdversary>(Budget(cfg.budget));
-  }
-  return nullptr;
-}
-
 /// Runs the configured Monte-Carlo experiment.  On an invalid
 /// protocol/adversary combination, returns valid = false with an error.
 inline SimAggregate run_sim(const SimConfig& cfg) {
   SimAggregate agg;
-  if (cfg.is_broadcast()) {
-    if (!make_broadcast_adversary(cfg)) {
-      agg.error = "unknown broadcast adversary '" + cfg.adversary + "'";
-      return agg;
-    }
-  } else if (cfg.protocol == "one_to_one" || cfg.protocol == "ksy" ||
-             cfg.protocol == "combined") {
-    if (!make_duel_adversary(cfg)) {
-      agg.error = "unknown 1-to-1 adversary '" + cfg.adversary + "'";
-      return agg;
-    }
-  } else {
-    agg.error = "unknown protocol '" + cfg.protocol + "'";
-    return agg;
-  }
+  agg.error = validate_scenario(cfg);
+  if (!agg.error.empty()) return agg;
 
-  struct Outcome {
-    double max_cost = 0, mean_cost = 0, adversary_cost = 0, latency = 0;
-    bool success = false;
-  };
-  auto outcomes = run_trials<Outcome>(
-      cfg.trials, cfg.seed, [&](std::size_t, Rng& rng) {
-        Outcome out;
-        if (cfg.is_broadcast()) {
-          auto adv = make_broadcast_adversary(cfg);
-          BroadcastNResult r;
-          if (cfg.protocol == "sqrt") {
-            OneToOneParams params = OneToOneParams::sim(cfg.eps);
-            if (cfg.max_epoch_extra > 0) {
-              params.max_epoch = params.first_epoch() + cfg.max_epoch_extra;
-            }
-            r = run_sqrt_broadcast(cfg.n, params, *adv, rng);
-          } else {
-            BroadcastNParams params = BroadcastNParams::sim();
-            if (cfg.max_epoch_extra > 0) {
-              params.max_epoch = params.first_epoch + cfg.max_epoch_extra;
-            }
-            r = cfg.protocol == "broadcast"
-                    ? run_broadcast_n(cfg.n, params, *adv, rng)
-                    : run_naive_broadcast(cfg.n, params, *adv, rng);
-          }
-          out.max_cost = static_cast<double>(r.max_cost);
-          out.mean_cost = r.mean_cost;
-          out.adversary_cost = static_cast<double>(r.adversary_cost);
-          out.latency = static_cast<double>(r.latency);
-          out.success = r.all_informed;
-        } else {
-          auto adv = make_duel_adversary(cfg);
-          OneToOneResult r;
-          if (cfg.protocol == "one_to_one") {
-            OneToOneParams params = OneToOneParams::sim(cfg.eps);
-            if (cfg.max_epoch_extra > 0) {
-              params.max_epoch = params.first_epoch() + cfg.max_epoch_extra;
-            }
-            r = run_one_to_one(params, *adv, rng);
-          } else if (cfg.protocol == "ksy") {
-            KsyParams params;
-            if (cfg.max_epoch_extra > 0) {
-              params.max_epoch = params.first_epoch + cfg.max_epoch_extra;
-            }
-            r = run_ksy(params, *adv, rng);
-          } else {
-            CombinedParams params;
-            params.fig1 = OneToOneParams::sim(cfg.eps);
-            if (cfg.max_epoch_extra > 0) {
-              params.fig1.max_epoch =
-                  params.fig1.first_epoch() + cfg.max_epoch_extra;
-              params.ksy.max_epoch =
-                  params.ksy.first_epoch + cfg.max_epoch_extra;
-            }
-            r = run_combined(params, *adv, rng);
-          }
-          out.max_cost = static_cast<double>(r.max_cost());
-          out.mean_cost =
-              static_cast<double>(r.alice_cost + r.bob_cost) / 2.0;
-          out.adversary_cost = static_cast<double>(r.adversary_cost);
-          out.latency = static_cast<double>(r.latency);
-          out.success = r.delivered;
-        }
-        return out;
-      });
+  const auto outcomes = run_trials<TrialOutcome>(
+      cfg.trials, cfg.seed,
+      [&](std::size_t t, Rng&) { return run_scenario_trial(cfg, t); });
 
   std::vector<double> mean_v, adv_v, lat_v;
-  std::size_t successes = 0;
+  std::size_t successes = 0, aborts = 0;
+  double dead = 0.0, crashed = 0.0;
   for (const auto& o : outcomes) {
     agg.max_cost_samples.push_back(o.max_cost);
     mean_v.push_back(o.mean_cost);
     adv_v.push_back(o.adversary_cost);
     lat_v.push_back(o.latency);
     successes += o.success;
+    aborts += o.aborted;
+    dead += static_cast<double>(o.dead_count);
+    crashed += static_cast<double>(o.crashed_count);
   }
+  const auto trials = static_cast<double>(cfg.trials);
   agg.max_cost = summarize(agg.max_cost_samples);
   agg.mean_cost = summarize(mean_v);
   agg.adversary_cost = summarize(adv_v);
   agg.latency = summarize(lat_v);
-  agg.success_rate =
-      static_cast<double>(successes) / static_cast<double>(cfg.trials);
+  agg.success_rate = static_cast<double>(successes) / trials;
+  agg.abort_rate = static_cast<double>(aborts) / trials;
+  agg.mean_dead_count = dead / trials;
+  agg.mean_crashed_count = crashed / trials;
   agg.valid = true;
   return agg;
 }
