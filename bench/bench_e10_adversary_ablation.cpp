@@ -64,6 +64,7 @@ class TriggerHappy final : public SlotAdversary {
     --budget_;
     return true;
   }
+  SlotCount history_window() const override { return 1; }
 
  private:
   Cost budget_;
@@ -78,6 +79,7 @@ class SuffixSlotAdversary final : public SlotAdversary {
   bool jam(SlotIndex slot, std::span<const SlotActivity>) override {
     return slot >= start_;
   }
+  SlotCount history_window() const override { return 0; }
 
  private:
   SlotIndex start_;
@@ -92,6 +94,7 @@ class RandomSlotAdversary final : public SlotAdversary {
   bool jam(SlotIndex, std::span<const SlotActivity>) override {
     return rng_->bernoulli(rate_);
   }
+  SlotCount history_window() const override { return 0; }
 
  private:
   double rate_;

@@ -1,12 +1,20 @@
 // M1 — simulator micro-benchmarks (google-benchmark).
 //
 // Establishes the raw throughput of the RNG, the sparse slot sampler, and
-// both channel engines, and quantifies the event-driven engine's advantage
-// over the slotwise engine (the ablation DESIGN.md §4 calls out).
+// the channel engines, and quantifies the event-driven engines' advantage
+// over the dense per-slot reference (the ablation DESIGN.md §4 calls out).
+//
+// Besides the usual console table, the run is captured into BENCH_m1.json
+// (override with --rcb_out=<path>) in the bench_util.hpp schema so that
+// tools/bench_compare can diff two runs; tools/ci.sh uses this to gate perf
+// against bench/baselines/BENCH_m1_baseline.json.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "rcb/protocols/broadcast_n.hpp"
 #include "rcb/rng/rng.hpp"
 #include "rcb/rng/sampling.hpp"
@@ -37,8 +45,9 @@ void BM_SparseSampler(benchmark::State& state) {
     sample_bernoulli_slots(slots, p, rng, out);
     benchmark::DoNotOptimize(out.data());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(slots));
+  state.counters["slots_per_sec"] = benchmark::Counter(
+      static_cast<double>(slots) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SparseSampler)->Range(1 << 10, 1 << 20);
 
@@ -51,6 +60,31 @@ std::vector<NodeAction> make_actions(int n, double total_rate) {
   return actions;
 }
 
+/// Never jams, needs no history (the cheapest adaptive adversary).
+class Passive final : public SlotAdversary {
+ public:
+  bool jam(SlotIndex, std::span<const SlotActivity>) override { return false; }
+  SlotCount history_window() const override { return 0; }
+};
+
+/// Jams iff the previous slot carried a transmission (1-slot lookback).
+class Reactive final : public SlotAdversary {
+ public:
+  bool jam(SlotIndex, std::span<const SlotActivity> history) override {
+    return !history.empty() && history.back().senders > 0;
+  }
+  SlotCount history_window() const override { return 1; }
+};
+
+void set_engine_counters(benchmark::State& state, SlotCount slots,
+                         double total_events) {
+  state.counters["slots_per_sec"] = benchmark::Counter(
+      static_cast<double>(slots) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["events_per_sec"] =
+      benchmark::Counter(total_events, benchmark::Counter::kIsRate);
+}
+
 void BM_BatchEngine(benchmark::State& state) {
   const auto slots = static_cast<SlotCount>(state.range(0));
   const int n = 32;
@@ -58,36 +92,51 @@ void BM_BatchEngine(benchmark::State& state) {
   const auto actions = make_actions(n, 64.0 / static_cast<double>(slots));
   Rng rng(4);
   const JamSchedule jam = JamSchedule::blocking_fraction(slots, 0.5);
+  double events = 0;
   for (auto _ : state) {
     auto r = run_repetition(slots, actions, jam, rng);
+    for (const auto& o : r.obs) {
+      events += static_cast<double>(o.sends + o.listens);
+    }
     benchmark::DoNotOptimize(r.obs.data());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(slots));
+  set_engine_counters(state, slots, events);
 }
 BENCHMARK(BM_BatchEngine)->Range(1 << 10, 1 << 20);
 
+template <typename Adversary>
 void BM_SlotwiseEngine(benchmark::State& state) {
   const auto slots = static_cast<SlotCount>(state.range(0));
   const int n = 32;
   const auto actions = make_actions(n, 64.0 / static_cast<double>(slots));
-
-  class Passive final : public SlotAdversary {
-   public:
-    bool jam(SlotIndex, std::span<const SlotActivity>) override {
-      return false;
-    }
-  } adversary;
-
+  Adversary adversary;
   Rng rng(5);
+  double events = 0;
   for (auto _ : state) {
     auto r = run_repetition_slotwise(slots, actions, adversary, rng);
+    events += static_cast<double>(r.event_count);
     benchmark::DoNotOptimize(r.rep.obs.data());
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(slots));
+  set_engine_counters(state, slots, events);
 }
-BENCHMARK(BM_SlotwiseEngine)->Range(1 << 10, 1 << 16);
+BENCHMARK(BM_SlotwiseEngine<Passive>)->Range(1 << 10, 1 << 20);
+BENCHMARK(BM_SlotwiseEngine<Reactive>)->Range(1 << 10, 1 << 20);
+
+void BM_SlotwiseEngineDense(benchmark::State& state) {
+  const auto slots = static_cast<SlotCount>(state.range(0));
+  const int n = 32;
+  const auto actions = make_actions(n, 64.0 / static_cast<double>(slots));
+  Passive adversary;
+  Rng rng(6);
+  double events = 0;
+  for (auto _ : state) {
+    auto r = run_repetition_slotwise_dense(slots, actions, adversary, rng);
+    events += static_cast<double>(r.event_count);
+    benchmark::DoNotOptimize(r.rep.obs.data());
+  }
+  set_engine_counters(state, slots, events);
+}
+BENCHMARK(BM_SlotwiseEngineDense)->Range(1 << 10, 1 << 16);
 
 void BM_BroadcastNoJam(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
@@ -102,7 +151,65 @@ void BM_BroadcastNoJam(benchmark::State& state) {
 }
 BENCHMARK(BM_BroadcastNoJam)->Arg(8)->Arg(32)->Arg(128);
 
+/// Console reporter that additionally captures per-iteration runs so main()
+/// can convert them into the bench_util.hpp JSON schema.
+class CaptureReporter final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& r : reports) {
+      if (r.run_type == Run::RT_Iteration && !r.error_occurred) {
+        runs_.push_back(r);
+      }
+    }
+  }
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+double counter_or_zero(const benchmark::UserCounters& counters,
+                       const char* name) {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0.0 : static_cast<double>(it->second);
+}
+
 }  // namespace
 }  // namespace rcb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our own flag before handing argv to google-benchmark.
+  std::string out_path = "BENCH_m1.json";
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    constexpr const char kOutFlag[] = "--rcb_out=";
+    if (std::strncmp(argv[i], kOutFlag, sizeof kOutFlag - 1) == 0) {
+      out_path = argv[i] + sizeof kOutFlag - 1;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+
+  rcb::CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  rcb::bench::BenchReport report("m1");
+  for (const auto& r : reporter.runs()) {
+    rcb::bench::BenchEntry e;
+    e.name = r.benchmark_name();
+    const double iters =
+        r.iterations > 0 ? static_cast<double>(r.iterations) : 1.0;
+    e.wall_ms = r.real_accumulated_time / iters * 1e3;
+    e.slots_per_sec = rcb::counter_or_zero(r.counters, "slots_per_sec");
+    e.events_per_sec = rcb::counter_or_zero(r.counters, "events_per_sec");
+    report.add(std::move(e));
+  }
+  return report.write_json(out_path) ? 0 : 1;
+}

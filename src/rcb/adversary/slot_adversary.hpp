@@ -1,0 +1,61 @@
+// Slot-level adaptive adversary interface (the genuinely reactive model).
+//
+// The batch engine in sim/repetition_engine.hpp restricts adversaries to the
+// Lemma-1 canonical form: commit to a jam schedule before the phase, given
+// only public history.  A SlotAdversary is strictly stronger — it is
+// consulted before *every* slot and sees the full physical trace of the
+// phase so far (who transmitted, what it jammed).  sim/slot_engine.hpp runs
+// this model; bench E10 uses it to validate Lemma 1 empirically.
+//
+// History contract (what `jam` may rely on):
+//   * `history` holds one SlotActivity record per elapsed slot of the
+//     current phase, in slot order, *including* slots in which nobody
+//     transmitted (materialized as zero-sender records) — history.size()
+//     equals the current slot index unless the adversary bounds its window.
+//   * Listening is passive and invisible: records expose transmissions and
+//     the adversary's own jamming only.
+//   * An adversary that only inspects a bounded suffix of the history (most
+//     reactive strategies look at the last slot or two) should override
+//     history_window() to return that bound.  The engine then materializes
+//     only the trailing `history_window()` records, keeping its bookkeeping
+//     O(window) instead of O(num_slots) — `history` is the suffix and
+//     history.size() may be smaller than the slot index.  Returning 0 means
+//     the adversary is oblivious to history (time-triggered or randomized
+//     strategies) and always receives an empty span.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "rcb/common/types.hpp"
+
+namespace rcb {
+
+/// What the adversary can observe about an elapsed slot: transmissions are
+/// physically detectable, listening is passive and invisible.
+struct SlotActivity {
+  SlotIndex slot = 0;
+  std::uint32_t senders = 0;
+  bool jammed = false;
+};
+
+/// Adversary interface for the slotwise engine.
+class SlotAdversary {
+ public:
+  /// history_window() value meaning "materialize every elapsed slot".
+  static constexpr SlotCount kUnboundedHistory = UINT64_MAX;
+
+  virtual ~SlotAdversary() = default;
+
+  /// Called once per slot in order.  `history` holds the activity of the
+  /// previous slots of this phase (see the history contract above).  Return
+  /// true to jam `slot`.
+  virtual bool jam(SlotIndex slot, std::span<const SlotActivity> history) = 0;
+
+  /// Upper bound on how many trailing history records jam() inspects.
+  /// Defaults to unbounded; override for O(1)-lookback strategies so the
+  /// engine can bound its history buffer.
+  virtual SlotCount history_window() const { return kUnboundedHistory; }
+};
+
+}  // namespace rcb

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "rcb/rng/rng.hpp"
@@ -16,14 +17,30 @@ namespace rcb {
 
 /// Runs `trials` executions of fn(trial_index, rng) on `pool` and collects
 /// the results in trial order.  Result must be default-constructible.
+/// `chunk_hint` is forwarded to parallel_for_chunks (0 = auto).
+///
+/// Workers accumulate into a chunk-local buffer and copy out once per
+/// chunk: adjacent Result slots of the shared vector share cache lines, so
+/// writing them directly from different threads as trials complete would
+/// false-share and serialize the (often tiny) per-trial result stores.
 template <typename Result, typename Fn>
 std::vector<Result> run_trials(std::size_t trials, std::uint64_t master_seed,
-                               Fn&& fn, ThreadPool& pool = ThreadPool::global()) {
+                               Fn&& fn, ThreadPool& pool = ThreadPool::global(),
+                               std::size_t chunk_hint = 0) {
   std::vector<Result> results(trials);
-  parallel_for(pool, 0, trials, [&](std::size_t t) {
-    Rng rng = Rng::stream(master_seed, t);
-    results[t] = fn(t, rng);
-  });
+  parallel_for_chunks(
+      pool, 0, trials,
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<Result> local;
+        local.reserve(hi - lo);
+        for (std::size_t t = lo; t < hi; ++t) {
+          Rng rng = Rng::stream(master_seed, t);
+          local.push_back(fn(t, rng));
+        }
+        std::move(local.begin(), local.end(),
+                  results.begin() + static_cast<std::ptrdiff_t>(lo));
+      },
+      chunk_hint);
   return results;
 }
 

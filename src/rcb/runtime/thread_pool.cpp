@@ -65,21 +65,32 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& fn) {
+void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& fn,
+                         std::size_t chunk_hint) {
   if (begin >= end) return;
   const std::size_t total = end - begin;
-  const std::size_t chunks = std::min(total, pool.num_threads() * 4);
-  const std::size_t chunk_size = (total + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * chunk_size;
+  std::size_t chunk_size = chunk_hint;
+  if (chunk_size == 0) {
+    const std::size_t chunks = std::min(total, pool.num_threads() * 4);
+    chunk_size = (total + chunks - 1) / chunks;
+  }
+  for (std::size_t lo = begin; lo < end; lo += chunk_size) {
     const std::size_t hi = std::min(end, lo + chunk_size);
-    if (lo >= hi) break;
-    pool.submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    });
+    pool.submit([lo, hi, &fn] { fn(lo, hi); });
   }
   pool.wait_idle();
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t chunk_hint) {
+  parallel_for_chunks(
+      pool, begin, end,
+      [&fn](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      },
+      chunk_hint);
 }
 
 }  // namespace rcb

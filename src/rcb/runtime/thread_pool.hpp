@@ -52,8 +52,19 @@ class ThreadPool {
 };
 
 /// Runs fn(i) for i in [begin, end) across the pool, blocking until done.
-/// Iterations are distributed in contiguous chunks.
+/// Iterations are distributed in contiguous chunks.  `chunk_hint` overrides
+/// the chunk size (0 = auto: ~4 chunks per worker); use it to trade
+/// scheduling overhead against load balance for very cheap or very uneven
+/// iterations.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& fn);
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t chunk_hint = 0);
+
+/// Chunk-granular variant: runs fn(lo, hi) once per contiguous chunk of
+/// [begin, end), blocking until done.  Lets callers keep per-chunk state
+/// (local accumulators, scratch buffers) without per-iteration overhead.
+void parallel_for_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& fn,
+                         std::size_t chunk_hint = 0);
 
 }  // namespace rcb

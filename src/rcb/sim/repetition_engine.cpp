@@ -85,6 +85,15 @@ RepetitionResult run_repetition_luniform(
 
   thread_local std::vector<Event> events;
   events.clear();
+  // Size the event buffer from the expected activity: one event per success
+  // of each node's per-slot send/listen Bernoullis.
+  double expected_rate = 0.0;
+  for (const NodeAction& a : actions) {
+    expected_rate += a.send_prob + a.listen_prob;
+  }
+  events.reserve(static_cast<std::size_t>(
+                     expected_rate * static_cast<double>(num_slots)) +
+                 16);
   for (NodeId u = 0; u < actions.size(); ++u) {
     generate_node_events(u, actions[u], num_slots, rng, events, faults);
   }

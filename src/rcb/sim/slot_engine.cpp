@@ -1,13 +1,200 @@
 #include "rcb/sim/slot_engine.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "rcb/common/contracts.hpp"
+#include "rcb/rng/sampling.hpp"
 
 namespace rcb {
+namespace {
+
+// A send or listen event at a specific slot.  Sorted so that the sweep sees
+// all of a slot's senders before its listeners.
+struct SlotEvent {
+  SlotIndex slot;
+  NodeId node;
+  bool is_listen;
+
+  friend bool operator<(const SlotEvent& a, const SlotEvent& b) {
+    if (a.slot != b.slot) return a.slot < b.slot;
+    if (a.is_listen != b.is_listen) return !a.is_listen;  // senders first
+    return a.node < b.node;
+  }
+};
+
+Reception resolve(std::uint32_t sender_count, Payload single_payload,
+                  bool jammed) {
+  if (jammed) return Reception::kNoise;
+  if (sender_count == 0) return Reception::kClear;
+  if (sender_count > 1) return Reception::kNoise;
+  switch (single_payload) {
+    case Payload::kMessage:
+      return Reception::kMessage;
+    case Payload::kNack:
+      return Reception::kNack;
+    case Payload::kNoise:
+      return Reception::kNoise;
+  }
+  return Reception::kNoise;
+}
+
+void record(NodeObservation& o, Reception heard, SlotIndex slot) {
+  switch (heard) {
+    case Reception::kClear:
+      ++o.clear;
+      break;
+    case Reception::kMessage:
+      ++o.messages;
+      if (o.first_message_slot == kNoSlot) {
+        o.first_message_slot = slot;
+        o.listens_until_first_message = o.listens;
+      }
+      break;
+    case Reception::kNack:
+      ++o.nacks;
+      break;
+    case Reception::kNoise:
+      ++o.noise;
+      break;
+  }
+}
+
+// Presamples one node's send/listen slots with the same skip sampling the
+// batch engine uses.  Listens that collide with the node's own sends are
+// dropped (half-duplex: the send wins and is the only charge).  A node that
+// is crashed in a slot neither sends nor listens there; the slots are
+// sampled regardless, so the main Rng stream is consumed identically with
+// and without an active FaultPlan.
+void generate_node_events(NodeId u, const NodeAction& action,
+                          SlotCount num_slots, Rng& rng,
+                          std::vector<SlotEvent>& events, FaultPlan* faults) {
+  thread_local std::vector<SlotIndex> send_slots;
+  sample_bernoulli_slots(num_slots, action.send_prob, rng, send_slots);
+  for (SlotIndex s : send_slots) {
+    if (faults != nullptr && faults->node_down(u, s)) continue;
+    events.push_back(SlotEvent{s, u, false});
+  }
+
+  BernoulliSlotSampler listens(num_slots, action.listen_prob, rng);
+  std::size_t si = 0;  // cursor into send_slots
+  for (SlotIndex s = listens.next(); s != BernoulliSlotSampler::kEnd;
+       s = listens.next()) {
+    while (si < send_slots.size() && send_slots[si] < s) ++si;
+    if (si < send_slots.size() && send_slots[si] == s) continue;  // busy sending
+    if (faults != nullptr && faults->node_down(u, s)) continue;
+    events.push_back(SlotEvent{s, u, true});
+  }
+}
+
+}  // namespace
 
 SlotwiseResult run_repetition_slotwise(SlotCount num_slots,
                                        std::span<const NodeAction> actions,
                                        SlotAdversary& adversary, Rng& rng,
                                        const CcaModel& cca, FaultPlan* faults) {
+  if (faults != nullptr && !faults->active()) faults = nullptr;
+  if (faults != nullptr) {
+    faults->begin_phase(static_cast<std::uint32_t>(actions.size()), num_slots);
+  }
+
+  SlotwiseResult result;
+  result.rep.obs.resize(actions.size());
+
+  // Presample every node's activity.  Node action draws are independent of
+  // jamming, so committing them up front leaves the adversary's adaptivity
+  // intact: it still decides each slot knowing everything it could have
+  // physically observed up to that slot.
+  thread_local std::vector<SlotEvent> events;
+  events.clear();
+  double expected_rate = 0.0;
+  for (const NodeAction& a : actions) {
+    expected_rate += a.send_prob + a.listen_prob;
+  }
+  events.reserve(static_cast<std::size_t>(
+                     expected_rate * static_cast<double>(num_slots)) +
+                 16);
+  for (NodeId u = 0; u < actions.size(); ++u) {
+    generate_node_events(u, actions[u], num_slots, rng, events, faults);
+  }
+  std::sort(events.begin(), events.end());
+  result.event_count = events.size();
+
+  // History buffer, reused across repetitions.  When the adversary declares
+  // a finite lookback window we keep only a bounded suffix, compacting
+  // amortized-O(1); otherwise every elapsed slot is materialized (empty
+  // slots as zero-sender records).
+  const SlotCount window = adversary.history_window();
+  // A window covering the whole phase is equivalent to unbounded (and never
+  // needs compaction, so 2 * window below cannot overflow).
+  const bool bounded =
+      window != SlotAdversary::kUnboundedHistory && window < num_slots;
+  thread_local std::vector<SlotActivity> history;
+  history.clear();
+  if (!bounded) history.reserve(num_slots);
+
+  const auto history_view = [&]() -> std::span<const SlotActivity> {
+    if (!bounded) return history;
+    const std::size_t keep =
+        std::min<std::size_t>(history.size(), static_cast<std::size_t>(window));
+    return {history.data() + (history.size() - keep), keep};
+  };
+
+  std::size_t i = 0;  // cursor into events
+  for (SlotIndex slot = 0; slot < num_slots; ++slot) {
+    const bool jammed = adversary.jam(slot, history_view());
+    if (jammed) ++result.jammed_slots;
+
+    std::uint32_t sender_count = 0;
+    Payload single_payload = Payload::kNoise;
+    std::size_t j = i;
+    for (; j < events.size() && events[j].slot == slot && !events[j].is_listen;
+         ++j) {
+      ++sender_count;
+      single_payload = actions[events[j].node].payload;
+      if (faults != nullptr && faults->node_skewed(events[j].node)) {
+        single_payload = Payload::kNoise;
+      }
+      ++result.rep.obs[events[j].node].sends;
+    }
+    for (; j < events.size() && events[j].slot == slot; ++j) {
+      const NodeId u = events[j].node;
+      NodeObservation& o = result.rep.obs[u];
+      ++o.listens;
+      Reception heard = resolve(sender_count, single_payload, jammed);
+      if (!cca.perfect()) heard = cca.apply(heard, rng);
+      if (faults != nullptr) {
+        if (faults->node_skewed(u) && (heard == Reception::kMessage ||
+                                       heard == Reception::kNack)) {
+          heard = Reception::kNoise;
+        }
+        heard = faults->degrade(heard, slot, rng);
+      }
+      record(o, heard, slot);
+    }
+    i = j;
+
+    if (window > 0) {
+      history.push_back(SlotActivity{slot, sender_count, jammed});
+      if (bounded && history.size() >= 2 * static_cast<std::size_t>(window)) {
+        history.erase(history.begin(),
+                      history.end() - static_cast<std::ptrdiff_t>(window));
+      }
+    }
+  }
+
+  for (auto& o : result.rep.obs) {
+    if (o.first_message_slot == kNoSlot) {
+      o.listens_until_first_message = o.listens;
+    }
+  }
+  return result;
+}
+
+SlotwiseResult run_repetition_slotwise_dense(
+    SlotCount num_slots, std::span<const NodeAction> actions,
+    SlotAdversary& adversary, Rng& rng, const CcaModel& cca,
+    FaultPlan* faults) {
   if (faults != nullptr && !faults->active()) faults = nullptr;
   if (faults != nullptr) {
     faults->begin_phase(static_cast<std::uint32_t>(actions.size()), num_slots);
@@ -34,6 +221,7 @@ SlotwiseResult run_repetition_slotwise(SlotCount num_slots,
       if (faults != nullptr && faults->node_down(u, slot)) continue;
       if (rng.bernoulli(a.send_prob)) {
         ++o.sends;
+        ++result.event_count;
         ++sender_count;
         single_payload = a.payload;
         if (faults != nullptr && faults->node_skewed(u)) {
@@ -41,23 +229,14 @@ SlotwiseResult run_repetition_slotwise(SlotCount num_slots,
         }
       } else if (rng.bernoulli(a.listen_prob)) {
         ++o.listens;
+        ++result.event_count;
         listeners.push_back(u);
       }
     }
 
     for (NodeId u : listeners) {
       NodeObservation& o = result.rep.obs[u];
-      Reception heard;
-      if (jammed || sender_count > 1 ||
-          (sender_count == 1 && single_payload == Payload::kNoise)) {
-        heard = Reception::kNoise;
-      } else if (sender_count == 0) {
-        heard = Reception::kClear;
-      } else if (single_payload == Payload::kMessage) {
-        heard = Reception::kMessage;
-      } else {
-        heard = Reception::kNack;
-      }
+      Reception heard = resolve(sender_count, single_payload, jammed);
       if (!cca.perfect()) heard = cca.apply(heard, rng);
       if (faults != nullptr) {
         if (faults->node_skewed(u) && (heard == Reception::kMessage ||
@@ -66,24 +245,7 @@ SlotwiseResult run_repetition_slotwise(SlotCount num_slots,
         }
         heard = faults->degrade(heard, slot, rng);
       }
-      switch (heard) {
-        case Reception::kClear:
-          ++o.clear;
-          break;
-        case Reception::kMessage:
-          ++o.messages;
-          if (o.first_message_slot == kNoSlot) {
-            o.first_message_slot = slot;
-            o.listens_until_first_message = o.listens;
-          }
-          break;
-        case Reception::kNack:
-          ++o.nacks;
-          break;
-        case Reception::kNoise:
-          ++o.noise;
-          break;
-      }
+      record(o, heard, slot);
     }
 
     history.push_back(SlotActivity{slot, sender_count, jammed});

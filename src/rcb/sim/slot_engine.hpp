@@ -1,55 +1,66 @@
-// Slot-by-slot simulation with a genuinely adaptive (reactive) adversary.
+// Event-driven simulation with a genuinely adaptive (reactive) adversary.
 //
 // The batch engine in repetition_engine.hpp restricts adversaries to the
 // Lemma-1 canonical form (commit to a schedule before the phase, given only
-// public history).  This engine instead walks the phase slot by slot and
-// consults the adversary before each one, feeding it what it could actually
-// observe: whether the previous slots carried transmissions and whether it
-// jammed them.  It costs O(num_slots * num_nodes) and exists to (a)
-// cross-check the batch engine and (b) empirically validate Lemma 1 —
-// reactive jamming buys the adversary nothing (bench E10).
+// public history).  This engine instead consults the adversary before every
+// slot, feeding it what it could actually observe: whether the previous
+// slots carried transmissions and whether it jammed them.
+//
+// Node behaviour is i.i.d. per slot and — crucially — independent of
+// jamming (jamming affects what listeners *hear*, never whether nodes act).
+// The engine therefore presamples each node's send/listen slots with the
+// same geometric skip sampling the batch engine uses, sweeps the slots in
+// order, and touches nodes only on their event slots.  The adversary stays
+// fully adaptive: it is consulted once per slot, in order, with the
+// complete SlotActivity history (empty slots materialized as zero-sender
+// records, or a bounded suffix when it declares a finite
+// SlotAdversary::history_window()).  Cost: O(num_slots + events) instead of
+// the dense O(num_slots * num_nodes) — one cheap virtual call per slot plus
+// work proportional to the energy actually spent, the same quantity the
+// paper's cost model charges for.
+//
+// run_repetition_slotwise_dense keeps the original per-node-per-slot loop
+// as a semantic reference: tests cross-check the event path against it and
+// bench M2 measures the gap.  Both paths implement identical per-slot
+// marginals; they consume the Rng stream in different orders, so per-run
+// values differ while Monte-Carlo distributions agree.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "rcb/adversary/slot_adversary.hpp"
 #include "rcb/common/types.hpp"
 #include "rcb/rng/rng.hpp"
 #include "rcb/sim/repetition_engine.hpp"
 
 namespace rcb {
 
-/// What the adversary can observe about an elapsed slot: transmissions are
-/// physically detectable, listening is passive and invisible.
-struct SlotActivity {
-  SlotIndex slot = 0;
-  std::uint32_t senders = 0;
-  bool jammed = false;
-};
-
-/// Adversary interface for the slotwise engine.
-class SlotAdversary {
- public:
-  virtual ~SlotAdversary() = default;
-
-  /// Called once per slot in order.  `history` holds the activity of all
-  /// previous slots of this phase.  Return true to jam `slot`.
-  virtual bool jam(SlotIndex slot, std::span<const SlotActivity> history) = 0;
-};
-
 /// Result of a slotwise phase: node observations plus the adversary's spend.
 struct SlotwiseResult {
   RepetitionResult rep;
   SlotCount jammed_slots = 0;
+  /// Send + listen events the sweep actually touched (bench observability).
+  std::uint64_t event_count = 0;
 };
 
-/// Runs one phase slot by slot (1-uniform).  `cca` and `faults` mirror the
-/// batch engine's parameters so the two engines stay cross-checkable under
-/// imperfect CCA and an active fault plan.
+/// Runs one phase slot by slot (1-uniform), event-driven.  `cca` and
+/// `faults` mirror the batch engine's parameters so the two engines stay
+/// cross-checkable under imperfect CCA and an active fault plan.
 SlotwiseResult run_repetition_slotwise(SlotCount num_slots,
                                        std::span<const NodeAction> actions,
                                        SlotAdversary& adversary, Rng& rng,
                                        const CcaModel& cca = CcaModel{},
                                        FaultPlan* faults = nullptr);
+
+/// Reference implementation: the original dense O(num_slots * num_nodes)
+/// loop drawing two Bernoullis per node per slot.  Semantically equivalent
+/// to run_repetition_slotwise (identical per-slot marginals; different Rng
+/// draw order).  Kept as the oracle for the engine crosscheck tests and as
+/// the baseline bench M2 quantifies the event-driven speedup against.
+SlotwiseResult run_repetition_slotwise_dense(
+    SlotCount num_slots, std::span<const NodeAction> actions,
+    SlotAdversary& adversary, Rng& rng, const CcaModel& cca = CcaModel{},
+    FaultPlan* faults = nullptr);
 
 }  // namespace rcb

@@ -27,6 +27,7 @@ class ScheduleAdversary final : public SlotAdversary {
   bool jam(SlotIndex slot, std::span<const SlotActivity>) override {
     return js_->is_jammed(slot);
   }
+  SlotCount history_window() const override { return 0; }
 
  private:
   const JamSchedule* js_;
@@ -196,6 +197,78 @@ TEST(EngineCrosscheckFaultTest, MeansAgreeUnderActiveFaultPlan) {
     close(batch[u].messages, slotwise[u].messages, "messages", u);
     close(batch[u].noise, slotwise[u].noise, "noise", u);
   }
+}
+
+TEST(EngineCrosscheckFaultTest, EventPathMatchesDenseReferenceUnderFaultsAndCca) {
+  // The rewritten event-driven slotwise path vs the original per-slot loop
+  // (kept as run_repetition_slotwise_dense): identical per-slot marginals,
+  // different Rng draw order, so Monte-Carlo means must agree — here with
+  // BOTH an imperfect CCA and an active fault plan, and a genuinely
+  // reactive adversary (identical jam decisions on both paths are not
+  // guaranteed per run, only distributionally — the adversary reacts to
+  // sampled activity).
+  const SlotCount slots = 512;
+  const int trials = 300;
+  const CcaModel cca{0.1, 0.1};
+
+  FaultConfig cfg;
+  cfg.seed = 33;
+  cfg.crash_rate = 0.002;
+  cfg.restart_rate = 0.01;
+  cfg.loss_rate = 0.15;
+  cfg.corruption_rate = 0.05;
+  cfg.clock_skew_rate = 0.1;
+
+  /// Jams whenever the previous slot carried a transmission.
+  class Reactive final : public SlotAdversary {
+   public:
+    bool jam(SlotIndex, std::span<const SlotActivity> history) override {
+      return !history.empty() && history.back().senders > 0;
+    }
+    SlotCount history_window() const override { return 1; }
+  };
+
+  std::vector<NodeAction> actions = {
+      NodeAction{0.05, Payload::kMessage, 0.2},
+      NodeAction{0.02, Payload::kNoise, 0.3},
+      NodeAction{0.0, Payload::kNoise, 0.5},
+  };
+
+  Moments event[3], dense[3];
+  double event_jammed = 0, dense_jammed = 0;
+  const double w = 1.0 / trials;
+  for (int t = 0; t < trials; ++t) {
+    {
+      FaultPlan faults(cfg);
+      Reactive adv;
+      Rng rng = Rng::stream(31, t);
+      auto r = run_repetition_slotwise(slots, actions, adv, rng, cca, &faults);
+      for (int u = 0; u < 3; ++u) event[u].accumulate(r.rep.obs[u], w);
+      event_jammed += w * static_cast<double>(r.jammed_slots);
+    }
+    {
+      FaultPlan faults(cfg);
+      Reactive adv;
+      Rng rng = Rng::stream(32, t);
+      auto r =
+          run_repetition_slotwise_dense(slots, actions, adv, rng, cca, &faults);
+      for (int u = 0; u < 3; ++u) dense[u].accumulate(r.rep.obs[u], w);
+      dense_jammed += w * static_cast<double>(r.jammed_slots);
+    }
+  }
+
+  auto close = [&](double a, double b, const char* what, int node) {
+    const double tol = 6.0 * std::sqrt(std::max(a, b) / trials + 0.01) + 0.5;
+    EXPECT_NEAR(a, b, tol) << what << " node=" << node;
+  };
+  for (int u = 0; u < 3; ++u) {
+    close(event[u].sends, dense[u].sends, "sends", u);
+    close(event[u].listens, dense[u].listens, "listens", u);
+    close(event[u].clear, dense[u].clear, "clear", u);
+    close(event[u].messages, dense[u].messages, "messages", u);
+    close(event[u].noise, dense[u].noise, "noise", u);
+  }
+  close(event_jammed, dense_jammed, "jammed_slots", -1);
 }
 
 }  // namespace

@@ -48,6 +48,46 @@ TEST(BernoulliSlotSamplerTest, SlotsAreStrictlyIncreasingAndInRange) {
   }
 }
 
+TEST(SampleBernoulliSlotsTest, EdgeProbabilitiesAndEmptyRange) {
+  Rng rng(40);
+  std::vector<SlotIndex> out = {99};  // stale content must be cleared
+  sample_bernoulli_slots(1000, 0.0, rng, out);
+  EXPECT_TRUE(out.empty());
+
+  sample_bernoulli_slots(0, 0.5, rng, out);
+  EXPECT_TRUE(out.empty());
+  sample_bernoulli_slots(0, 1.0, rng, out);
+  EXPECT_TRUE(out.empty());
+
+  sample_bernoulli_slots(7, 1.0, rng, out);
+  ASSERT_EQ(out.size(), 7u);
+  for (SlotIndex s = 0; s < 7; ++s) EXPECT_EQ(out[s], s);
+}
+
+TEST(BernoulliSlotSamplerTest, ZeroSlotsWithUnitProbabilityYieldsNothing) {
+  Rng rng(41);
+  BernoulliSlotSampler sampler(0, 1.0, rng);
+  EXPECT_EQ(sampler.next(), BernoulliSlotSampler::kEnd);
+}
+
+// p ~ 1/num_slots is the protocols' sparse regime (expected one firing per
+// phase) and the regime where the geometric skip saturates most often; the
+// count must still be Binomial(n, 1/n) — mean 1, variance ~ 1 - 1/n.
+TEST(BernoulliSlotSamplerTest, ReciprocalProbabilityHasUnitMean) {
+  const SlotCount n = 1 << 14;
+  const double p = 1.0 / static_cast<double>(n);
+  const int trials = 20000;
+  Rng rng(42);
+  std::vector<SlotIndex> slots;
+  double sum = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    sample_bernoulli_slots(n, p, rng, slots);
+    for (SlotIndex s : slots) ASSERT_LT(s, n);
+    sum += static_cast<double>(slots.size());
+  }
+  EXPECT_NEAR(sum / trials, 1.0, 5.0 / std::sqrt(trials));
+}
+
 // The count of fired slots must be Binomial(n, p): check the mean and
 // variance across probabilities (property-style sweep).
 class SamplerMomentsTest : public ::testing::TestWithParam<double> {};

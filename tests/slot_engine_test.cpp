@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "rcb/rng/rng.hpp"
@@ -92,6 +93,140 @@ TEST(SlotEngineTest, ClearSlotCountingMatchesActivity) {
   EXPECT_EQ(r.rep.obs[0].clear, r.rep.obs[0].listens);
   EXPECT_GT(r.rep.obs[0].listens, 400u);
   EXPECT_LT(r.rep.obs[0].listens, 600u);
+}
+
+// ---------------------------------------------------------------------------
+// History contract of the event-driven engine.
+
+/// Unbounded adversary that audits the history it is fed.
+class HistoryAuditor final : public SlotAdversary {
+ public:
+  bool jam(SlotIndex slot, std::span<const SlotActivity> history) override {
+    // Every elapsed slot must be materialized, in order, empty slots
+    // included (zero-sender records).
+    complete_ = complete_ && history.size() == slot;
+    for (std::size_t k = 0; k < history.size(); ++k) {
+      ordered_ = ordered_ && history[k].slot == k;
+      max_senders_ = std::max(max_senders_, history[k].senders);
+    }
+    return false;
+  }
+
+  bool complete_ = true;
+  bool ordered_ = true;
+  std::uint32_t max_senders_ = 0;
+};
+
+TEST(SlotEngineHistoryTest, EmptySlotsAreMaterializedAsZeroSenderRecords) {
+  // Nobody ever transmits: the adversary still sees one record per slot.
+  std::vector<NodeAction> actions = {NodeAction{0.0, Payload::kNoise, 0.1}};
+  HistoryAuditor adv;
+  Rng rng(7);
+  run_repetition_slotwise(200, actions, adv, rng);
+  EXPECT_TRUE(adv.complete_);
+  EXPECT_TRUE(adv.ordered_);
+  EXPECT_EQ(adv.max_senders_, 0u);
+}
+
+TEST(SlotEngineHistoryTest, SendersAppearInHistory) {
+  std::vector<NodeAction> actions = {NodeAction{1.0, Payload::kMessage, 0.0}};
+  HistoryAuditor adv;
+  Rng rng(8);
+  run_repetition_slotwise(50, actions, adv, rng);
+  EXPECT_TRUE(adv.complete_);
+  EXPECT_TRUE(adv.ordered_);
+  EXPECT_EQ(adv.max_senders_, 1u);
+}
+
+/// Bounded adversary auditing the suffix view the engine materializes.
+class WindowAuditor final : public SlotAdversary {
+ public:
+  explicit WindowAuditor(SlotCount window) : window_(window) {}
+
+  bool jam(SlotIndex slot, std::span<const SlotActivity> history) override {
+    const std::size_t expected =
+        std::min<std::size_t>(slot, static_cast<std::size_t>(window_));
+    ok_ = ok_ && history.size() == expected;
+    // The view must be the contiguous suffix ending at slot - 1.
+    for (std::size_t k = 0; k < history.size(); ++k) {
+      ok_ = ok_ && history[k].slot == slot - history.size() + k;
+    }
+    return false;
+  }
+  SlotCount history_window() const override { return window_; }
+
+  bool ok_ = true;
+
+ private:
+  SlotCount window_;
+};
+
+TEST(SlotEngineHistoryTest, BoundedWindowSeesExactSuffix) {
+  std::vector<NodeAction> actions = {NodeAction{0.3, Payload::kMessage, 0.3}};
+  for (SlotCount window : {SlotCount{1}, SlotCount{3}, SlotCount{64},
+                           SlotCount{1000}, SlotCount{5000}}) {
+    WindowAuditor adv(window);
+    Rng rng(9);
+    run_repetition_slotwise(1000, actions, adv, rng);
+    EXPECT_TRUE(adv.ok_) << "window=" << window;
+  }
+}
+
+TEST(SlotEngineHistoryTest, ZeroWindowAlwaysSeesEmptyHistory) {
+  WindowAuditor adv(0);
+  std::vector<NodeAction> actions = {NodeAction{0.5, Payload::kMessage, 0.5}};
+  Rng rng(10);
+  run_repetition_slotwise(300, actions, adv, rng);
+  EXPECT_TRUE(adv.ok_);
+}
+
+// ---------------------------------------------------------------------------
+// Event accounting and agreement with the dense reference.
+
+TEST(SlotEngineEventTest, EventCountMatchesChargedEnergy) {
+  std::vector<NodeAction> actions = {NodeAction{0.4, Payload::kMessage, 0.4},
+                                     NodeAction{0.0, Payload::kNoise, 0.7}};
+  PassiveAdversary adv;
+  Rng rng(11);
+  const auto r = run_repetition_slotwise(500, actions, adv, rng);
+  Cost charged = 0;
+  for (const auto& o : r.rep.obs) charged += o.sends + o.listens;
+  EXPECT_EQ(r.event_count, charged);
+  EXPECT_GT(r.event_count, 0u);
+}
+
+TEST(SlotEngineEventTest, MatchesDenseReferenceOnDeterministicActions) {
+  // With action probabilities 0/1 both paths are randomness-free, so the
+  // event-driven engine must reproduce the dense reference exactly.
+  std::vector<NodeAction> actions = {NodeAction{1.0, Payload::kMessage, 0.0},
+                                     NodeAction{0.0, Payload::kNoise, 1.0},
+                                     NodeAction{1.0, Payload::kNoise, 1.0}};
+  ReactiveAdversary adv_event, adv_dense;
+  Rng rng_event(12), rng_dense(12);
+  const auto a = run_repetition_slotwise(80, actions, adv_event, rng_event);
+  const auto b =
+      run_repetition_slotwise_dense(80, actions, adv_dense, rng_dense);
+  EXPECT_EQ(a.jammed_slots, b.jammed_slots);
+  EXPECT_EQ(a.event_count, b.event_count);
+  for (std::size_t u = 0; u < actions.size(); ++u) {
+    EXPECT_EQ(a.rep.obs[u].sends, b.rep.obs[u].sends) << "node " << u;
+    EXPECT_EQ(a.rep.obs[u].listens, b.rep.obs[u].listens) << "node " << u;
+    EXPECT_EQ(a.rep.obs[u].messages, b.rep.obs[u].messages) << "node " << u;
+    EXPECT_EQ(a.rep.obs[u].noise, b.rep.obs[u].noise) << "node " << u;
+    EXPECT_EQ(a.rep.obs[u].clear, b.rep.obs[u].clear) << "node " << u;
+    EXPECT_EQ(a.rep.obs[u].first_message_slot, b.rep.obs[u].first_message_slot)
+        << "node " << u;
+  }
+}
+
+TEST(SlotEngineEventTest, ZeroSlotsIsANoOp) {
+  std::vector<NodeAction> actions = {NodeAction{1.0, Payload::kMessage, 0.0}};
+  PassiveAdversary adv;
+  Rng rng(13);
+  const auto r = run_repetition_slotwise(0, actions, adv, rng);
+  EXPECT_EQ(r.event_count, 0u);
+  EXPECT_EQ(r.jammed_slots, 0u);
+  EXPECT_EQ(r.rep.obs[0].sends, 0u);
 }
 
 }  // namespace

@@ -84,6 +84,46 @@ TEST(MonteCarloTest, DifferentSeedsDiffer) {
   EXPECT_NE(a, b);
 }
 
+TEST(ThreadPoolTest, ParallelForChunksCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  std::atomic<int> chunk_count{0};
+  parallel_for_chunks(
+      pool, 5, 95,
+      [&](std::size_t lo, std::size_t hi) {
+        ASSERT_LT(lo, hi);
+        chunk_count.fetch_add(1);
+        for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+      },
+      10);
+  EXPECT_EQ(chunk_count.load(), 9);  // 90 iterations / chunk hint 10
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 5 && i < 95) ? 1 : 0) << "i=" << i;
+  }
+}
+
+TEST(ThreadPoolTest, ChunkHintDoesNotChangeParallelForSemantics) {
+  ThreadPool pool(3);
+  for (std::size_t hint : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                           std::size_t{1000}}) {
+    std::atomic<long> sum{0};
+    parallel_for(
+        pool, 0, 50, [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); },
+        hint);
+    EXPECT_EQ(sum.load(), 1225) << "hint=" << hint;  // 0 + ... + 49
+  }
+}
+
+TEST(MonteCarloTest, ChunkHintPreservesTrialOrderAndValues) {
+  auto draw = [](std::size_t, Rng& rng) { return rng.next_u64(); };
+  ThreadPool pool(4);
+  const auto a = run_trials<std::uint64_t>(64, 9, draw, pool);
+  const auto b = run_trials<std::uint64_t>(64, 9, draw, pool, 5);
+  const auto c = run_trials<std::uint64_t>(64, 9, draw, pool, 64);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
 TEST(ThreadPoolTest, GlobalPoolIsUsable) {
   std::atomic<int> counter{0};
   parallel_for(ThreadPool::global(), 0, 10,

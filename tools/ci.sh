@@ -1,9 +1,16 @@
 #!/usr/bin/env bash
-# Local CI: build and test the plain and the ASan+UBSan configurations.
+# Local CI: build and test the plain and the ASan+UBSan configurations,
+# then take a quick perf reading and diff it against the committed baseline.
 #
-#   tools/ci.sh            # both configs
-#   tools/ci.sh plain      # RelWithDebInfo only
-#   tools/ci.sh sanitize   # ASan+UBSan only
+#   tools/ci.sh            # both configs + quick bench
+#   tools/ci.sh plain      # RelWithDebInfo only (+ quick bench)
+#   tools/ci.sh sanitize   # ASan+UBSan only (no bench — numbers meaningless)
+#
+# The bench step runs bench_m1_micro with a short --benchmark_min_time,
+# writes build/BENCH_m1.json, and runs tools/bench_compare against
+# bench/baselines/BENCH_m1_baseline.json in warn-only mode: perf drift is
+# printed on every run without flaking CI on machine noise.  Tighten by
+# dropping --warn_only once runners are dedicated.
 #
 # Exits non-zero on the first failing build or test run.
 set -euo pipefail
@@ -25,6 +32,12 @@ run_config() {
 
 if [[ "$what" == "all" || "$what" == "plain" ]]; then
   run_config plain "$repo/build" -DRCB_WERROR=ON
+  echo "=== [plain] quick bench ==="
+  "$repo/build/bench/bench_m1_micro" --benchmark_min_time=0.05 \
+    --rcb_out="$repo/build/BENCH_m1.json"
+  "$repo/build/tools/bench_compare" \
+    --baseline="$repo/bench/baselines/BENCH_m1_baseline.json" \
+    --current="$repo/build/BENCH_m1.json" --threshold=0.5 --warn_only
 fi
 
 if [[ "$what" == "all" || "$what" == "sanitize" ]]; then
