@@ -14,12 +14,14 @@
 // slots=2^22 for the event-driven engines.
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "rcb/cli/flags.hpp"
 #include "rcb/rng/rng.hpp"
+#include "rcb/runtime/supervisor.hpp"
 #include "rcb/sim/repetition_engine.hpp"
 #include "rcb/sim/slot_engine.hpp"
 
@@ -200,6 +202,55 @@ void run_bench(bool full, const std::string& out_path, std::uint64_t seed) {
         }
       }
     }
+  }
+
+  // Supervisor checkpointing overhead: one full supervised sweep with the
+  // journal off vs on (fresh checkpoint per run: manifest write + one
+  // flushed journal append per trial).  The overhead bound keeps the
+  // "always checkpoint long sweeps" recommendation honest.
+  {
+    Scenario s;
+    s.protocol = "one_to_one";
+    s.adversary = "full_duel";
+    s.budget = 1024;
+    s.trials = full ? 2048 : 512;
+    s.seed = seed;
+    const std::string ckpt_dir =
+        (std::filesystem::temp_directory_path() / "rcb_bench_m2_ckpt")
+            .string();
+    const auto sweep_once = [&](bool journal) {
+      SupervisorOptions sup;
+      if (journal) {
+        std::filesystem::remove_all(ckpt_dir);
+        sup.checkpoint_dir = ckpt_dir;
+      }
+      const SweepResult r = run_supervised_sweep(s, sup);
+      return static_cast<std::uint64_t>(r.records.size());
+    };
+    const auto add_sweep = [&](const char* name, const Measurement& m) {
+      bench::BenchEntry e;
+      e.name = std::string("m2/supervisor/") + name;
+      e.config = {{"trials", static_cast<double>(s.trials)}};
+      e.wall_ms = m.wall_ms;
+      e.events_per_sec = m.events_per_sec;  // completed trials per second
+      report.add(std::move(e));
+      table.add_row({"supervisor", name, Table::num(1),
+                     Table::num(s.trials), Table::num(m.reps),
+                     Table::num(m.wall_ms, 3), Table::num(0),
+                     Table::num(m.events_per_sec)});
+    };
+    const Measurement off =
+        measure([&](int) { return sweep_once(false); }, 0.3, 8, 0);
+    add_sweep("journal_off", off);
+    const Measurement on =
+        measure([&](int) { return sweep_once(true); }, 0.3, 8, 0);
+    add_sweep("journal_on", on);
+    std::filesystem::remove_all(ckpt_dir);
+    std::printf(
+        "\ncheckpoint journal overhead: %.3f ms -> %.3f ms per %zu-trial "
+        "sweep (%+.1f%%)\n",
+        off.wall_ms, on.wall_ms, s.trials,
+        (on.wall_ms / off.wall_ms - 1.0) * 100.0);
   }
 
   table.print(std::cout);

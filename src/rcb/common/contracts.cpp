@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "rcb/common/mathutil.hpp"
+
 namespace rcb {
 namespace {
 
@@ -41,10 +43,11 @@ void append_escaped(std::string& out, std::string_view s) {
   }
 }
 
-/// Builds the machine-readable repro record.  The scenario JSON from the
-/// ambient ReproContext is embedded verbatim (it is already JSON).
-std::string build_record(std::string_view kind, std::string_view expr,
-                         std::string_view file, int line) {
+}  // namespace
+
+std::string format_repro_record(std::string_view kind, std::string_view expr,
+                                std::string_view file, int line,
+                                const ReproContext* ctx) {
   std::string r = "{\"rcb_repro\":1,\"kind\":\"";
   append_escaped(r, kind);
   r += "\",\"expr\":\"";
@@ -52,17 +55,19 @@ std::string build_record(std::string_view kind, std::string_view expr,
   r += "\",\"file\":\"";
   append_escaped(r, file);
   r += "\",\"line\":" + std::to_string(line);
-  if (const ReproContext* ctx = t_repro_context) {
+  if (ctx != nullptr) {
     r += ",\"master_seed\":" + std::to_string(ctx->master_seed);
     r += ",\"trial\":" + std::to_string(ctx->trial);
+    if (!ctx->scenario_json.empty()) {
+      r += ",\"scenario_digest\":\"" + to_hex16(fnv1a64(ctx->scenario_json)) +
+           "\"";
+    }
     r += ",\"scenario\":";
     r += ctx->scenario_json.empty() ? "null" : ctx->scenario_json;
   }
   r += "}";
   return r;
 }
-
-}  // namespace
 
 ReproScope::ReproScope(std::uint64_t master_seed, std::uint64_t trial,
                        std::string scenario_json)
@@ -85,7 +90,8 @@ namespace detail {
 
 void contract_failure(std::string_view kind, std::string_view expr,
                       std::string_view file, int line) {
-  const std::string record = build_record(kind, expr, file, line);
+  const std::string record =
+      format_repro_record(kind, expr, file, line, t_repro_context);
   if (ContractFailureHandler h = g_handler.load()) {
     h(record);  // may throw or terminate; falling through aborts below
   }

@@ -47,6 +47,17 @@ class ReproScope {
 /// Innermost installed context for this thread, or nullptr.
 const ReproContext* current_repro_context();
 
+/// Formats a one-line machine-readable repro record ("{...}", without the
+/// RCB_REPRO prefix) from an explicit context.  `ctx` may be null (the
+/// failure happened outside any trial).  Used by the contract-failure path
+/// and by runners that report non-contract events (watchdog timeouts,
+/// escaped exceptions) in the same replayable format.  When the context
+/// carries scenario JSON, the record also embeds its FNV-1a digest as
+/// "scenario_digest", so tools can detect a tampered or stale scenario.
+std::string format_repro_record(std::string_view kind, std::string_view expr,
+                                std::string_view file, int line,
+                                const ReproContext* ctx);
+
 /// Invoked with the repro record before the default stderr+abort path.
 /// A handler may throw (test capture) or terminate; if it returns, the
 /// default path runs.  Process-global; returns the previous handler.

@@ -3,6 +3,8 @@
 
 #include <cmath>
 #include <cstdint>
+#include <string>
+#include <string_view>
 
 #include "rcb/common/contracts.hpp"
 
@@ -47,6 +49,53 @@ inline std::uint64_t to_slot_count(double x) {
   if (x <= 0.0) return 0;
   if (x >= 1.8e19) return UINT64_MAX;
   return static_cast<std::uint64_t>(x);
+}
+
+/// FNV-1a 64-bit over a byte string.  Used to fingerprint scenario JSON
+/// (crash-repro records, checkpoint manifests) and to frame checkpoint
+/// journal records; any change to the hashed text changes the digest.
+inline std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Fixed-width lowercase hex encoding of a u64 (16 chars, zero-padded).
+/// Digests travel through JSON as hex strings because JSON numbers are
+/// doubles and lose u64 precision above 2^53.
+inline std::string to_hex16(std::uint64_t v) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return s;
+}
+
+/// Parses a hex string (1..16 digits, as produced by to_hex16) into a u64.
+/// Returns false on empty, overlong, or non-hex input.
+inline bool parse_hex_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty() || text.size() > 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    int d;
+    if (c >= '0' && c <= '9') {
+      d = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      d = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      d = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+  }
+  out = v;
+  return true;
 }
 
 /// Natural-log helper with a guard for the eps parameters used by Fig. 1.

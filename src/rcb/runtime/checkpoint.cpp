@@ -1,0 +1,433 @@
+#include "rcb/runtime/checkpoint.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "rcb/cli/json.hpp"
+#include "rcb/cli/json_parse.hpp"
+#include "rcb/common/mathutil.hpp"
+
+namespace rcb {
+
+const char kCheckpointJournalFile[] = "journal.rcbj";
+const char kCheckpointManifestFile[] = "manifest.json";
+
+namespace {
+
+constexpr std::string_view kFramePrefix = "RCBJ ";
+
+std::string errno_string() { return std::strerror(errno); }
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, got);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+/// fsync a stdio stream (no-op on platforms without fileno/fsync).
+bool sync_stream(std::FILE* f) {
+  if (std::fflush(f) != 0) return false;
+#ifndef _WIN32
+  return ::fsync(fileno(f)) == 0;
+#else
+  return true;
+#endif
+}
+
+/// 64-bit counts that can exceed 2^53 travel as hex strings; small counts
+/// (bounded by fleet size / attempt caps) stay JSON numbers.
+std::string record_payload(const CheckpointRecord& rec,
+                           std::uint64_t scenario_dig) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("trial").value(static_cast<std::uint64_t>(rec.trial));
+  w.key("status").value(rec.status);
+  w.key("attempts").value(static_cast<std::uint64_t>(rec.attempts));
+  w.key("scenario_digest").value(to_hex16(scenario_dig));
+  const TrialOutcome& o = rec.outcome;
+  w.key("outcome").begin_object();
+  w.key("max_cost").value(o.max_cost);
+  w.key("mean_cost").value(o.mean_cost);
+  w.key("adversary_cost").value(o.adversary_cost);
+  w.key("latency").value(o.latency);
+  w.key("success").value(o.success);
+  w.key("aborted").value(o.aborted);
+  w.key("dead_count").value(o.dead_count);
+  w.key("crashed_count").value(o.crashed_count);
+  w.key("digest").value(to_hex16(o.digest));
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+bool exact_u64_field(const JsonValue* v, std::uint64_t& out) {
+  if (v == nullptr || !v->is_number()) return false;
+  const double d = v->as_number();
+  if (!(d >= 0.0) || d != std::floor(d) || d > 9007199254740992.0) {
+    return false;
+  }
+  out = static_cast<std::uint64_t>(d);
+  return true;
+}
+
+/// Decodes one journal payload.  Returns "" or an error description.
+std::string parse_payload(std::string_view payload, CheckpointRecord& rec,
+                          std::uint64_t& rec_scenario_digest) {
+  const JsonParseResult parsed = json_parse(payload);
+  if (!parsed.ok) return "payload is not valid JSON: " + parsed.error;
+  if (!parsed.value.is_object()) return "payload is not a JSON object";
+  const JsonValue& v = parsed.value;
+
+  if (!exact_u64_field(v.find("trial"), rec.trial)) return "bad trial field";
+  const JsonValue* status = v.find("status");
+  if (status == nullptr || !status->is_string()) return "bad status field";
+  rec.status = status->as_string();
+  std::uint64_t attempts = 0;
+  if (!exact_u64_field(v.find("attempts"), attempts) || attempts == 0 ||
+      attempts > UINT32_MAX) {
+    return "bad attempts field";
+  }
+  rec.attempts = static_cast<std::uint32_t>(attempts);
+  const JsonValue* sd = v.find("scenario_digest");
+  if (sd == nullptr || !sd->is_string() ||
+      !parse_hex_u64(sd->as_string(), rec_scenario_digest)) {
+    return "bad scenario_digest field";
+  }
+
+  const JsonValue* ov = v.find("outcome");
+  if (ov == nullptr || !ov->is_object()) return "bad outcome field";
+  TrialOutcome& o = rec.outcome;
+  auto num = [&](const char* key, double& out) {
+    const JsonValue* f = ov->find(key);
+    if (f == nullptr || !f->is_number()) return false;
+    out = f->as_number();
+    return true;
+  };
+  auto flag = [&](const char* key, bool& out) {
+    const JsonValue* f = ov->find(key);
+    if (f == nullptr || !f->is_bool()) return false;
+    out = f->as_bool();
+    return true;
+  };
+  if (!num("max_cost", o.max_cost) || !num("mean_cost", o.mean_cost) ||
+      !num("adversary_cost", o.adversary_cost) || !num("latency", o.latency)) {
+    return "bad outcome numeric field";
+  }
+  if (!flag("success", o.success) || !flag("aborted", o.aborted)) {
+    return "bad outcome flag field";
+  }
+  if (!exact_u64_field(ov->find("dead_count"), o.dead_count) ||
+      !exact_u64_field(ov->find("crashed_count"), o.crashed_count)) {
+    return "bad outcome count field";
+  }
+  const JsonValue* dig = ov->find("digest");
+  if (dig == nullptr || !dig->is_string() ||
+      !parse_hex_u64(dig->as_string(), o.digest)) {
+    return "bad outcome digest field";
+  }
+  return "";
+}
+
+std::string manifest_json(const Scenario& s) {
+  // The scenario is the last key so loaders can slice its exact text out
+  // (the digest is over that text; see load_manifest).
+  std::string m = "{\"rcb_checkpoint\":1,\"scenario_digest\":\"";
+  const std::string scenario = scenario_to_json(s);
+  m += to_hex16(fnv1a64(scenario));
+  m += "\",\"journal\":\"";
+  m += kCheckpointJournalFile;
+  m += "\",\"scenario\":";
+  m += scenario;
+  m += "}\n";
+  return m;
+}
+
+/// Extracts the exact text of the "scenario" sub-object (the last key).
+std::string_view scenario_slice(std::string_view manifest) {
+  const std::size_t pos = manifest.find("\"scenario\":");
+  if (pos == std::string_view::npos) return {};
+  std::string_view slice = manifest.substr(pos + 11);
+  std::size_t depth = 0;
+  for (std::size_t i = 0; i < slice.size(); ++i) {
+    if (slice[i] == '{') ++depth;
+    if (slice[i] == '}') {
+      if (--depth == 0) return slice.substr(0, i + 1);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+CheckpointLoadResult load_checkpoint(const std::string& dir) {
+  CheckpointLoadResult r;
+  const std::string manifest_path =
+      dir + "/" + kCheckpointManifestFile;
+  std::string manifest;
+  if (!read_file(manifest_path, manifest)) {
+    r.error = "cannot read checkpoint manifest '" + manifest_path + "'";
+    return r;
+  }
+
+  const JsonParseResult parsed = json_parse(manifest);
+  if (!parsed.ok || !parsed.value.is_object()) {
+    r.error = "manifest is not valid JSON";
+    return r;
+  }
+  const JsonValue* marker = parsed.value.find("rcb_checkpoint");
+  if (marker == nullptr || !marker->is_number() ||
+      marker->as_number() != 1.0) {
+    r.error = "not an rcb checkpoint manifest (missing rcb_checkpoint:1)";
+    return r;
+  }
+  const JsonValue* digest_field = parsed.value.find("scenario_digest");
+  if (digest_field == nullptr || !digest_field->is_string() ||
+      !parse_hex_u64(digest_field->as_string(), r.scenario_digest)) {
+    r.error = "manifest scenario_digest missing or malformed";
+    return r;
+  }
+  const std::string_view slice = scenario_slice(manifest);
+  if (slice.empty()) {
+    r.error = "manifest has no scenario object";
+    return r;
+  }
+  if (fnv1a64(slice) != r.scenario_digest) {
+    r.error =
+        "manifest scenario digest mismatch: the embedded scenario does not "
+        "hash to the recorded scenario_digest (manifest edited or corrupt)";
+    return r;
+  }
+  const ScenarioParseResult sp = scenario_from_json(slice);
+  if (!sp.ok) {
+    r.error = "manifest scenario: " + sp.error;
+    return r;
+  }
+  r.scenario = sp.scenario;
+  const std::string invalid = validate_scenario(r.scenario);
+  if (!invalid.empty()) {
+    r.error = "manifest scenario is invalid: " + invalid;
+    return r;
+  }
+
+  std::string journal;
+  const std::string journal_path =
+      dir + "/" + kCheckpointJournalFile;
+  if (!read_file(journal_path, journal)) {
+    // A manifest with no journal yet is a checkpoint that was killed
+    // between manifest creation and the first append — resumable, empty.
+    r.ok = true;
+    return r;
+  }
+
+  std::vector<bool> seen;  // trial-index bitmap for duplicate detection
+  std::size_t off = 0;
+  std::size_t frame_index = 0;
+  while (off < journal.size()) {
+    const std::string_view rest = std::string_view(journal).substr(off);
+    auto corrupt = [&](const std::string& why) {
+      r.ok = false;
+      r.error = "journal record " + std::to_string(frame_index) + ": " + why;
+    };
+    // Header: "RCBJ <len> <hex16> ".  A frame that deviates from the
+    // grammar *before* EOF is corruption; one that runs out of bytes is a
+    // truncated tail (killed mid-append) and is recoverable.
+    const std::size_t avail = rest.size();
+    const std::size_t cmp = std::min(avail, kFramePrefix.size());
+    if (rest.substr(0, cmp) != kFramePrefix.substr(0, cmp)) {
+      corrupt("bad frame prefix");
+      return r;
+    }
+    if (avail < kFramePrefix.size()) break;  // truncated inside the prefix
+    std::size_t i = kFramePrefix.size();
+    std::uint64_t len = 0;
+    std::size_t len_digits = 0;
+    while (i < avail && rest[i] >= '0' && rest[i] <= '9') {
+      len = len * 10 + static_cast<std::uint64_t>(rest[i] - '0');
+      if (++len_digits > 9) {
+        corrupt("frame length out of range");
+        return r;
+      }
+      ++i;
+    }
+    if (i >= avail) break;  // truncated inside the length
+    if (len_digits == 0 || rest[i] != ' ') {
+      corrupt("malformed frame length");
+      return r;
+    }
+    ++i;
+    if (avail - i < 16) {
+      // Could still be a prefix of a valid digest: truncation only if every
+      // remaining byte is hex, corruption otherwise.
+      std::uint64_t ignored = 0;
+      if (avail == i || parse_hex_u64(rest.substr(i), ignored)) break;
+      corrupt("malformed frame digest");
+      return r;
+    }
+    std::uint64_t frame_digest = 0;
+    if (!parse_hex_u64(rest.substr(i, 16), frame_digest)) {
+      corrupt("malformed frame digest");
+      return r;
+    }
+    i += 16;
+    if (i >= avail) break;  // truncated before the payload separator
+    if (rest[i] != ' ') {
+      corrupt("malformed frame header");
+      return r;
+    }
+    ++i;
+    if (avail - i < len + 1) break;  // truncated inside the payload
+    const std::string_view payload = rest.substr(i, len);
+    if (rest[i + len] != '\n') {
+      corrupt("payload not newline-terminated");
+      return r;
+    }
+    if (fnv1a64(payload) != frame_digest) {
+      corrupt("payload digest mismatch (flipped byte?)");
+      return r;
+    }
+
+    CheckpointRecord rec;
+    std::uint64_t rec_digest = 0;
+    const std::string perr = parse_payload(payload, rec, rec_digest);
+    if (!perr.empty()) {
+      corrupt(perr);
+      return r;
+    }
+    if (rec_digest != r.scenario_digest) {
+      corrupt(
+          "scenario digest mismatch: record was written for a different "
+          "scenario than the manifest describes");
+      return r;
+    }
+    if (rec.trial >= r.scenario.trials) {
+      corrupt("trial index " + std::to_string(rec.trial) +
+              " out of range for " + std::to_string(r.scenario.trials) +
+              " trials");
+      return r;
+    }
+    if (seen.size() < r.scenario.trials) seen.resize(r.scenario.trials);
+    if (seen[rec.trial]) {
+      corrupt("duplicate trial index " + std::to_string(rec.trial));
+      return r;
+    }
+    seen[rec.trial] = true;
+
+    r.records.push_back(std::move(rec));
+    off += i + len + 1;
+    ++frame_index;
+  }
+  r.truncated_tail = off < journal.size();
+  r.journal_valid_bytes = off;
+  r.ok = true;
+  return r;
+}
+
+CheckpointWriter::~CheckpointWriter() { close(); }
+
+void CheckpointWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+std::string CheckpointWriter::create(const std::string& dir,
+                                     const Scenario& s) {
+  close();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return "cannot create checkpoint dir '" + dir + "': " + ec.message();
+
+  // Manifest: temp file + fsync + rename, so a crash leaves either the old
+  // manifest or the new one, never a torn write.
+  const std::string final_path = dir + "/" + kCheckpointManifestFile;
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+    if (f == nullptr) {
+      return "cannot open '" + tmp_path + "': " + errno_string();
+    }
+    const std::string manifest = manifest_json(s);
+    const bool wrote =
+        std::fwrite(manifest.data(), 1, manifest.size(), f) ==
+            manifest.size() &&
+        sync_stream(f);
+    std::fclose(f);
+    if (!wrote) return "cannot write '" + tmp_path + "': " + errno_string();
+  }
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return "cannot rename manifest into place: " + errno_string();
+  }
+
+  dir_ = dir;
+  scenario_digest_ = scenario_digest(s);
+  const std::string journal_path = dir + "/" + kCheckpointJournalFile;
+  file_ = std::fopen(journal_path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return "cannot open journal '" + journal_path + "': " + errno_string();
+  }
+  return "";
+}
+
+std::string CheckpointWriter::open_for_append(const std::string& dir,
+                                              std::uint64_t digest,
+                                              std::uint64_t valid_bytes) {
+  close();
+  dir_ = dir;
+  scenario_digest_ = digest;
+  const std::string journal_path = dir + "/" + kCheckpointJournalFile;
+  // Drop any partial tail frame before appending: resize, then append.
+  std::error_code ec;
+  if (std::filesystem::exists(journal_path, ec)) {
+    std::filesystem::resize_file(journal_path, valid_bytes, ec);
+    if (ec) {
+      return "cannot truncate journal '" + journal_path +
+             "': " + ec.message();
+    }
+  }
+  file_ = std::fopen(journal_path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return "cannot open journal '" + journal_path + "': " + errno_string();
+  }
+  return "";
+}
+
+std::string CheckpointWriter::append(const CheckpointRecord& rec) {
+  if (file_ == nullptr) return "checkpoint writer is not open";
+  const std::string payload = record_payload(rec, scenario_digest_);
+  std::string frame;
+  frame.reserve(payload.size() + 32);
+  frame += kFramePrefix;
+  frame += std::to_string(payload.size());
+  frame += ' ';
+  frame += to_hex16(fnv1a64(payload));
+  frame += ' ';
+  frame += payload;
+  frame += '\n';
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+      std::fflush(file_) != 0) {
+    return "journal append failed: " + errno_string();
+  }
+  return "";
+}
+
+std::string CheckpointWriter::sync() {
+  if (file_ == nullptr) return "checkpoint writer is not open";
+  if (!sync_stream(file_)) return "journal fsync failed: " + errno_string();
+  return "";
+}
+
+}  // namespace rcb

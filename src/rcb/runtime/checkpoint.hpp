@@ -1,0 +1,113 @@
+// Crash-safe checkpoint journal for Monte-Carlo sweeps.
+//
+// A checkpoint directory holds two files:
+//
+//   manifest.json   {"rcb_checkpoint":1,"scenario_digest":"<hex16>",
+//                    "journal":"journal.rcbj","scenario":{...}}
+//   journal.rcbj    one framed record per completed trial, appended as
+//                   trials finish (any order; records carry their index)
+//
+// The manifest is written atomically (temp file + fsync + rename), so a
+// reader either sees the complete manifest or none.  Journal records are
+// length/digest framed text lines:
+//
+//   RCBJ <payload-bytes> <fnv1a-hex16> <payload-json>\n
+//
+// where the digest covers the payload bytes.  A process killed mid-append
+// leaves at most one partial frame at the tail; the loader detects it,
+// reports it, and resumes from the last good record (the writer truncates
+// the partial tail before appending).  A flipped byte inside a *complete*
+// frame, a duplicate trial index, or a record whose scenario_digest does
+// not match the manifest are corruption, not truncation: the loader
+// refuses them, because silently resuming against the wrong data would
+// fabricate experiment results.
+//
+// The payload embeds every TrialOutcome field (doubles printed with %.17g
+// round-trip exactly; u64 digests travel as hex strings) so an aggregate
+// recomputed from the journal is bit-identical to the uninterrupted run —
+// the property the supervisor's kill/resume tests pin.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rcb/runtime/scenario.hpp"
+
+namespace rcb {
+
+/// One journaled trial: the outcome plus how the supervisor got it.
+struct CheckpointRecord {
+  std::uint64_t trial = 0;
+  /// "ok" | "timed_out" (watchdog/slot-budget quarantine) | "failed"
+  /// (exhausted the retry budget).
+  std::string status = "ok";
+  std::uint32_t attempts = 1;  ///< 1 = first attempt succeeded
+  TrialOutcome outcome;
+};
+
+struct CheckpointLoadResult {
+  bool ok = false;
+  std::string error;
+  Scenario scenario;                   ///< from the manifest
+  std::uint64_t scenario_digest = 0;   ///< digest of the manifest scenario
+  std::vector<CheckpointRecord> records;  ///< journal order
+  /// True when the journal ended in a partial frame (killed mid-append).
+  /// Recoverable: `records` holds everything up to the last good frame and
+  /// journal_valid_bytes is where a resuming writer must truncate to.
+  bool truncated_tail = false;
+  std::uint64_t journal_valid_bytes = 0;
+};
+
+/// Reads and verifies a checkpoint directory.  ok=false means the
+/// checkpoint is unusable (missing/corrupt manifest, corrupt record,
+/// duplicate trial, scenario-digest mismatch); a truncated tail alone is
+/// reported but still ok.
+CheckpointLoadResult load_checkpoint(const std::string& dir);
+
+/// Appends framed trial records to a checkpoint journal.  Not thread-safe;
+/// the supervisor serialises appends.  Each append is flushed to the OS
+/// (surviving process death); sync() additionally fsyncs (surviving power
+/// loss) and is called by the supervisor at shutdown/final flush.
+class CheckpointWriter {
+ public:
+  CheckpointWriter() = default;
+  ~CheckpointWriter();
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  /// Starts a fresh checkpoint: creates `dir` (and parents), writes the
+  /// manifest atomically, and truncates the journal.  Returns "" or an
+  /// error description.
+  std::string create(const std::string& dir, const Scenario& s);
+
+  /// Resumes an existing checkpoint: truncates the journal to
+  /// `valid_bytes` (dropping a partial tail reported by load_checkpoint)
+  /// and opens it for append.  `digest` is the manifest scenario digest
+  /// stamped into every appended record.
+  std::string open_for_append(const std::string& dir, std::uint64_t digest,
+                              std::uint64_t valid_bytes);
+
+  /// Appends one framed record and flushes it to the OS.
+  std::string append(const CheckpointRecord& rec);
+
+  /// fsyncs the journal file.
+  std::string sync();
+
+  void close();
+  bool active() const { return file_ != nullptr; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  std::uint64_t scenario_digest_ = 0;
+  std::FILE* file_ = nullptr;
+};
+
+/// Journal file name inside a checkpoint directory (exposed for tests and
+/// the chaos harness, which watches it grow before killing the process).
+extern const char kCheckpointJournalFile[];
+extern const char kCheckpointManifestFile[];
+
+}  // namespace rcb

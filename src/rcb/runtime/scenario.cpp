@@ -11,6 +11,7 @@
 #include "rcb/cli/json.hpp"
 #include "rcb/cli/json_parse.hpp"
 #include "rcb/common/contracts.hpp"
+#include "rcb/common/mathutil.hpp"
 #include "rcb/protocols/broadcast_n.hpp"
 #include "rcb/protocols/combined.hpp"
 #include "rcb/protocols/ksy.hpp"
@@ -92,6 +93,10 @@ std::string scenario_to_json(const Scenario& s) {
   w.end_object();
   w.end_object();
   return os.str();
+}
+
+std::uint64_t scenario_digest(const Scenario& s) {
+  return fnv1a64(scenario_to_json(s));
 }
 
 namespace {
@@ -469,6 +474,14 @@ ReproParseResult repro_record_from_json(std::string_view text) {
       r.error = "trial: not an exact integer";
       return r;
     }
+  }
+  if (const JsonValue* f = v.find("scenario_digest");
+      f != nullptr && f->is_string()) {
+    if (!parse_hex_u64(f->as_string(), rec.scenario_digest)) {
+      r.error = "scenario_digest: not a hex u64";
+      return r;
+    }
+    rec.has_scenario_digest = true;
   }
   if (const JsonValue* f = v.find("scenario");
       f != nullptr && f->is_object()) {

@@ -58,6 +58,12 @@ struct Scenario {
 /// Serialises a scenario as a single-line JSON object (stable key order).
 std::string scenario_to_json(const Scenario& s);
 
+/// FNV-1a fingerprint of the canonical scenario JSON.  Because the codec
+/// round-trip is a fixed point (scenario_to_json(parse(j)) == j), two
+/// scenarios have equal digests iff they are field-for-field identical —
+/// the identity the checkpoint manifest and repro records are keyed on.
+std::uint64_t scenario_digest(const Scenario& s);
+
 struct ScenarioParseResult {
   bool ok = false;
   Scenario scenario;
@@ -109,6 +115,11 @@ struct ReproRecord {
   std::uint64_t trial = 0;
   bool has_scenario = false;
   Scenario scenario;
+  /// FNV-1a digest of the scenario JSON as recorded at emission time
+  /// ("scenario_digest" field); lets tools detect a record whose embedded
+  /// scenario was edited after the fact.
+  bool has_scenario_digest = false;
+  std::uint64_t scenario_digest = 0;
 };
 
 struct ReproParseResult {

@@ -1,0 +1,397 @@
+#include "rcb/runtime/supervisor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iterator>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "rcb/common/contracts.hpp"
+#include "rcb/common/mathutil.hpp"
+#include "rcb/runtime/cancel.hpp"
+
+namespace rcb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Graceful shutdown flag.
+//
+// The signal handler only touches lock-free atomics (async-signal-safe);
+// everything else — draining, journal fsync, the resume hint — happens on
+// the normal control path once the sweep notices the flag.
+
+std::atomic<bool> g_shutdown{false};
+std::atomic<int> g_signal_count{0};
+
+extern "C" void sweep_signal_handler(int) {
+  g_shutdown.store(true, std::memory_order_release);
+  // A second signal means the user is done waiting for the drain.
+  if (g_signal_count.fetch_add(1, std::memory_order_acq_rel) >= 1) {
+    std::_Exit(130);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Contract-failure capture.
+//
+// Contract failures abort the process by default.  Inside a supervised
+// trial we instead want to journal the trial as failed (or retry it) and
+// keep sweeping, so while any sweep is running we install a process-global
+// handler that throws out of the failing RCB_REQUIRE — but only on threads
+// currently executing a supervised trial; failures anywhere else fall
+// through to the previous handler (normally: stderr + abort).
+
+struct SupervisedTrialFault {
+  std::string record_json;  ///< the RCB_REPRO payload, pre-formatted
+};
+
+thread_local bool t_in_supervised_trial = false;
+
+std::mutex g_handler_mutex;
+int g_handler_refs = 0;
+ContractFailureHandler g_previous_handler = nullptr;
+
+void supervised_contract_handler(std::string_view record) {
+  if (t_in_supervised_trial) {
+    throw SupervisedTrialFault{std::string(record)};
+  }
+  if (g_previous_handler != nullptr) g_previous_handler(record);
+}
+
+class ContractCaptureGuard {
+ public:
+  ContractCaptureGuard() {
+    std::lock_guard<std::mutex> lock(g_handler_mutex);
+    if (g_handler_refs++ == 0) {
+      g_previous_handler =
+          set_contract_failure_handler(&supervised_contract_handler);
+    }
+  }
+  ~ContractCaptureGuard() {
+    std::lock_guard<std::mutex> lock(g_handler_mutex);
+    if (--g_handler_refs == 0) {
+      set_contract_failure_handler(g_previous_handler);
+      g_previous_handler = nullptr;
+    }
+  }
+  ContractCaptureGuard(const ContractCaptureGuard&) = delete;
+  ContractCaptureGuard& operator=(const ContractCaptureGuard&) = delete;
+};
+
+// ---------------------------------------------------------------------------
+// Watchdog: one monitor thread per sweep, scanning registered trials every
+// ~20ms and requesting cancellation on the ones past their deadline.  The
+// engines notice at the next repetition boundary, so enforcement latency is
+// one repetition, not one slot — cheap and good enough for budgets measured
+// in (fractions of) seconds.
+
+class Watchdog {
+ public:
+  explicit Watchdog(double timeout_sec)
+      : timeout_(std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(timeout_sec))),
+        thread_([this] { loop(); }) {}
+
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  /// (Re)arms the deadline for `token`; called at the start of each attempt.
+  void watch(CancelToken* token) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    deadlines_[token] = Clock::now() + timeout_;
+  }
+
+  void unwatch(CancelToken* token) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    deadlines_.erase(token);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(20),
+                   [this] { return stop_; });
+      if (stop_) break;
+      const Clock::time_point now = Clock::now();
+      for (const auto& [token, deadline] : deadlines_) {
+        if (now >= deadline) token->request("watchdog");
+      }
+    }
+  }
+
+  const Clock::duration timeout_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::map<CancelToken*, Clock::time_point> deadlines_;
+  std::thread thread_;
+};
+
+/// Outcome journaled for a trial the supervisor had to give up on.  Derived
+/// from (status, trial) only, so uninterrupted and resumed runs produce the
+/// same record and the aggregate digest stays comparable.
+TrialOutcome synthetic_outcome(const char* status, std::uint64_t trial) {
+  TrialOutcome o;
+  o.aborted = true;
+  o.digest = fnv1a64(std::string(status) + ":" + std::to_string(trial));
+  return o;
+}
+
+void emit_repro(const char* kind, const std::string& expr, const Scenario& s,
+                std::uint64_t trial, const std::string& scenario_json) {
+  ReproContext ctx;
+  ctx.master_seed = s.seed;
+  ctx.trial = trial;
+  ctx.scenario_json = scenario_json;
+  std::fprintf(
+      stderr, "RCB_REPRO %s\n",
+      format_repro_record(kind, expr, "runtime/supervisor.cpp", 0, &ctx)
+          .c_str());
+}
+
+TrialOutcome default_trial_runner(const Scenario& s, std::uint64_t trial,
+                                  std::uint32_t attempt) {
+  if (attempt == 0) return run_scenario_trial(s, trial);
+  Scenario reseeded = s;
+  reseeded.seed = reseed_for_attempt(s.seed, attempt);
+  return run_scenario_trial(reseeded, trial);
+}
+
+}  // namespace
+
+std::uint64_t reseed_for_attempt(std::uint64_t seed, std::uint32_t attempt) {
+  if (attempt == 0) return seed;
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * attempt;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t aggregate_digest(const std::vector<CheckpointRecord>& records) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix_u64 = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const CheckpointRecord& rec : records) {
+    mix_u64(rec.trial);
+    mix_u64(rec.outcome.digest);
+  }
+  return h;
+}
+
+void request_sweep_shutdown() {
+  g_shutdown.store(true, std::memory_order_release);
+}
+
+bool sweep_shutdown_requested() {
+  return g_shutdown.load(std::memory_order_acquire);
+}
+
+void reset_sweep_shutdown() {
+  g_shutdown.store(false, std::memory_order_release);
+  g_signal_count.store(0, std::memory_order_release);
+}
+
+void install_sweep_signal_handlers() {
+  std::signal(SIGINT, &sweep_signal_handler);
+  std::signal(SIGTERM, &sweep_signal_handler);
+}
+
+SweepResult run_supervised_sweep(const Scenario& s_in,
+                                 const SupervisorOptions& opt,
+                                 ThreadPool& pool, const TrialRunner& runner) {
+  SweepResult result;
+  result.scenario = s_in;
+
+  const bool checkpointing = !opt.checkpoint_dir.empty();
+  CheckpointWriter writer;
+  std::vector<CheckpointRecord> completed;
+
+  if (checkpointing && opt.resume) {
+    std::error_code ec;
+    const std::filesystem::path manifest =
+        std::filesystem::path(opt.checkpoint_dir) / kCheckpointManifestFile;
+    // --resume with no manifest yet starts fresh, so scripted restart loops
+    // can pass the flag unconditionally.
+    if (std::filesystem::exists(manifest, ec)) {
+      CheckpointLoadResult loaded = load_checkpoint(opt.checkpoint_dir);
+      if (!loaded.ok) {
+        result.error = loaded.error;
+        return result;
+      }
+      result.scenario = loaded.scenario;
+      completed = std::move(loaded.records);
+      const std::string err =
+          writer.open_for_append(opt.checkpoint_dir, loaded.scenario_digest,
+                                 loaded.journal_valid_bytes);
+      if (!err.empty()) {
+        result.error = err;
+        return result;
+      }
+    }
+  }
+
+  const Scenario& s = result.scenario;
+  if (const std::string invalid = validate_scenario(s); !invalid.empty()) {
+    result.error = invalid;
+    return result;
+  }
+  if (checkpointing && !writer.active()) {
+    const std::string err = writer.create(opt.checkpoint_dir, s);
+    if (!err.empty()) {
+      result.error = err;
+      return result;
+    }
+  }
+
+  result.resumed = completed.size();
+  std::vector<bool> have(s.trials, false);
+  for (const CheckpointRecord& rec : completed) {
+    have[rec.trial] = true;
+  }
+
+  const std::string scenario_json = scenario_to_json(s);
+  std::optional<Watchdog> watchdog;
+  if (opt.trial_timeout_sec > 0.0) watchdog.emplace(opt.trial_timeout_sec);
+  ContractCaptureGuard contract_capture;
+
+  std::mutex journal_mutex;
+  std::string journal_error;
+  std::atomic<bool> abort_sweep{false};
+  std::vector<CheckpointRecord> fresh;
+
+  for (std::uint64_t t = 0; t < s.trials; ++t) {
+    if (have[t]) continue;
+    pool.submit([&, t] {
+      // Trials not yet started when shutdown (or a journal write error)
+      // hits are skipped, not run: the journal must only ever contain
+      // records that were durably appended.
+      if (abort_sweep.load(std::memory_order_relaxed) ||
+          g_shutdown.load(std::memory_order_acquire)) {
+        return;
+      }
+
+      CancelToken token(opt.trial_slot_budget);
+      CancelScope cancel_scope(&token);
+      CheckpointRecord rec;
+      rec.trial = t;
+
+      t_in_supervised_trial = true;
+      std::uint32_t attempt = 0;
+      for (;;) {
+        if (watchdog) watchdog->watch(&token);
+        try {
+          rec.outcome = runner(s, t, attempt);
+          rec.status = "ok";
+        } catch (const TrialCancelled& cancelled) {
+          rec.status = "timed_out";
+          rec.outcome = synthetic_outcome("timed_out", t);
+          emit_repro("timeout",
+                     "trial exceeded its " + cancelled.reason() + " budget", s,
+                     t, scenario_json);
+        } catch (const SupervisedTrialFault& fault) {
+          std::fprintf(stderr, "RCB_REPRO %s\n", fault.record_json.c_str());
+          if (attempt < opt.max_retries) {
+            ++attempt;
+            continue;
+          }
+          rec.status = "failed";
+          rec.outcome = synthetic_outcome("failed", t);
+        } catch (const std::exception& ex) {
+          emit_repro("exception", ex.what(), s, t, scenario_json);
+          if (attempt < opt.max_retries) {
+            ++attempt;
+            continue;
+          }
+          rec.status = "failed";
+          rec.outcome = synthetic_outcome("failed", t);
+        } catch (...) {
+          emit_repro("exception", "unknown exception", s, t, scenario_json);
+          if (attempt < opt.max_retries) {
+            ++attempt;
+            continue;
+          }
+          rec.status = "failed";
+          rec.outcome = synthetic_outcome("failed", t);
+        }
+        break;
+      }
+      t_in_supervised_trial = false;
+      if (watchdog) watchdog->unwatch(&token);
+      rec.attempts = attempt + 1;
+
+      std::lock_guard<std::mutex> lock(journal_mutex);
+      if (writer.active()) {
+        const std::string err = writer.append(rec);
+        if (!err.empty()) {
+          if (journal_error.empty()) journal_error = err;
+          abort_sweep.store(true, std::memory_order_relaxed);
+          return;  // not durable — must not count as completed
+        }
+      }
+      fresh.push_back(std::move(rec));
+    });
+  }
+  pool.wait_idle();
+
+  if (!journal_error.empty()) {
+    result.error = "checkpoint journal write failed: " + journal_error;
+    return result;
+  }
+
+  result.executed = fresh.size();
+  result.records = std::move(completed);
+  result.records.insert(result.records.end(),
+                        std::make_move_iterator(fresh.begin()),
+                        std::make_move_iterator(fresh.end()));
+  std::sort(result.records.begin(), result.records.end(),
+            [](const CheckpointRecord& a, const CheckpointRecord& b) {
+              return a.trial < b.trial;
+            });
+  for (const CheckpointRecord& rec : result.records) {
+    if (rec.status == "timed_out") ++result.timed_out;
+    if (rec.status == "failed") ++result.failed_trials;
+  }
+  result.interrupted = result.records.size() < s.trials;
+  result.aggregate_digest = aggregate_digest(result.records);
+
+  if (writer.active()) {
+    const std::string err = writer.sync();
+    if (!err.empty()) {
+      result.error = "checkpoint journal sync failed: " + err;
+      return result;
+    }
+    writer.close();
+  }
+  result.ok = true;
+  return result;
+}
+
+SweepResult run_supervised_sweep(const Scenario& s,
+                                 const SupervisorOptions& opt,
+                                 ThreadPool& pool) {
+  return run_supervised_sweep(s, opt, pool, &default_trial_runner);
+}
+
+}  // namespace rcb

@@ -4,6 +4,7 @@
 
 #include "rcb/common/contracts.hpp"
 #include "rcb/rng/sampling.hpp"
+#include "rcb/runtime/cancel.hpp"
 
 namespace rcb {
 namespace {
@@ -74,6 +75,11 @@ RepetitionResult run_repetition_luniform(
   RCB_REQUIRE(actions.size() == partition.size());
   RCB_REQUIRE(!schedules.empty());
   for (std::uint32_t p : partition) RCB_REQUIRE(p < schedules.size());
+
+  // Cooperative cancellation checkpoint: one poll per repetition keeps a
+  // watchdogged or slot-budgeted trial from stalling a sweep for more than
+  // one phase, at no per-slot cost.
+  poll_cancellation(num_slots);
 
   if (faults != nullptr && !faults->active()) faults = nullptr;
   if (faults != nullptr) {

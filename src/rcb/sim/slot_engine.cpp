@@ -5,6 +5,7 @@
 
 #include "rcb/common/contracts.hpp"
 #include "rcb/rng/sampling.hpp"
+#include "rcb/runtime/cancel.hpp"
 
 namespace rcb {
 namespace {
@@ -93,6 +94,7 @@ SlotwiseResult run_repetition_slotwise(SlotCount num_slots,
                                        std::span<const NodeAction> actions,
                                        SlotAdversary& adversary, Rng& rng,
                                        const CcaModel& cca, FaultPlan* faults) {
+  poll_cancellation(num_slots);
   if (faults != nullptr && !faults->active()) faults = nullptr;
   if (faults != nullptr) {
     faults->begin_phase(static_cast<std::uint32_t>(actions.size()), num_slots);
@@ -195,6 +197,7 @@ SlotwiseResult run_repetition_slotwise_dense(
     SlotCount num_slots, std::span<const NodeAction> actions,
     SlotAdversary& adversary, Rng& rng, const CcaModel& cca,
     FaultPlan* faults) {
+  poll_cancellation(num_slots);
   if (faults != nullptr && !faults->active()) faults = nullptr;
   if (faults != nullptr) {
     faults->begin_phase(static_cast<std::uint32_t>(actions.size()), num_slots);

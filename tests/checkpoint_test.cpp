@@ -1,0 +1,256 @@
+// Tests for the crash-safe checkpoint journal (runtime/checkpoint.hpp):
+// round-trip fidelity, the truncation-vs-corruption decision tree, and
+// resume-after-truncation.
+#include "rcb/runtime/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "rcb/common/mathutil.hpp"
+
+namespace rcb {
+namespace {
+
+namespace fs = std::filesystem;
+
+Scenario test_scenario() {
+  Scenario s;
+  s.protocol = "one_to_one";
+  s.adversary = "full_duel";
+  s.budget = 4096;
+  s.eps = 0.02;
+  s.trials = 8;
+  s.seed = 77;
+  return s;
+}
+
+/// Outcome with every field non-default, including doubles that only
+/// round-trip with %.17g precision.
+TrialOutcome test_outcome(std::uint64_t trial) {
+  TrialOutcome o;
+  o.max_cost = 1234.0 + static_cast<double>(trial);
+  o.mean_cost = 0.1 + static_cast<double>(trial) / 3.0;
+  o.adversary_cost = 1.0e15 + static_cast<double>(trial);
+  o.latency = 99999.0;
+  o.success = trial % 2 == 0;
+  o.aborted = trial == 3;
+  o.dead_count = trial * 7;
+  o.crashed_count = trial;
+  o.digest = 0x123456789abcdef0ull ^ (trial * 0x9e3779b97f4a7c15ull);
+  return o;
+}
+
+CheckpointRecord test_record(std::uint64_t trial) {
+  CheckpointRecord rec;
+  rec.trial = trial;
+  rec.status = trial == 3 ? "timed_out" : "ok";
+  rec.attempts = trial == 5 ? 2 : 1;
+  rec.outcome = test_outcome(trial);
+  return rec;
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("rcb_ckpt_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string journal_path() const {
+    return (fs::path(dir_) / kCheckpointJournalFile).string();
+  }
+  std::string manifest_path() const {
+    return (fs::path(dir_) / kCheckpointManifestFile).string();
+  }
+
+  std::string read_file(const std::string& path) const {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+  void write_file(const std::string& path, const std::string& text) const {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+
+  /// Creates a checkpoint holding records for the given trials.
+  void make_checkpoint(const std::vector<std::uint64_t>& trials) {
+    CheckpointWriter writer;
+    ASSERT_EQ(writer.create(dir_, test_scenario()), "");
+    for (const std::uint64_t t : trials) {
+      ASSERT_EQ(writer.append(test_record(t)), "");
+    }
+    writer.close();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointTest, RoundTripsRecordsExactly) {
+  make_checkpoint({0, 3, 5, 1});
+  const CheckpointLoadResult loaded = load_checkpoint(dir_);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_FALSE(loaded.truncated_tail);
+  EXPECT_EQ(loaded.scenario_digest, scenario_digest(test_scenario()));
+  EXPECT_EQ(scenario_to_json(loaded.scenario),
+            scenario_to_json(test_scenario()));
+  ASSERT_EQ(loaded.records.size(), 4u);
+  // Journal order is completion order, not trial order.
+  const std::vector<std::uint64_t> expect = {0, 3, 5, 1};
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    const CheckpointRecord& rec = loaded.records[i];
+    const CheckpointRecord ref = test_record(expect[i]);
+    EXPECT_EQ(rec.trial, ref.trial);
+    EXPECT_EQ(rec.status, ref.status);
+    EXPECT_EQ(rec.attempts, ref.attempts);
+    // Bit-exact doubles and u64s — the property resume determinism needs.
+    EXPECT_EQ(rec.outcome.max_cost, ref.outcome.max_cost);
+    EXPECT_EQ(rec.outcome.mean_cost, ref.outcome.mean_cost);
+    EXPECT_EQ(rec.outcome.adversary_cost, ref.outcome.adversary_cost);
+    EXPECT_EQ(rec.outcome.latency, ref.outcome.latency);
+    EXPECT_EQ(rec.outcome.success, ref.outcome.success);
+    EXPECT_EQ(rec.outcome.aborted, ref.outcome.aborted);
+    EXPECT_EQ(rec.outcome.dead_count, ref.outcome.dead_count);
+    EXPECT_EQ(rec.outcome.crashed_count, ref.outcome.crashed_count);
+    EXPECT_EQ(rec.outcome.digest, ref.outcome.digest);
+  }
+}
+
+TEST_F(CheckpointTest, MissingJournalLoadsEmpty) {
+  make_checkpoint({});
+  fs::remove(journal_path());
+  const CheckpointLoadResult loaded = load_checkpoint(dir_);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_TRUE(loaded.records.empty());
+  EXPECT_FALSE(loaded.truncated_tail);
+}
+
+TEST_F(CheckpointTest, MissingManifestFails) {
+  const CheckpointLoadResult loaded = load_checkpoint(dir_);
+  EXPECT_FALSE(loaded.ok);
+}
+
+TEST_F(CheckpointTest, TruncatedTailIsRecoverable) {
+  make_checkpoint({0, 1, 2});
+  const std::string full = read_file(journal_path());
+  // Chop the last record mid-frame, as a SIGKILL mid-append would.
+  write_file(journal_path(), full.substr(0, full.size() - 10));
+
+  const CheckpointLoadResult loaded = load_checkpoint(dir_);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_TRUE(loaded.truncated_tail);
+  ASSERT_EQ(loaded.records.size(), 2u);
+  EXPECT_EQ(loaded.records[1].trial, 1u);
+
+  // A resuming writer truncates to the last good byte and appends; the
+  // journal then reloads clean with all three records.
+  CheckpointWriter writer;
+  ASSERT_EQ(writer.open_for_append(dir_, loaded.scenario_digest,
+                                   loaded.journal_valid_bytes),
+            "");
+  ASSERT_EQ(writer.append(test_record(2)), "");
+  writer.close();
+  const CheckpointLoadResult reloaded = load_checkpoint(dir_);
+  ASSERT_TRUE(reloaded.ok) << reloaded.error;
+  EXPECT_FALSE(reloaded.truncated_tail);
+  ASSERT_EQ(reloaded.records.size(), 3u);
+  EXPECT_EQ(reloaded.records[2].trial, 2u);
+}
+
+TEST_F(CheckpointTest, EveryTruncationPointIsEitherCleanOrRecoverable) {
+  make_checkpoint({0, 1});
+  const std::string full = read_file(journal_path());
+  for (std::size_t keep = 0; keep < full.size(); ++keep) {
+    write_file(journal_path(), full.substr(0, keep));
+    const CheckpointLoadResult loaded = load_checkpoint(dir_);
+    ASSERT_TRUE(loaded.ok)
+        << "kill at byte " << keep << " unrecoverable: " << loaded.error;
+    EXPECT_LE(loaded.records.size(), 2u);
+    EXPECT_LE(loaded.journal_valid_bytes, keep);
+  }
+}
+
+TEST_F(CheckpointTest, FlippedPayloadByteIsCorruption) {
+  make_checkpoint({0, 1, 2});
+  std::string bytes = read_file(journal_path());
+  // Flip a byte inside the middle record's payload (frames are text; pick
+  // a digit inside the first outcome number of record 1).
+  const std::size_t second = bytes.find("RCBJ", 4);
+  ASSERT_NE(second, std::string::npos);
+  const std::size_t target = bytes.find("1235", second);  // max_cost of t=1
+  ASSERT_NE(target, std::string::npos);
+  bytes[target] = '9';
+  write_file(journal_path(), bytes);
+
+  const CheckpointLoadResult loaded = load_checkpoint(dir_);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_NE(loaded.error.find("record"), std::string::npos) << loaded.error;
+  EXPECT_NE(loaded.error.find("digest"), std::string::npos) << loaded.error;
+}
+
+TEST_F(CheckpointTest, DuplicateTrialIsCorruption) {
+  make_checkpoint({0, 1, 1});
+  const CheckpointLoadResult loaded = load_checkpoint(dir_);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_NE(loaded.error.find("duplicate"), std::string::npos) << loaded.error;
+}
+
+TEST_F(CheckpointTest, OutOfRangeTrialIsCorruption) {
+  make_checkpoint({0, 99});  // scenario has 8 trials
+  const CheckpointLoadResult loaded = load_checkpoint(dir_);
+  EXPECT_FALSE(loaded.ok);
+}
+
+TEST_F(CheckpointTest, EditedManifestScenarioIsDetected) {
+  make_checkpoint({0});
+  std::string manifest = read_file(manifest_path());
+  const std::size_t pos = manifest.find("\"seed\":77");
+  ASSERT_NE(pos, std::string::npos);
+  manifest.replace(pos, 9, "\"seed\":78");
+  write_file(manifest_path(), manifest);
+
+  const CheckpointLoadResult loaded = load_checkpoint(dir_);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_NE(loaded.error.find("manifest"), std::string::npos) << loaded.error;
+}
+
+TEST_F(CheckpointTest, JournalFromDifferentScenarioIsRejected) {
+  // Records are stamped with the scenario digest of the manifest they were
+  // written under; splicing them under another manifest must fail.
+  make_checkpoint({0, 1});
+  const std::string foreign_journal = read_file(journal_path());
+
+  fs::remove_all(dir_);
+  Scenario other = test_scenario();
+  other.seed = 78;
+  CheckpointWriter writer;
+  ASSERT_EQ(writer.create(dir_, other), "");
+  writer.close();
+  write_file(journal_path(), foreign_journal);
+
+  const CheckpointLoadResult loaded = load_checkpoint(dir_);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_NE(loaded.error.find("scenario digest"), std::string::npos)
+      << loaded.error;
+}
+
+TEST_F(CheckpointTest, GarbagePrefixIsCorruptionNotTruncation) {
+  make_checkpoint({0});
+  write_file(journal_path(), "XXXX garbage\n" + read_file(journal_path()));
+  const CheckpointLoadResult loaded = load_checkpoint(dir_);
+  EXPECT_FALSE(loaded.ok);
+}
+
+}  // namespace
+}  // namespace rcb

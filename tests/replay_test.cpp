@@ -7,6 +7,7 @@
 #include <string>
 
 #include "rcb/common/contracts.hpp"
+#include "rcb/common/mathutil.hpp"
 #include "rcb/runtime/scenario.hpp"
 #include "rcb/sim/faults.hpp"
 
@@ -137,6 +138,53 @@ TEST(ReproRecordTest, ParsesWithAndWithoutPrefix) {
     EXPECT_EQ(r.record.scenario.protocol, "broadcast");
     EXPECT_EQ(r.record.scenario.faults.crash_rate, 0.001);
   }
+}
+
+TEST(ReproRecordTest, ParsesScenarioDigest) {
+  const Scenario s = make_faulty_scenario();
+  const std::string body =
+      R"({"rcb_repro":1,"kind":"assertion","expr":"x","file":"f","line":1,)"
+      R"("master_seed":5,"trial":3,"scenario_digest":")" +
+      to_hex16(scenario_digest(s)) + R"(","scenario":)" + scenario_to_json(s) +
+      "}";
+  const ReproParseResult r = repro_record_from_json(body);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(r.record.has_scenario_digest);
+  EXPECT_EQ(r.record.scenario_digest, scenario_digest(s));
+  // An authentic record's digest matches its embedded scenario; editing the
+  // scenario breaks the match — the check rcb_replay enforces (exit 3).
+  ASSERT_TRUE(r.record.has_scenario);
+  EXPECT_EQ(scenario_digest(r.record.scenario), r.record.scenario_digest);
+  Scenario edited = r.record.scenario;
+  edited.budget += 1;
+  EXPECT_NE(scenario_digest(edited), r.record.scenario_digest);
+}
+
+TEST(ReproRecordTest, RejectsMalformedScenarioDigest) {
+  EXPECT_FALSE(repro_record_from_json(
+                   R"({"rcb_repro":1,"kind":"a","expr":"x","file":"f",)"
+                   R"("line":1,"scenario_digest":"not-hex"})")
+                   .ok);
+}
+
+TEST(ReproRecordTest, FormattedRecordEmbedsScenarioDigest) {
+  // format_repro_record with a scenario-bearing context stamps the digest,
+  // and the record round-trips through the parser.
+  const Scenario s = make_faulty_scenario();
+  ReproContext ctx;
+  ctx.master_seed = s.seed;
+  ctx.trial = 2;
+  ctx.scenario_json = scenario_to_json(s);
+  const std::string record =
+      format_repro_record("timeout", "stuck", "runner.cpp", 0, &ctx);
+  const ReproParseResult r = repro_record_from_json(record);
+  ASSERT_TRUE(r.ok) << r.error << "\nrecord: " << record;
+  EXPECT_EQ(r.record.kind, "timeout");
+  EXPECT_EQ(r.record.trial, 2u);
+  ASSERT_TRUE(r.record.has_scenario_digest);
+  EXPECT_EQ(r.record.scenario_digest, scenario_digest(s));
+  ASSERT_TRUE(r.record.has_scenario);
+  EXPECT_EQ(scenario_to_json(r.record.scenario), scenario_to_json(s));
 }
 
 TEST(ReproRecordTest, ScenariolessRecordParses) {

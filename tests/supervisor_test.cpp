@@ -1,0 +1,289 @@
+// Tests for the crash-safe sweep supervisor: resume determinism, watchdog
+// quarantine, deterministic slot budgets, retry-with-reseed, contract
+// capture, and graceful shutdown.
+#include "rcb/runtime/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "rcb/common/contracts.hpp"
+#include "rcb/runtime/cancel.hpp"
+
+namespace rcb {
+namespace {
+
+namespace fs = std::filesystem;
+
+Scenario fast_scenario(std::size_t trials = 12) {
+  Scenario s;
+  s.protocol = "one_to_one";
+  s.adversary = "full_duel";
+  s.budget = 512;
+  s.trials = trials;
+  s.seed = 99;
+  return s;
+}
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_sweep_shutdown();
+    dir_ = (fs::temp_directory_path() /
+            ("rcb_sup_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override {
+    reset_sweep_shutdown();
+    fs::remove_all(dir_);
+  }
+
+  std::string dir_;
+  ThreadPool pool_{4};
+};
+
+TEST_F(SupervisorTest, UncheckpointedSweepMatchesPlainExecution) {
+  const Scenario s = fast_scenario();
+  const SweepResult sweep = run_supervised_sweep(s, {}, pool_);
+  ASSERT_TRUE(sweep.ok) << sweep.error;
+  EXPECT_FALSE(sweep.interrupted);
+  ASSERT_EQ(sweep.records.size(), s.trials);
+  for (std::uint64_t t = 0; t < s.trials; ++t) {
+    EXPECT_EQ(sweep.records[t].trial, t);
+    EXPECT_EQ(sweep.records[t].status, "ok");
+    EXPECT_EQ(sweep.records[t].outcome.digest,
+              run_scenario_trial(s, t).digest);
+  }
+}
+
+TEST_F(SupervisorTest, InterruptedSweepResumesToIdenticalAggregate) {
+  const Scenario s = fast_scenario(16);
+  const SweepResult reference = run_supervised_sweep(s, {}, pool_);
+  ASSERT_TRUE(reference.ok) << reference.error;
+
+  // First run: request shutdown once a few trials have completed.  The
+  // sweep drains, journals the completed prefix, and reports interrupted.
+  SupervisorOptions opt;
+  opt.checkpoint_dir = dir_;
+  std::atomic<int> completed{0};
+  const TrialRunner interrupting = [&](const Scenario& sc, std::uint64_t t,
+                                       std::uint32_t) {
+    const TrialOutcome o = run_scenario_trial(sc, t);
+    if (completed.fetch_add(1) + 1 >= 4) request_sweep_shutdown();
+    return o;
+  };
+  const SweepResult partial = run_supervised_sweep(s, opt, pool_, interrupting);
+  ASSERT_TRUE(partial.ok) << partial.error;
+  EXPECT_TRUE(partial.interrupted);
+  ASSERT_GE(partial.records.size(), 4u);
+  ASSERT_LT(partial.records.size(), s.trials);
+
+  // Second run: resume.  Completed trials load from the journal (executed
+  // counts only the remainder) and the aggregate digest is bit-identical
+  // to the uninterrupted reference.
+  reset_sweep_shutdown();
+  opt.resume = true;
+  const SweepResult resumed = run_supervised_sweep(s, opt, pool_);
+  ASSERT_TRUE(resumed.ok) << resumed.error;
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(resumed.resumed, partial.records.size());
+  EXPECT_EQ(resumed.executed, s.trials - partial.records.size());
+  ASSERT_EQ(resumed.records.size(), s.trials);
+  EXPECT_EQ(resumed.aggregate_digest, reference.aggregate_digest);
+}
+
+TEST_F(SupervisorTest, ResumeIgnoresConflictingScenarioFlags) {
+  const Scenario s = fast_scenario(6);
+  SupervisorOptions opt;
+  opt.checkpoint_dir = dir_;
+  const SweepResult first = run_supervised_sweep(s, opt, pool_);
+  ASSERT_TRUE(first.ok) << first.error;
+
+  Scenario conflicting = s;
+  conflicting.seed = 12345;
+  conflicting.trials = 100;
+  opt.resume = true;
+  const SweepResult resumed = run_supervised_sweep(conflicting, opt, pool_);
+  ASSERT_TRUE(resumed.ok) << resumed.error;
+  // The manifest scenario is authoritative: nothing re-ran, nothing grew.
+  EXPECT_EQ(resumed.scenario.seed, s.seed);
+  EXPECT_EQ(resumed.scenario.trials, s.trials);
+  EXPECT_EQ(resumed.resumed, s.trials);
+  EXPECT_EQ(resumed.executed, 0u);
+  EXPECT_EQ(resumed.aggregate_digest, first.aggregate_digest);
+}
+
+TEST_F(SupervisorTest, ResumeWithoutManifestStartsFresh) {
+  SupervisorOptions opt;
+  opt.checkpoint_dir = dir_;
+  opt.resume = true;  // nothing there yet — must not fail
+  const SweepResult sweep = run_supervised_sweep(fast_scenario(4), opt, pool_);
+  ASSERT_TRUE(sweep.ok) << sweep.error;
+  EXPECT_EQ(sweep.resumed, 0u);
+  EXPECT_EQ(sweep.executed, 4u);
+}
+
+TEST_F(SupervisorTest, WatchdogQuarantinesStuckTrialWithoutStallingSweep) {
+  const Scenario s = fast_scenario(6);
+  SupervisorOptions opt;
+  opt.trial_timeout_sec = 0.1;
+  // Trial 2 spins forever, polling cancellation as the engines do; the
+  // watchdog must cancel it while the other trials complete normally.
+  const TrialRunner stuck_at_2 = [](const Scenario& sc, std::uint64_t t,
+                                    std::uint32_t) {
+    if (t == 2) {
+      for (;;) poll_cancellation(64);
+    }
+    return run_scenario_trial(sc, t);
+  };
+  const SweepResult sweep = run_supervised_sweep(s, opt, pool_, stuck_at_2);
+  ASSERT_TRUE(sweep.ok) << sweep.error;
+  ASSERT_EQ(sweep.records.size(), s.trials);
+  EXPECT_EQ(sweep.timed_out, 1u);
+  EXPECT_EQ(sweep.records[2].status, "timed_out");
+  EXPECT_TRUE(sweep.records[2].outcome.aborted);
+  for (std::uint64_t t = 0; t < s.trials; ++t) {
+    if (t != 2) {
+      EXPECT_EQ(sweep.records[t].status, "ok") << t;
+    }
+  }
+}
+
+TEST_F(SupervisorTest, SlotBudgetQuarantineIsDeterministic) {
+  const Scenario s = fast_scenario(6);
+  SupervisorOptions opt;
+  opt.checkpoint_dir = dir_;
+  // Generous enough that real trials (a few thousand slots at this budget)
+  // finish; only the spinning trial exhausts it.
+  opt.trial_slot_budget = 100000;
+  const TrialRunner stuck_at_1 = [](const Scenario& sc, std::uint64_t t,
+                                    std::uint32_t) {
+    if (t == 1) {
+      for (;;) poll_cancellation(64);
+    }
+    return run_scenario_trial(sc, t);
+  };
+  const SweepResult a = run_supervised_sweep(s, opt, pool_, stuck_at_1);
+  ASSERT_TRUE(a.ok) << a.error;
+  EXPECT_EQ(a.records[1].status, "timed_out");
+
+  fs::remove_all(dir_);
+  const SweepResult b = run_supervised_sweep(s, opt, pool_, stuck_at_1);
+  ASSERT_TRUE(b.ok) << b.error;
+  EXPECT_EQ(a.aggregate_digest, b.aggregate_digest);
+}
+
+TEST_F(SupervisorTest, RetryWithReseedRecoversFlakyTrial) {
+  const Scenario s = fast_scenario(5);
+  SupervisorOptions opt;
+  opt.max_retries = 2;
+  std::atomic<int> attempts_seen{0};
+  const TrialRunner flaky = [&](const Scenario& sc, std::uint64_t t,
+                                std::uint32_t attempt) {
+    if (t == 3) {
+      attempts_seen.fetch_add(1);
+      if (attempt < 2) throw std::runtime_error("injected fault");
+      // The runner always receives the original scenario; reseeding is the
+      // runner's job (the default runner uses reseed_for_attempt).
+      EXPECT_EQ(sc.seed, fast_scenario().seed);
+    }
+    return run_scenario_trial(sc, t);
+  };
+  const SweepResult sweep = run_supervised_sweep(s, opt, pool_, flaky);
+  ASSERT_TRUE(sweep.ok) << sweep.error;
+  EXPECT_EQ(attempts_seen.load(), 3);
+  EXPECT_EQ(sweep.records[3].status, "ok");
+  EXPECT_EQ(sweep.records[3].attempts, 3u);
+  EXPECT_EQ(sweep.failed_trials, 0u);
+}
+
+TEST_F(SupervisorTest, ExhaustedRetriesQuarantineAsFailed) {
+  const Scenario s = fast_scenario(4);
+  SupervisorOptions opt;
+  opt.max_retries = 1;
+  const TrialRunner dies = [](const Scenario& sc, std::uint64_t t,
+                              std::uint32_t) -> TrialOutcome {
+    if (t == 0) throw std::runtime_error("always dies");
+    return run_scenario_trial(sc, t);
+  };
+  const SweepResult sweep = run_supervised_sweep(s, opt, pool_, dies);
+  ASSERT_TRUE(sweep.ok) << sweep.error;
+  EXPECT_EQ(sweep.failed_trials, 1u);
+  EXPECT_EQ(sweep.records[0].status, "failed");
+  EXPECT_EQ(sweep.records[0].attempts, 2u);
+  EXPECT_EQ(sweep.records[1].status, "ok");
+}
+
+struct ContractCaught : std::runtime_error {
+  explicit ContractCaught(std::string record)
+      : std::runtime_error("contract"), record_json(std::move(record)) {}
+  std::string record_json;
+};
+
+[[noreturn]] void throwing_handler(std::string_view record_json) {
+  throw ContractCaught(std::string(record_json));
+}
+
+TEST_F(SupervisorTest, ContractFailureInsideTrialIsCapturedNotFatal) {
+  // A forced contract failure inside a supervised trial must not abort the
+  // process (nor reach the ambient handler); the trial is journaled as
+  // failed and the sweep completes.  Afterwards the supervisor's capture
+  // handler is uninstalled, restoring the previous chain.
+  const ContractFailureHandler previous =
+      set_contract_failure_handler(&throwing_handler);
+  const Scenario s = fast_scenario(4);
+  const TrialRunner trips = [](const Scenario& sc, std::uint64_t t,
+                               std::uint32_t) {
+    if (t == 1) RCB_REQUIRE(1 + 1 == 3);
+    return run_scenario_trial(sc, t);
+  };
+  const SweepResult sweep = run_supervised_sweep(s, {}, pool_, trips);
+  ASSERT_TRUE(sweep.ok) << sweep.error;
+  EXPECT_EQ(sweep.records[1].status, "failed");
+  EXPECT_EQ(sweep.failed_trials, 1u);
+  // Outside any supervised trial the restored handler chain fires again.
+  EXPECT_THROW(RCB_REQUIRE(2 + 2 == 5), ContractCaught);
+  set_contract_failure_handler(previous);
+}
+
+TEST_F(SupervisorTest, ReseedForAttemptIsStableAndDistinct) {
+  EXPECT_EQ(reseed_for_attempt(42, 0), 42u);
+  EXPECT_NE(reseed_for_attempt(42, 1), 42u);
+  EXPECT_NE(reseed_for_attempt(42, 1), reseed_for_attempt(42, 2));
+  EXPECT_EQ(reseed_for_attempt(42, 1), reseed_for_attempt(42, 1));
+}
+
+TEST_F(SupervisorTest, AggregateDigestSensitiveToOutcomeAndOrder) {
+  std::vector<CheckpointRecord> recs(2);
+  recs[0].trial = 0;
+  recs[0].outcome.digest = 111;
+  recs[1].trial = 1;
+  recs[1].outcome.digest = 222;
+  const std::uint64_t base = aggregate_digest(recs);
+  recs[1].outcome.digest = 223;
+  EXPECT_NE(aggregate_digest(recs), base);
+  recs[1].outcome.digest = 222;
+  std::swap(recs[0], recs[1]);
+  EXPECT_NE(aggregate_digest(recs), base);
+}
+
+TEST_F(SupervisorTest, InvalidScenarioReportsError) {
+  Scenario s = fast_scenario();
+  s.protocol = "no_such_protocol";
+  const SweepResult sweep = run_supervised_sweep(s, {}, pool_);
+  EXPECT_FALSE(sweep.ok);
+  EXPECT_FALSE(sweep.error.empty());
+}
+
+}  // namespace
+}  // namespace rcb

@@ -5,6 +5,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "rcb/runtime/montecarlo.hpp"
@@ -129,6 +131,49 @@ TEST(ThreadPoolTest, GlobalPoolIsUsable) {
   parallel_for(ThreadPool::global(), 0, 10,
                [&](std::size_t) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(MonteCarloTest, ThrowingTrialSurfacesAsTrialFailureWithIndex) {
+  ThreadPool pool(4);
+  auto run = [&] {
+    return run_trials<int>(64, 1, [](std::size_t t, Rng&) {
+      if (t == 37) throw std::runtime_error("boom in trial");
+      return static_cast<int>(t);
+    }, pool);
+  };
+  try {
+    run();
+    FAIL() << "run_trials swallowed the trial exception";
+  } catch (const TrialFailure& failure) {
+    EXPECT_EQ(failure.trial(), 37u);
+    EXPECT_NE(std::string(failure.what()).find("37"), std::string::npos);
+    EXPECT_NE(std::string(failure.what()).find("boom in trial"),
+              std::string::npos);
+    ASSERT_NE(failure.nested(), nullptr);
+    EXPECT_THROW(std::rethrow_exception(failure.nested()),
+                 std::runtime_error);
+  }
+  // The pool survives the failure and stays usable.
+  EXPECT_EQ(run_trials<int>(8, 1, [](std::size_t t, Rng&) {
+              return static_cast<int>(t);
+            }, pool).size(), 8u);
+}
+
+TEST(MonteCarloTest, RemainingTrialsAbandonedAfterFailure) {
+  // Cooperative abandon: once one trial fails, untouched chunks must not
+  // start their trials (the count executed stays well below the total).
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(run_trials<int>(
+                   10000, 1,
+                   [&](std::size_t t, Rng&) {
+                     executed.fetch_add(1);
+                     if (t == 0) throw std::runtime_error("die early");
+                     return 0;
+                   },
+                   pool, 1),
+               TrialFailure);
+  EXPECT_LT(executed.load(), 10000);
 }
 
 }  // namespace

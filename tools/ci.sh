@@ -30,8 +30,82 @@ run_config() {
   ctest --test-dir "$dir" --output-on-failure -j "$jobs"
 }
 
+# Chaos: the crash-safe supervisor's kill/resume guarantees, end to end.
+#  1. SIGKILL a checkpointed sweep mid-run, resume, and require the final
+#     aggregate digest to equal an uninterrupted reference run's.
+#  2. Same with SIGINT (graceful drain path, exit 130 + resume hint).
+#  3. A deliberately stuck trial (spoofing jammer, no timeout_slots) is
+#     quarantined by the deterministic slot-budget watchdog without
+#     stalling the sweep, and its RCB_REPRO record replays bounded under
+#     rcb_replay; a tampered record is refused with exit 3.
+chaos_supervisor() {
+  local sim="$repo/build/tools/rcb_sim"
+  local replay="$repo/build/tools/rcb_replay"
+  local work="$repo/build/chaos"
+  local digest_re='"aggregate_digest":"[0-9a-f]*"'
+  rm -rf "$work"; mkdir -p "$work"
+  local args=(--protocol=broadcast --adversary=suffix --n=32 --budget=65536
+              --q=0.9 --trials=120 --seed=5 --format=json)
+
+  echo "--- chaos: reference (uninterrupted) sweep"
+  "$sim" "${args[@]}" --checkpoint_dir="$work/ref" >"$work/ref.json"
+  local ref; ref=$(grep -o "$digest_re" "$work/ref.json")
+  [[ -n "$ref" ]] || { echo "chaos: reference digest missing"; return 1; }
+
+  local sig pid got rc
+  for sig in KILL INT; do
+    echo "--- chaos: SIG$sig mid-sweep, then resume"
+    rm -rf "$work/ck"
+    "$sim" "${args[@]}" --checkpoint_dir="$work/ck" \
+      >"$work/out.json" 2>"$work/err.txt" &
+    pid=$!
+    # Strike once a handful of trials are journaled (frames are ~250 B).
+    for _ in $(seq 1 400); do
+      if [[ -f "$work/ck/journal.rcbj" ]] &&
+         (( $(wc -c < "$work/ck/journal.rcbj") > 1500 )); then break; fi
+      sleep 0.02
+    done
+    kill "-$sig" "$pid" 2>/dev/null || true
+    rc=0; wait "$pid" || rc=$?
+    if [[ "$sig" == INT ]]; then
+      [[ "$rc" -eq 130 ]] || { echo "chaos: SIGINT exit $rc, want 130"; return 1; }
+      grep -q -- "--resume=$work/ck" "$work/err.txt" ||
+        { echo "chaos: SIGINT run printed no resume hint"; return 1; }
+    fi
+    "$sim" --resume="$work/ck" --format=json >"$work/resumed.json"
+    got=$(grep -o "$digest_re" "$work/resumed.json")
+    if [[ "$got" != "$ref" ]]; then
+      echo "chaos: SIG$sig/resume digest $got != reference $ref"; return 1
+    fi
+  done
+  echo "chaos: kill/resume aggregates are bit-identical to the reference"
+
+  echo "--- chaos: stuck-trial quarantine + bounded replay"
+  "$sim" --protocol=one_to_one --adversary=spoof --budget=1000000000 \
+    --trials=2 --seed=3 --trial_slot_budget=1000000 \
+    --checkpoint_dir="$work/stuck" --format=json \
+    >"$work/stuck.json" 2>"$work/stuck.err"
+  grep -q '"timed_out_rate":1' "$work/stuck.json" ||
+    { echo "chaos: stuck trials were not quarantined"; return 1; }
+  grep -m1 '^RCB_REPRO ' "$work/stuck.err" | sed 's/^RCB_REPRO //' \
+    >"$work/stuck_record.json"
+  "$replay" --record="$work/stuck_record.json" --slot_budget=1000000 \
+    >"$work/replay.out"
+  grep -q 'cancelled by --slot_budget' "$work/replay.out" ||
+    { echo "chaos: bounded replay did not report the budget stop"; return 1; }
+  sed 's/"budget":1000000000/"budget":999/' "$work/stuck_record.json" \
+    >"$work/tampered.json"
+  rc=0; "$replay" --record="$work/tampered.json" --slot_budget=1000 \
+    >/dev/null 2>&1 || rc=$?
+  [[ "$rc" -eq 3 ]] ||
+    { echo "chaos: tampered record exit $rc, want 3"; return 1; }
+  echo "chaos: quarantined trial replays bounded; tampered record refused"
+}
+
 if [[ "$what" == "all" || "$what" == "plain" ]]; then
   run_config plain "$repo/build" -DRCB_WERROR=ON
+  echo "=== [plain] chaos: supervisor kill/resume ==="
+  chaos_supervisor
   echo "=== [plain] quick bench ==="
   "$repo/build/bench/bench_m1_micro" --benchmark_min_time=0.05 \
     --rcb_out="$repo/build/BENCH_m1.json"

@@ -22,6 +22,7 @@
 #include "rcb/cli/flags.hpp"
 #include "rcb/cli/json.hpp"
 #include "rcb/cli/json_parse.hpp"
+#include "rcb/common/mathutil.hpp"
 #include "rcb/stats/histogram.hpp"
 #include "rcb/stats/table.hpp"
 #include "sim_runner.hpp"
@@ -68,6 +69,22 @@ int run_tool(int argc, const char* const* argv) {
                    "fraction of nodes hit by the brownout");
   flags.add_double("brownout_factor", 0.5,
                    "battery capacity multiplier after the brownout");
+  flags.add_string("checkpoint_dir", "",
+                   "journal completed trials into this directory so a killed "
+                   "run can be resumed (see --resume)");
+  flags.add_string("resume", "",
+                   "resume from the checkpoint in this directory; the "
+                   "checkpointed scenario is authoritative (scenario flags "
+                   "are ignored).  With no checkpoint present, starts fresh");
+  flags.add_double("trial_timeout", 0.0,
+                   "wall-clock watchdog per trial, seconds (0 = off); "
+                   "quarantines stuck trials as timed_out and keeps sweeping");
+  flags.add_int("trial_slot_budget", 0,
+                "deterministic per-trial budget in simulated slots (0 = "
+                "off); like --trial_timeout but reproducible bit-for-bit");
+  flags.add_int("max_retries", 0,
+                "re-run a trial that dies on a contract failure or exception "
+                "up to this many times with a reseeded stream");
   flags.add_string("format", "table", "table | json | csv");
   flags.add_bool("histogram", false,
                  "print an ASCII histogram of per-trial max cost");
@@ -168,22 +185,72 @@ int run_tool(int argc, const char* const* argv) {
   cfg.faults.brownout_fraction = flags.get_double("brownout_fraction");
   cfg.faults.brownout_factor = flags.get_double("brownout_factor");
 
-  const tools::SimAggregate agg = tools::run_sim(cfg);
+  SupervisorOptions sup;
+  sup.checkpoint_dir = flags.get_string("checkpoint_dir");
+  if (const std::string resume_dir = flags.get_string("resume");
+      !resume_dir.empty()) {
+    sup.checkpoint_dir = resume_dir;
+    sup.resume = true;
+  }
+  sup.trial_timeout_sec = flags.get_double("trial_timeout");
+  sup.trial_slot_budget =
+      static_cast<SlotCount>(flags.get_int("trial_slot_budget"));
+  sup.max_retries = static_cast<std::uint32_t>(flags.get_int("max_retries"));
+  const bool supervised = !sup.checkpoint_dir.empty() ||
+                          sup.trial_timeout_sec > 0.0 ||
+                          sup.trial_slot_budget != 0 || sup.max_retries != 0;
+
+  tools::SimAggregate agg;
+  if (supervised) {
+    install_sweep_signal_handlers();
+    agg = tools::run_sim(cfg, sup);
+  } else {
+    agg = tools::run_sim(cfg);
+    agg.scenario = cfg;
+    agg.completed_trials = cfg.trials;
+    agg.executed_trials = cfg.trials;
+  }
   if (!agg.valid) {
     std::fprintf(stderr, "%s\n", agg.error.c_str());
     return 1;
   }
 
+  // On --resume the checkpointed scenario is authoritative; report what
+  // actually ran, not what the flags said.
+  const Scenario& ran = agg.scenario;
+
+  const auto finish = [&]() -> int {
+    if (!agg.interrupted) return 0;
+    std::fprintf(stderr,
+                 "interrupted: %zu/%zu trials completed and journaled; "
+                 "resume with --resume=%s\n",
+                 agg.completed_trials, ran.trials,
+                 sup.checkpoint_dir.c_str());
+    return 130;
+  };
+
   if (format == "json") {
     JsonWriter json(std::cout);
     json.begin_object();
-    json.key("protocol").value(protocol);
-    json.key("adversary").value(adversary);
-    json.key("trials").value(static_cast<std::uint64_t>(trials));
+    json.key("protocol").value(ran.protocol);
+    json.key("adversary").value(ran.adversary);
+    json.key("trials").value(static_cast<std::uint64_t>(ran.trials));
     json.key("success_rate").value(agg.success_rate);
     json.key("abort_rate").value(agg.abort_rate);
     json.key("mean_dead_count").value(agg.mean_dead_count);
     json.key("mean_crashed_count").value(agg.mean_crashed_count);
+    if (supervised) {
+      json.key("timed_out_rate").value(agg.timed_out_rate);
+      json.key("failed_rate").value(agg.failed_rate);
+      json.key("resumed_trials")
+          .value(static_cast<std::uint64_t>(agg.resumed_trials));
+      json.key("executed_trials")
+          .value(static_cast<std::uint64_t>(agg.executed_trials));
+      json.key("completed_trials")
+          .value(static_cast<std::uint64_t>(agg.completed_trials));
+      json.key("interrupted").value(agg.interrupted);
+      json.key("aggregate_digest").value(to_hex16(agg.aggregate_digest));
+    }
     auto emit = [&](const char* name, const Summary& s) {
       json.key(name).begin_object();
       json.key("mean").value(s.mean);
@@ -201,7 +268,7 @@ int run_tool(int argc, const char* const* argv) {
     emit("latency", agg.latency);
     json.end_object();
     std::cout << '\n';
-    return 0;
+    return finish();
   }
 
   Table table({"metric", "mean", "median", "p10", "p90", "min", "max"});
@@ -219,12 +286,18 @@ int run_tool(int argc, const char* const* argv) {
     table.print_csv(std::cout);
   } else {
     std::printf("%s vs %s, %zu trials, success rate %.4f\n",
-                protocol.c_str(), adversary.c_str(), trials,
+                ran.protocol.c_str(), ran.adversary.c_str(), ran.trials,
                 agg.success_rate);
     if (agg.abort_rate > 0.0 || agg.mean_dead_count > 0.0 ||
         agg.mean_crashed_count > 0.0) {
       std::printf("aborted %.4f, dead/trial %.2f, crashed/trial %.2f\n",
                   agg.abort_rate, agg.mean_dead_count, agg.mean_crashed_count);
+    }
+    if (supervised) {
+      std::printf("supervised: %zu resumed, %zu executed, timed_out %.4f, "
+                  "failed %.4f, aggregate digest %s\n",
+                  agg.resumed_trials, agg.executed_trials, agg.timed_out_rate,
+                  agg.failed_rate, to_hex16(agg.aggregate_digest).c_str());
     }
     std::printf("\n");
     table.print(std::cout);
@@ -235,7 +308,7 @@ int run_tool(int argc, const char* const* argv) {
     Histogram hist(agg.max_cost_samples, 12);
     hist.print(std::cout);
   }
-  return 0;
+  return finish();
 }
 
 }  // namespace

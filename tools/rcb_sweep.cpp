@@ -56,6 +56,21 @@ int run_tool(int argc, const char* const* argv) {
   flags.add_string("fit", "power",
                    "power (fit y ~ x^alpha over the sweep) | none");
   flags.add_string("format", "csv", "csv | table");
+  flags.add_string("checkpoint_dir", "",
+                   "journal completed trials under this directory (one "
+                   "point_<i> subdirectory per sweep point) so a killed "
+                   "sweep can be resumed (see --resume)");
+  flags.add_string("resume", "",
+                   "resume from the checkpoints under this directory; "
+                   "points (and trials within a point) already journaled "
+                   "are not re-run");
+  flags.add_double("trial_timeout", 0.0,
+                   "wall-clock watchdog per trial, seconds (0 = off)");
+  flags.add_int("trial_slot_budget", 0,
+                "deterministic per-trial budget in simulated slots (0 = off)");
+  flags.add_int("max_retries", 0,
+                "retries (reseeded) for trials dying on contract failures "
+                "or exceptions");
   if (!flags.parse(argc, argv)) return 1;
 
   tools::SimConfig base;
@@ -78,6 +93,24 @@ int run_tool(int argc, const char* const* argv) {
     std::fprintf(stderr, "--values is empty\n");
     return 1;
   }
+
+  SupervisorOptions sup_base;
+  sup_base.checkpoint_dir = flags.get_string("checkpoint_dir");
+  if (const std::string resume_dir = flags.get_string("resume");
+      !resume_dir.empty()) {
+    sup_base.checkpoint_dir = resume_dir;
+    sup_base.resume = true;
+  }
+  sup_base.trial_timeout_sec = flags.get_double("trial_timeout");
+  sup_base.trial_slot_budget =
+      static_cast<SlotCount>(flags.get_int("trial_slot_budget"));
+  sup_base.max_retries =
+      static_cast<std::uint32_t>(flags.get_int("max_retries"));
+  const bool supervised = !sup_base.checkpoint_dir.empty() ||
+                          sup_base.trial_timeout_sec > 0.0 ||
+                          sup_base.trial_slot_budget != 0 ||
+                          sup_base.max_retries != 0;
+  if (supervised) install_sweep_signal_handlers();
 
   Table table({sweep, "success", "max cost", "mean cost", "T (mean)",
                "latency"});
@@ -110,7 +143,25 @@ int run_tool(int argc, const char* const* argv) {
       return 1;
     }
 
-    const tools::SimAggregate agg = tools::run_sim(cfg);
+    tools::SimAggregate agg;
+    if (supervised) {
+      SupervisorOptions sup = sup_base;
+      if (!sup.checkpoint_dir.empty()) {
+        sup.checkpoint_dir += "/point_" + std::to_string(seed_offset - 1);
+      }
+      agg = tools::run_sim(cfg, sup);
+      if (agg.valid && agg.interrupted) {
+        std::fprintf(stderr,
+                     "interrupted at sweep point %llu (%zu/%zu trials "
+                     "journaled); resume with --resume=%s\n",
+                     static_cast<unsigned long long>(seed_offset - 1),
+                     agg.completed_trials, agg.scenario.trials,
+                     sup_base.checkpoint_dir.c_str());
+        return 130;
+      }
+    } else {
+      agg = tools::run_sim(cfg);
+    }
     if (!agg.valid) {
       std::fprintf(stderr, "%s\n", agg.error.c_str());
       return 1;

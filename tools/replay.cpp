@@ -18,10 +18,16 @@
 // promises.  Expect the re-run to hit the same contract failure the record
 // came from; that is the point: the crash is now a deterministic unit
 // reproduction instead of a one-in-a-million Monte-Carlo event.
+// Exit codes: 0 replayed (and verified, if asked); 1 usage/parse errors;
+// 2 nondeterministic replay under --verify; 3 the record's embedded
+// scenario does not match its recorded scenario_digest (tampered or stale
+// record — replaying it would "reproduce" the wrong experiment).
 #include <cstdio>
 #include <string>
 
 #include "rcb/cli/flags.hpp"
+#include "rcb/common/mathutil.hpp"
+#include "rcb/runtime/cancel.hpp"
 #include "rcb/runtime/scenario.hpp"
 
 namespace rcb {
@@ -64,6 +70,10 @@ int run_tool(int argc, const char* const* argv) {
   flags.add_bool("verify", false,
                  "run the trial twice and fail unless the trajectory digests "
                  "are bit-identical");
+  flags.add_int("slot_budget", 0,
+                "cancel the replay after this many simulated slots (0 = "
+                "unlimited); bounds replay of records from trials the sweep "
+                "watchdog quarantined as stuck");
   if (!flags.parse(argc, argv)) return 1;
 
   const std::string path = flags.get_string("record");
@@ -101,6 +111,19 @@ int run_tool(int argc, const char* const* argv) {
                  invalid.c_str());
     return 1;
   }
+  if (rec.has_scenario_digest) {
+    const std::uint64_t actual = scenario_digest(rec.scenario);
+    if (actual != rec.scenario_digest) {
+      std::fprintf(stderr,
+                   "SCENARIO DIGEST MISMATCH: record was emitted for scenario "
+                   "%s but embeds a scenario hashing to %s — the record was "
+                   "edited after emission (or spliced from another run); "
+                   "refusing to replay it as a reproduction\n",
+                   to_hex16(rec.scenario_digest).c_str(),
+                   to_hex16(actual).c_str());
+      return 3;
+    }
+  }
 
   const std::int64_t trial_override = flags.get_int("trial");
   const std::uint64_t trial =
@@ -117,12 +140,46 @@ int run_tool(int argc, const char* const* argv) {
   }
   std::printf("\n");
 
-  const TrialOutcome first = run_scenario_trial(rec.scenario, trial);
+  const std::int64_t slot_budget = flags.get_int("slot_budget");
+  if (slot_budget < 0) {
+    std::fprintf(stderr, "--slot_budget must be >= 0\n");
+    return 1;
+  }
+  // Replays of watchdog-quarantined trials may never terminate on their
+  // own; a slot budget turns "stuck forever" into a bounded, deterministic
+  // demonstration that the trial exceeds the budget.
+  const auto run_bounded = [&](const std::uint64_t t, bool& cancelled,
+                               SlotCount& charged) {
+    CancelToken token(static_cast<SlotCount>(slot_budget));
+    CancelScope scope(&token);
+    cancelled = false;
+    try {
+      return run_scenario_trial(rec.scenario, t);
+    } catch (const TrialCancelled&) {
+      cancelled = true;
+      charged = token.slots_charged();
+      return TrialOutcome{};
+    }
+  };
+
+  bool cancelled = false;
+  SlotCount charged = 0;
+  const TrialOutcome first = run_bounded(trial, cancelled, charged);
+  if (cancelled) {
+    std::printf("trial cancelled by --slot_budget after charging %llu "
+                "simulated slots (budget %lld): the recorded trial does not "
+                "finish within the budget\n",
+                static_cast<unsigned long long>(charged),
+                static_cast<long long>(slot_budget));
+    return 0;
+  }
   print_outcome(first);
 
   if (flags.get_bool("verify")) {
-    const TrialOutcome second = run_scenario_trial(rec.scenario, trial);
-    if (second.digest != first.digest) {
+    bool cancelled2 = false;
+    SlotCount charged2 = 0;
+    const TrialOutcome second = run_bounded(trial, cancelled2, charged2);
+    if (cancelled2 || second.digest != first.digest) {
       std::fprintf(stderr,
                    "DIGEST MISMATCH: %016llx vs %016llx — replay is not "
                    "deterministic\n",

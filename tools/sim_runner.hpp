@@ -12,6 +12,7 @@
 
 #include "rcb/runtime/montecarlo.hpp"
 #include "rcb/runtime/scenario.hpp"
+#include "rcb/runtime/supervisor.hpp"
 #include "rcb/stats/summary.hpp"
 
 namespace rcb::tools {
@@ -31,6 +32,20 @@ struct SimAggregate {
   Summary adversary_cost;
   Summary latency;
   std::vector<double> max_cost_samples;
+
+  // Populated only by the supervised overload below.
+  double timed_out_rate = 0.0;  ///< watchdog / slot-budget quarantines
+  double failed_rate = 0.0;     ///< trials that exhausted the retry budget
+  bool interrupted = false;     ///< stopped early on SIGINT/SIGTERM; partial
+  std::size_t resumed_trials = 0;    ///< loaded from the checkpoint journal
+  std::size_t executed_trials = 0;   ///< run by this invocation
+  std::size_t completed_trials = 0;  ///< resumed + executed
+  /// FNV-1a over (trial, outcome digest) pairs in trial order; the
+  /// kill/resume chaos harness compares this against an uninterrupted run.
+  std::uint64_t aggregate_digest = 0;
+  /// The scenario actually run — on --resume the checkpoint manifest is
+  /// authoritative, so this may differ from the flag-built config.
+  Scenario scenario;
 };
 
 /// Runs the configured Monte-Carlo experiment.  On an invalid
@@ -66,6 +81,61 @@ inline SimAggregate run_sim(const SimConfig& cfg) {
   agg.abort_rate = static_cast<double>(aborts) / trials;
   agg.mean_dead_count = dead / trials;
   agg.mean_crashed_count = crashed / trials;
+  agg.valid = true;
+  return agg;
+}
+
+/// Supervised variant: runs the experiment through the crash-safe sweep
+/// supervisor (runtime/supervisor.hpp) — checkpoint/resume, per-trial
+/// watchdogs, graceful shutdown.  On interruption the aggregate covers the
+/// completed prefix (rates are over completed trials) and interrupted is
+/// set so the tool can print a resume hint and exit 130.  Quarantined
+/// ("timed_out") and failed trials contribute their synthetic outcomes, so
+/// the aggregate digest stays comparable across resumed runs.
+inline SimAggregate run_sim(const SimConfig& cfg,
+                            const SupervisorOptions& sup) {
+  SimAggregate agg;
+  const SweepResult sweep = run_supervised_sweep(cfg, sup);
+  if (!sweep.ok) {
+    agg.error = sweep.error;
+    return agg;
+  }
+
+  std::vector<double> mean_v, adv_v, lat_v;
+  std::size_t successes = 0, aborts = 0, timed_out = 0, failed = 0;
+  double dead = 0.0, crashed = 0.0;
+  for (const CheckpointRecord& rec : sweep.records) {
+    const TrialOutcome& o = rec.outcome;
+    agg.max_cost_samples.push_back(o.max_cost);
+    mean_v.push_back(o.mean_cost);
+    adv_v.push_back(o.adversary_cost);
+    lat_v.push_back(o.latency);
+    successes += o.success;
+    aborts += o.aborted;
+    dead += static_cast<double>(o.dead_count);
+    crashed += static_cast<double>(o.crashed_count);
+    timed_out += rec.status == "timed_out";
+    failed += rec.status == "failed";
+  }
+  const auto completed = static_cast<double>(sweep.records.size());
+  agg.max_cost = summarize(agg.max_cost_samples);
+  agg.mean_cost = summarize(mean_v);
+  agg.adversary_cost = summarize(adv_v);
+  agg.latency = summarize(lat_v);
+  if (completed > 0) {
+    agg.success_rate = static_cast<double>(successes) / completed;
+    agg.abort_rate = static_cast<double>(aborts) / completed;
+    agg.mean_dead_count = dead / completed;
+    agg.mean_crashed_count = crashed / completed;
+    agg.timed_out_rate = static_cast<double>(timed_out) / completed;
+    agg.failed_rate = static_cast<double>(failed) / completed;
+  }
+  agg.interrupted = sweep.interrupted;
+  agg.resumed_trials = sweep.resumed;
+  agg.executed_trials = sweep.executed;
+  agg.completed_trials = sweep.records.size();
+  agg.aggregate_digest = sweep.aggregate_digest;
+  agg.scenario = sweep.scenario;
   agg.valid = true;
   return agg;
 }
