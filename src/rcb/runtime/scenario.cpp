@@ -75,6 +75,7 @@ std::string scenario_to_json(const Scenario& s) {
   w.key("seed").value(s.seed);
   w.key("max_epoch_extra").value(static_cast<std::uint64_t>(s.max_epoch_extra));
   w.key("timeout_slots").value(static_cast<std::uint64_t>(s.timeout_slots));
+  w.key("battery").value(static_cast<std::uint64_t>(s.battery));
   w.key("faults").begin_object();
   const FaultConfig& f = s.faults;
   w.key("seed").value(f.seed);
@@ -184,6 +185,7 @@ ScenarioParseResult scenario_from_json(std::string_view text) {
   d.get_u(d.take("max_epoch_extra", seen), "max_epoch_extra",
           s.max_epoch_extra);
   d.get_u(d.take("timeout_slots", seen), "timeout_slots", s.timeout_slots);
+  d.get_u(d.take("battery", seen), "battery", s.battery);
 
   if (const JsonValue* fv = d.take("faults", seen); fv != nullptr && d.ok) {
     if (!fv->is_object()) {
@@ -298,6 +300,12 @@ std::string validate_scenario(const Scenario& s) {
   }
   if (!(s.eps > 0.0 && s.eps < 1.0)) return "eps must be in (0, 1)";
   if (s.trials < 1) return "trials must be >= 1";
+  // Battery mode exists only where BroadcastNParams does; accepting it
+  // elsewhere would create scenarios whose digest differs but whose
+  // execution is identical — a replay-identity trap.
+  if (s.battery > 0 && s.protocol != "broadcast" && s.protocol != "naive") {
+    return "battery requires protocol broadcast|naive";
+  }
   // Catch out-of-range fault knobs here, where callers can print a clean
   // diagnostic, instead of letting the FaultPlan constructor's contract
   // abort trial 0.
@@ -350,6 +358,7 @@ TrialOutcome run_scenario_trial(const Scenario& s, std::uint64_t trial) {
       if (s.max_epoch_extra > 0) {
         params.max_epoch = params.first_epoch + s.max_epoch_extra;
       }
+      params.node_energy_budget = s.battery;
       r = s.protocol == "broadcast"
               ? run_broadcast_n(s.n, params, *adv, rng, fp)
               : run_naive_broadcast(s.n, params, *adv, rng, fp);

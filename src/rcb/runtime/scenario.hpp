@@ -44,6 +44,9 @@ struct Scenario {
   std::uint64_t seed = 1;    ///< master seed; trial t uses Rng::stream(seed, t)
   std::uint32_t max_epoch_extra = 0;  ///< 0 = protocol default cap
   SlotCount timeout_slots = 0;        ///< 1-to-1 wall-clock abort (0 = off)
+  /// Per-node battery capacity in slot-units (broadcast/naive protocols
+  /// only; 0 = unlimited).  Maps to BroadcastNParams::node_energy_budget.
+  Cost battery = 0;
   FaultConfig faults;                 ///< fault-injection model (defaults off)
 
   bool is_broadcast() const {

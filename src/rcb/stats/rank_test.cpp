@@ -68,4 +68,19 @@ MannWhitneyResult mann_whitney(std::span<const double> xs,
   return result;
 }
 
+double bonferroni_alpha(double family_alpha, std::size_t comparisons) {
+  RCB_REQUIRE(family_alpha > 0.0 && family_alpha < 1.0);
+  RCB_REQUIRE(comparisons >= 1);
+  return family_alpha / static_cast<double>(comparisons);
+}
+
+bool rank_gate_rejects(std::span<const double> xs, std::span<const double> ys,
+                       double alpha, bool xs_smaller_suspect) {
+  const MannWhitneyResult r = mann_whitney(xs, ys);
+  if (!xs_smaller_suspect) return r.p_value < alpha;
+  // One-sided: halve the two-sided p-value, reject only when the observed
+  // shift is in the suspect direction (xs tends below ys, effect < 1/2).
+  return r.effect < 0.5 && r.p_value / 2.0 < alpha;
+}
+
 }  // namespace rcb

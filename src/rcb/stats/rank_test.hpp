@@ -7,6 +7,7 @@
 // exceeds sample from Y) shifted from 1/2.
 #pragma once
 
+#include <cstddef>
 #include <span>
 
 namespace rcb {
@@ -23,5 +24,21 @@ struct MannWhitneyResult {
 /// Compares two samples; requires both non-empty.
 MannWhitneyResult mann_whitney(std::span<const double> xs,
                                std::span<const double> ys);
+
+/// Bonferroni-corrected per-comparison significance level.  A gate that
+/// runs `comparisons` tests and rejects each at the returned level keeps
+/// the family-wise false-positive probability at most `family_alpha` —
+/// the calibration the statistical engine-crosscheck oracle relies on
+/// (tests/rank_gate_test.cpp measures the null rejection rate).
+/// Requires family_alpha in (0, 1) and comparisons >= 1.
+double bonferroni_alpha(double family_alpha, std::size_t comparisons);
+
+/// True when a Mann-Whitney comparison of `xs` (suspect) vs `ys`
+/// (reference) rejects equality at `alpha` *in the direction that matters*:
+/// one-sided toward xs stochastically smaller when `xs_smaller_suspect` is
+/// true, two-sided otherwise.  Centralises the gate so every differential
+/// oracle applies the same decision rule.
+bool rank_gate_rejects(std::span<const double> xs, std::span<const double> ys,
+                       double alpha, bool xs_smaller_suspect = false);
 
 }  // namespace rcb

@@ -1,0 +1,80 @@
+// Scenario-fuzzing harness: generate -> oracle-check -> shrink -> emit.
+//
+// run_fuzz drives the full loop the rcb_fuzz CLI exposes: sample `cases`
+// scenarios deterministically (scenario_gen.hpp), run each through the
+// differential oracle set (oracles.hpp), and delta-debug any violation to
+// a minimal failing case (shrink.hpp).  Each minimized failure is written
+// to `out_dir` twice:
+//
+//   min_case_<i>.json        the scenario, replayable by rcb_sim --config
+//                            or directly via scenario_from_json
+//   min_case_<i>.repro.json  an RCB_REPRO record naming (scenario, seed,
+//                            trial 0) — feed it to `rcb_replay --verify`
+//                            for a bit-identical reproduction, or drop it
+//                            into tests/corpus/ to pin the bug as a
+//                            permanent regression test
+//
+// Canary mode self-checks the harness: it installs a known
+// ledger-accounting mutation (the adversary's reported spend is inflated
+// past its budget) via OracleOptions::outcome_tamper and asserts the
+// harness both detects it and shrinks the carrier scenario — a fuzzer
+// whose oracles silently went vacuous fails the canary, not the world.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "rcb/testing/oracles.hpp"
+#include "rcb/testing/scenario_gen.hpp"
+
+namespace rcb {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t cases = 200;
+  /// Directory minimized failures are written into ("" = don't write).
+  std::string out_dir;
+  /// Run the self-check canary instead of a fuzz sweep.
+  bool canary = false;
+  std::size_t shrink_evaluations = 150;
+  ScenarioGenOptions gen;
+  OracleOptions oracles;
+  std::ostream* log = nullptr;  ///< progress stream (nullptr = quiet)
+};
+
+struct FuzzFailure {
+  std::uint64_t case_index = 0;
+  Scenario original;
+  Scenario minimized;
+  std::string oracle;
+  std::string detail;
+  std::string scenario_path;  ///< empty when out_dir was empty
+  std::string record_path;
+};
+
+struct FuzzReport {
+  std::uint64_t cases_run = 0;
+  std::vector<FuzzFailure> failures;
+  // Canary-mode outcome.
+  bool canary_caught = false;
+  std::uint64_t canary_original_size = 0;
+  std::uint64_t canary_shrunk_size = 0;
+
+  bool ok() const {
+    return failures.empty() || (canary_caught && failures.size() == 1);
+  }
+};
+
+/// The scenario the canary mutation rides on (exposed so tests can assert
+/// the shrink target independently).
+Scenario canary_scenario();
+
+/// Formats the RCB_REPRO record written next to a minimized scenario.
+std::string fuzz_repro_record(const Scenario& s, const std::string& oracle,
+                              const std::string& detail);
+
+FuzzReport run_fuzz(const FuzzOptions& opt);
+
+}  // namespace rcb

@@ -1,0 +1,99 @@
+#include "rcb/testing/scenario_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+
+#include "rcb/common/contracts.hpp"
+#include "rcb/common/mathutil.hpp"
+#include "rcb/rng/rng.hpp"
+
+namespace rcb {
+namespace {
+
+// Stream salt so fuzz scenario streams never collide with the trial
+// streams the scenarios themselves consume (Rng::stream(scenario.seed, t)).
+constexpr std::uint64_t kGenSalt = 0x5cef77a9u;
+
+const char* const kProtocols[] = {"one_to_one", "ksy",   "combined",
+                                  "broadcast",  "naive", "sqrt"};
+const char* const kBroadcastAdvs[] = {"none", "suffix", "fraction", "random",
+                                      "burst"};
+const char* const kDuelAdvs[] = {"none",       "send_phase", "nack_phase",
+                                 "full_duel",  "both_views", "sym_random",
+                                 "spoof"};
+
+/// Log-uniform budget in [0, max]: pick a magnitude first so small and
+/// huge budgets are equally likely (uniform sampling would almost never
+/// produce the tiny budgets where off-by-one accounting bugs live).
+Cost log_uniform_budget(Rng& rng, Cost max_budget) {
+  if (max_budget == 0 || rng.bernoulli(0.1)) return 0;
+  const std::uint32_t max_bits = floor_log2(max_budget) + 1;
+  const std::uint32_t bits = 1 + static_cast<std::uint32_t>(
+                                     rng.uniform_u64(max_bits));
+  const Cost hi = std::min<Cost>(max_budget, pow2(bits) - 1);
+  const Cost lo = pow2(bits - 1) - 1;
+  return lo + rng.uniform_u64(hi - lo + 1);
+}
+
+}  // namespace
+
+Scenario generate_scenario(std::uint64_t seed, std::uint64_t index,
+                           const ScenarioGenOptions& opt) {
+  Rng rng = Rng::stream(seed ^ kGenSalt, index);
+  Scenario s;
+  s.protocol = kProtocols[rng.uniform_u64(std::size(kProtocols))];
+  if (s.is_broadcast()) {
+    s.adversary = kBroadcastAdvs[rng.uniform_u64(std::size(kBroadcastAdvs))];
+    s.n = 1 + static_cast<std::uint32_t>(rng.uniform_u64(opt.max_n));
+  } else {
+    s.adversary = kDuelAdvs[rng.uniform_u64(std::size(kDuelAdvs))];
+  }
+  s.budget = log_uniform_budget(rng, opt.max_budget);
+  s.q = rng.uniform_double();
+  s.rate = rng.uniform_double();
+  // eps log-uniform over the E9 sweep range [0.003, 0.3].
+  s.eps = 0.003 * std::pow(100.0, rng.uniform_double());
+  s.trials = 1 + rng.uniform_u64(opt.max_trials);
+  s.seed = rng.next_u64() >> 12;  // stay in the 2^53 exact-JSON-int range
+  // Never 0 (= the protocol's default safety cap, epoch ~26): a fault-laden
+  // run whose halt condition stalls would then grind through 2^26-slot
+  // epochs.  Capping at first_epoch + [1, 4] bounds every trial while still
+  // exercising the epoch-cap (hit_epoch_cap / aborted) code paths.
+  s.max_epoch_extra = 1 + static_cast<std::uint32_t>(rng.uniform_u64(4));
+  if (s.is_duel()) {
+    // The spoofing adversary keeps Fig.1 alive until its budget runs dry;
+    // always bound it so a generated case cannot stall the harness.
+    if (s.adversary == "spoof" || rng.bernoulli(0.3)) {
+      s.timeout_slots = 1u << (10 + rng.uniform_u64(6));
+    }
+  }
+  if (opt.allow_battery && rng.bernoulli(0.25) &&
+      (s.protocol == "broadcast" || s.protocol == "naive")) {
+    s.battery = 128 + rng.uniform_u64(1u << 14);
+  }
+  if (opt.allow_faults && rng.bernoulli(0.5)) {
+    FaultConfig& f = s.faults;
+    f.seed = rng.next_u64() >> 12;
+    f.crash_rate = rng.bernoulli(0.5) ? 0.002 * rng.uniform_double() : 0.0;
+    f.restart_rate = f.crash_rate > 0.0 ? 0.05 * rng.uniform_double() : 0.0;
+    f.crash_fraction = rng.uniform_double();
+    f.loss_rate = 0.3 * rng.uniform_double();
+    f.corruption_rate = 0.2 * rng.uniform_double();
+    f.clock_skew_rate = 0.2 * rng.uniform_double();
+    if (rng.bernoulli(0.3)) {
+      f.brownout_slot = rng.uniform_u64(1u << 16);
+      f.brownout_fraction = rng.uniform_double();
+      f.brownout_factor = rng.uniform_double();
+    }
+  }
+  if (opt.allow_cca && rng.bernoulli(0.5)) {
+    s.faults.cca_false_busy = 0.2 * rng.uniform_double();
+    s.faults.cca_missed_detection = 0.2 * rng.uniform_double();
+    s.faults.cca_ramp_slots = rng.uniform_u64(1u << 12);
+  }
+  RCB_ASSERT(validate_scenario(s).empty());
+  return s;
+}
+
+}  // namespace rcb

@@ -1,0 +1,51 @@
+// Automatic scenario shrinking (delta debugging).
+//
+// When an oracle fires on a fuzzed scenario, the raw failure is usually
+// drowned in irrelevant dimensions — 6 trials, 40 nodes, faults AND CCA
+// drift AND a battery all enabled.  shrink_scenario greedily applies
+// size-reducing transformations (drop trials and nodes, halve the budget,
+// zero the jam knobs, switch off faults / CCA / battery / timeouts, try
+// the null adversary) and keeps a candidate whenever the SAME oracle still
+// fires on it, iterating to a fixed point under an evaluation budget.
+// Because scenarios are pure values and oracles are deterministic
+// functions of them (statistical gates fix their seeds), "still fails" is
+// a replayable predicate rather than a flaky observation — the classic
+// ddmin contract.
+//
+// The minimized scenario is what lands in tests/corpus/: small enough to
+// replay in milliseconds forever after.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rcb/runtime/scenario.hpp"
+#include "rcb/testing/oracles.hpp"
+
+namespace rcb {
+
+/// Work-proportional size metric the shrinker minimises: trial count times
+/// effective fleet size, plus a tax per enabled feature dimension.  The
+/// canary acceptance gate ("shrunk to <= 1/4 of the original") is measured
+/// in these units.
+std::uint64_t scenario_size(const Scenario& s);
+
+struct ShrinkResult {
+  Scenario scenario;       ///< smallest scenario still failing `oracle`
+  std::string oracle;      ///< the oracle id that kept firing
+  std::size_t evaluations = 0;  ///< oracle-set runs the shrink consumed
+};
+
+/// Shrinks `failing` (which must currently trigger a violation whose
+/// oracle id is `oracle` under `check`) toward a minimal scenario that
+/// still triggers it.  `check` is typically a bind of check_scenario with
+/// fixed OracleOptions.  At most `max_evaluations` candidate evaluations
+/// are spent; the best scenario found so far is returned regardless.
+ShrinkResult shrink_scenario(
+    const Scenario& failing, const std::string& oracle,
+    const std::function<std::vector<Violation>(const Scenario&)>& check,
+    std::size_t max_evaluations = 200);
+
+}  // namespace rcb

@@ -1,0 +1,88 @@
+// Corpus replay: every RCB_REPRO record under tests/corpus/ must parse,
+// carry an untampered scenario, and replay bit-identically — the same
+// contract `rcb_replay --verify` enforces, run as a gtest suite on every
+// build.  Minimized failures produced by rcb_fuzz are promoted here by
+// copying their .repro.json into the corpus directory; nothing else is
+// required (the suite discovers files at runtime).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rcb/runtime/scenario.hpp"
+
+#ifndef RCB_CORPUS_DIR
+#error "RCB_CORPUS_DIR must be defined by the build (tests/CMakeLists.txt)"
+#endif
+
+namespace rcb {
+namespace {
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(RCB_CORPUS_DIR)) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(CorpusTest, CorpusIsNotEmpty) {
+  EXPECT_GE(corpus_files().size(), 2u)
+      << "seed corpus missing from " << RCB_CORPUS_DIR;
+}
+
+TEST(CorpusTest, EveryRecordReplaysBitIdentically) {
+  for (const auto& path : corpus_files()) {
+    SCOPED_TRACE(path.string());
+    const ReproParseResult parsed = repro_record_from_json(slurp(path));
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    const ReproRecord& rec = parsed.record;
+    ASSERT_TRUE(rec.has_scenario);
+    EXPECT_EQ(validate_scenario(rec.scenario), "");
+    // A record whose embedded scenario no longer hashes to the recorded
+    // digest was edited after emission; replaying it would "reproduce" a
+    // different experiment than the one that failed.
+    ASSERT_TRUE(rec.has_scenario_digest);
+    EXPECT_EQ(scenario_digest(rec.scenario), rec.scenario_digest);
+
+    const TrialOutcome first = run_scenario_trial(rec.scenario, rec.trial);
+    const TrialOutcome second = run_scenario_trial(rec.scenario, rec.trial);
+    EXPECT_EQ(first.digest, second.digest)
+        << "replay is nondeterministic for trial " << rec.trial;
+  }
+}
+
+TEST(CorpusTest, SeedCasesKeepTheirFailureShape) {
+  // The two seed cases were chosen to pin specific degraded-mode paths;
+  // assert the shape survives so a behavioural drift in those paths turns
+  // the corpus red instead of silently replaying a now-benign trial.
+  for (const auto& path : corpus_files()) {
+    const std::string name = path.filename().string();
+    const ReproParseResult parsed = repro_record_from_json(slurp(path));
+    ASSERT_TRUE(parsed.ok) << path << ": " << parsed.error;
+    const TrialOutcome out =
+        run_scenario_trial(parsed.record.scenario, parsed.record.trial);
+    if (name.find("fault_storm") != std::string::npos) {
+      EXPECT_GT(out.dead_count, 0u) << name;
+      EXPECT_FALSE(out.success) << name;
+    } else if (name.find("timeout") != std::string::npos) {
+      EXPECT_TRUE(out.aborted) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rcb

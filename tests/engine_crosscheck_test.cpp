@@ -16,6 +16,7 @@
 #include "rcb/sim/faults.hpp"
 #include "rcb/sim/repetition_engine.hpp"
 #include "rcb/sim/slot_engine.hpp"
+#include "rcb/stats/rank_test.hpp"
 
 namespace rcb {
 namespace {
@@ -269,6 +270,92 @@ TEST(EngineCrosscheckFaultTest, EventPathMatchesDenseReferenceUnderFaultsAndCca)
     close(event[u].noise, dense[u].noise, "noise", u);
   }
   close(event_jammed, dense_jammed, "jammed_slots", -1);
+}
+
+TEST(EngineCrosscheckRankTest, DistributionsAgreeUnderBonferroniFamily) {
+  // Distribution-level crosscheck: instead of comparing means with ad-hoc
+  // sigma tolerances, compare the per-run observation totals of the two
+  // slotwise paths with Mann-Whitney rank gates.  The whole family of
+  // (metric x node) comparisons shares one false-positive budget via
+  // bonferroni_alpha, so this test's flake probability is bounded by
+  // kFamilyAlpha by construction — the same decision rule the fuzz
+  // harness's crosscheck oracle applies (src/rcb/testing/oracles.cpp).
+  const SlotCount slots = 384;
+  const int trials = 120;
+  const CcaModel cca{0.1, 0.05};
+
+  FaultConfig cfg;
+  cfg.seed = 91;
+  cfg.crash_rate = 0.002;
+  cfg.restart_rate = 0.02;
+  cfg.loss_rate = 0.1;
+  cfg.corruption_rate = 0.05;
+
+  class Reactive final : public SlotAdversary {
+   public:
+    bool jam(SlotIndex, std::span<const SlotActivity> history) override {
+      return !history.empty() && history.back().senders > 0;
+    }
+    SlotCount history_window() const override { return 1; }
+  };
+
+  const std::vector<NodeAction> actions = {
+      NodeAction{0.05, Payload::kMessage, 0.2},
+      NodeAction{0.02, Payload::kNoise, 0.3},
+      NodeAction{0.0, Payload::kNoise, 0.5},
+  };
+  const std::size_t n = actions.size();
+
+  // samples[engine][node * kMetrics + metric][trial]
+  constexpr int kMetrics = 5;
+  std::vector<std::vector<double>> event(n * kMetrics),
+      dense(n * kMetrics);
+  const auto record = [&](std::vector<std::vector<double>>& dst,
+                          const RepetitionResult& rep) {
+    for (std::size_t u = 0; u < n; ++u) {
+      const NodeObservation& o = rep.obs[u];
+      dst[u * kMetrics + 0].push_back(static_cast<double>(o.sends));
+      dst[u * kMetrics + 1].push_back(static_cast<double>(o.listens));
+      dst[u * kMetrics + 2].push_back(static_cast<double>(o.clear));
+      dst[u * kMetrics + 3].push_back(static_cast<double>(o.messages));
+      dst[u * kMetrics + 4].push_back(static_cast<double>(o.noise));
+    }
+  };
+
+  for (int t = 0; t < trials; ++t) {
+    {
+      FaultPlan faults(cfg);
+      Reactive adv;
+      Rng rng = Rng::stream(41, t);
+      record(event,
+             run_repetition_slotwise(slots, actions, adv, rng, cca, &faults)
+                 .rep);
+    }
+    {
+      FaultPlan faults(cfg);
+      Reactive adv;
+      Rng rng = Rng::stream(42, t);
+      record(dense, run_repetition_slotwise_dense(slots, actions, adv, rng,
+                                                  cca, &faults)
+                        .rep);
+    }
+  }
+
+  const double kFamilyAlpha = 1e-4;
+  const double alpha = bonferroni_alpha(kFamilyAlpha, n * kMetrics);
+  const char* const kMetricNames[kMetrics] = {"sends", "listens", "clear",
+                                              "messages", "noise"};
+  for (std::size_t u = 0; u < n; ++u) {
+    for (int m = 0; m < kMetrics; ++m) {
+      const auto& xs = event[u * kMetrics + m];
+      const auto& ys = dense[u * kMetrics + m];
+      const MannWhitneyResult r = mann_whitney(xs, ys);
+      EXPECT_FALSE(rank_gate_rejects(xs, ys, alpha))
+          << "node " << u << " metric " << kMetricNames[m]
+          << ": engines disagree (p=" << r.p_value
+          << ", effect=" << r.effect << ", alpha=" << alpha << ")";
+    }
+  }
 }
 
 }  // namespace

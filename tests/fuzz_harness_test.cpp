@@ -1,0 +1,246 @@
+// Tests for the scenario-fuzzing harness: generator coverage and
+// determinism, the scenario JSON round-trip property, oracle sensitivity
+// (a tampered outcome must be caught), shrinker contracts, and the canary
+// self-check end to end.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rcb/runtime/scenario.hpp"
+#include "rcb/testing/fuzzer.hpp"
+#include "rcb/testing/oracles.hpp"
+#include "rcb/testing/scenario_gen.hpp"
+#include "rcb/testing/shrink.hpp"
+
+namespace rcb {
+namespace {
+
+TEST(ScenarioGenTest, DeterministicAndValid) {
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const Scenario a = generate_scenario(7, i);
+    const Scenario b = generate_scenario(7, i);
+    EXPECT_EQ(scenario_to_json(a), scenario_to_json(b)) << "index " << i;
+    EXPECT_EQ(validate_scenario(a), "") << "index " << i;
+  }
+}
+
+TEST(ScenarioGenTest, DifferentSeedsDiverge) {
+  int differ = 0;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    if (scenario_to_json(generate_scenario(1, i)) !=
+        scenario_to_json(generate_scenario(2, i))) {
+      ++differ;
+    }
+  }
+  EXPECT_GE(differ, 18);
+}
+
+TEST(ScenarioGenTest, CoversTheScenarioSpace) {
+  std::set<std::string> protocols;
+  std::set<std::string> adversaries;
+  bool faults_on = false, faults_off = false;
+  bool cca_on = false, battery_on = false, timeout_on = false;
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    const Scenario s = generate_scenario(3, i);
+    protocols.insert(s.protocol);
+    adversaries.insert(s.adversary);
+    const bool has_faults =
+        s.faults.crash_rate > 0.0 || s.faults.loss_rate > 0.0 ||
+        s.faults.corruption_rate > 0.0 || s.faults.clock_skew_rate > 0.0;
+    faults_on |= has_faults;
+    faults_off |= !has_faults;
+    cca_on |= s.faults.cca_false_busy > 0.0;
+    battery_on |= s.battery > 0;
+    timeout_on |= s.timeout_slots > 0;
+    // Every generated scenario must have a bounded epoch cap — extra == 0
+    // would mean the protocol's ~2^26-slot default, stalling the harness.
+    EXPECT_GE(s.max_epoch_extra, 1u) << "index " << i;
+    // The spoofing adversary never lets Fig.1 halt on its own.
+    if (s.adversary == "spoof") {
+      EXPECT_GT(s.timeout_slots, 0u) << "index " << i;
+    }
+  }
+  EXPECT_EQ(protocols.size(), 6u);  // every protocol
+  EXPECT_GE(adversaries.size(), 10u);
+  EXPECT_TRUE(faults_on);
+  EXPECT_TRUE(faults_off);
+  EXPECT_TRUE(cca_on);
+  EXPECT_TRUE(battery_on);
+  EXPECT_TRUE(timeout_on);
+}
+
+// Satellite: scenario JSON round-trip as a property test over the
+// generator's output distribution — parse(emit(s)) re-emits byte-identical
+// JSON with a stable digest.
+TEST(ScenarioRoundTripProperty, ParseEmitParseIsByteIdentical) {
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const Scenario s = generate_scenario(17, i);
+    const std::string j1 = scenario_to_json(s);
+    const ScenarioParseResult p1 = scenario_from_json(j1);
+    ASSERT_TRUE(p1.ok) << p1.error << "\n" << j1;
+    const std::string j2 = scenario_to_json(p1.scenario);
+    EXPECT_EQ(j1, j2) << "index " << i;
+    EXPECT_EQ(scenario_digest(s), scenario_digest(p1.scenario)) << "index "
+                                                                << i;
+    const ScenarioParseResult p2 = scenario_from_json(j2);
+    ASSERT_TRUE(p2.ok);
+    EXPECT_EQ(scenario_to_json(p2.scenario), j2) << "index " << i;
+  }
+}
+
+TEST(OracleTest, GeneratedScenariosPass) {
+  OracleOptions opt;
+  opt.crosscheck_trials = 40;  // keep the unit test quick
+  opt.metamorphic_trials = 8;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const Scenario s = generate_scenario(23, i);
+    const std::vector<Violation> vs = check_scenario(s, opt);
+    for (const Violation& v : vs) {
+      ADD_FAILURE() << "index " << i << " oracle '" << v.oracle
+                    << "': " << v.detail << "\n"
+                    << scenario_to_json(s);
+    }
+  }
+}
+
+TEST(OracleTest, LedgerOracleCatchesAdversaryOverspend) {
+  Scenario s = generate_scenario(23, 0);
+  OracleOptions opt;
+  opt.outcome_tamper = [](TrialOutcome& out) { out.adversary_cost += 1e9; };
+  const std::vector<Violation> vs = check_scenario(s, opt);
+  bool ledger_fired = false;
+  for (const Violation& v : vs) ledger_fired |= v.oracle == "ledger";
+  EXPECT_TRUE(ledger_fired);
+}
+
+TEST(OracleTest, DeterminismOracleCatchesUnstableDigest) {
+  const Scenario s = generate_scenario(23, 1);
+  OracleOptions opt;
+  // Stateful tamper: every observed execution reports a different digest,
+  // the signature of nondeterminism the oracle must flag.
+  auto counter = std::make_shared<std::uint64_t>(0);
+  opt.outcome_tamper = [counter](TrialOutcome& out) {
+    out.digest += ++*counter;
+  };
+  const std::vector<Violation> vs = check_scenario(s, opt);
+  bool determinism_fired = false;
+  for (const Violation& v : vs) determinism_fired |= v.oracle == "determinism";
+  EXPECT_TRUE(determinism_fired);
+}
+
+TEST(ShrinkTest, ShrinksToFixedPointAndPreservesOracle) {
+  Scenario s;
+  s.protocol = "broadcast";
+  s.adversary = "suffix";
+  s.budget = 4096;
+  s.n = 40;
+  s.trials = 6;
+  s.max_epoch_extra = 3;
+  s.battery = 2000;
+  s.faults.loss_rate = 0.2;
+  // Synthetic oracle: fires as long as the protocol is broadcast — every
+  // other dimension is noise the shrinker should strip.
+  const auto check = [](const Scenario& c) {
+    std::vector<Violation> vs;
+    if (c.protocol == "broadcast") vs.push_back({"synthetic", "x"});
+    return vs;
+  };
+  const ShrinkResult r = shrink_scenario(s, "synthetic", check, 100);
+  EXPECT_LT(scenario_size(r.scenario), scenario_size(s) / 4);
+  EXPECT_EQ(r.scenario.protocol, "broadcast");
+  EXPECT_EQ(r.scenario.trials, 1u);
+  EXPECT_EQ(r.scenario.n, 2u);
+  EXPECT_EQ(r.scenario.battery, 0u);
+  EXPECT_EQ(r.scenario.adversary, "none");
+  EXPECT_EQ(validate_scenario(r.scenario), "");
+  EXPECT_GT(r.evaluations, 0u);
+}
+
+TEST(ShrinkTest, NeverUnboundsASpoofingDuel) {
+  Scenario s;
+  s.protocol = "one_to_one";
+  s.adversary = "spoof";
+  s.budget = 2048;
+  s.trials = 4;
+  s.max_epoch_extra = 2;
+  s.timeout_slots = 4096;
+  const auto check = [](const Scenario& c) {
+    std::vector<Violation> vs;
+    if (c.adversary == "spoof") vs.push_back({"synthetic", "x"});
+    return vs;
+  };
+  const ShrinkResult r = shrink_scenario(s, "synthetic", check, 100);
+  EXPECT_EQ(r.scenario.adversary, "spoof");
+  // The timeout is what keeps a spoofed Fig.1 run bounded; dropping it
+  // would make the "minimized" scenario slower to replay than the original.
+  EXPECT_GT(r.scenario.timeout_slots, 0u);
+  EXPECT_LT(scenario_size(r.scenario), scenario_size(s));
+}
+
+TEST(ShrinkTest, RespectsEvaluationBudget) {
+  Scenario s;
+  s.protocol = "broadcast";
+  s.n = 48;
+  s.trials = 6;
+  s.max_epoch_extra = 2;
+  const auto check = [](const Scenario&) {
+    return std::vector<Violation>{{"synthetic", "x"}};
+  };
+  const ShrinkResult r = shrink_scenario(s, "synthetic", check, 5);
+  EXPECT_LE(r.evaluations, 5u);
+}
+
+// Satellite: the canary — a known ledger-accounting mutation must be
+// detected AND shrunk to at most a quarter of the original scenario size.
+TEST(CanaryTest, MutationIsCaughtAndShrunk) {
+  FuzzOptions opt;
+  opt.canary = true;
+  const FuzzReport report = run_fuzz(opt);
+  ASSERT_TRUE(report.canary_caught);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].oracle, "ledger");
+  EXPECT_LE(report.canary_shrunk_size * 4, report.canary_original_size);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(CanaryTest, CanaryFailureWritesAParseableReproRecord) {
+  FuzzOptions opt;
+  opt.canary = true;
+  const FuzzReport report = run_fuzz(opt);
+  ASSERT_EQ(report.failures.size(), 1u);
+  const FuzzFailure& f = report.failures[0];
+  const ReproParseResult parsed =
+      repro_record_from_json(fuzz_repro_record(f.minimized, f.oracle, f.detail));
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  EXPECT_EQ(scenario_digest(parsed.record.scenario),
+            scenario_digest(f.minimized));
+}
+
+TEST(FuzzRecordTest, ReproRecordRoundTripsThroughParser) {
+  const Scenario s = canary_scenario();
+  const std::string record = fuzz_repro_record(s, "ledger", "overspend");
+  const ReproParseResult parsed = repro_record_from_json(record);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  ASSERT_TRUE(parsed.record.has_scenario);
+  EXPECT_EQ(scenario_to_json(parsed.record.scenario), scenario_to_json(s));
+  ASSERT_TRUE(parsed.record.has_scenario_digest);
+  EXPECT_EQ(parsed.record.scenario_digest, scenario_digest(s));
+  EXPECT_EQ(parsed.record.master_seed, s.seed);
+  EXPECT_EQ(parsed.record.trial, 0u);
+}
+
+TEST(FuzzSweepTest, SmallSweepIsCleanAndDeterministic) {
+  FuzzOptions opt;
+  opt.seed = 5;
+  opt.cases = 10;
+  const FuzzReport a = run_fuzz(opt);
+  EXPECT_EQ(a.cases_run, 10u);
+  EXPECT_TRUE(a.failures.empty());
+  const FuzzReport b = run_fuzz(opt);
+  EXPECT_EQ(b.failures.size(), a.failures.size());
+}
+
+}  // namespace
+}  // namespace rcb

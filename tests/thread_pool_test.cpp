@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -169,6 +171,11 @@ TEST(MonteCarloTest, RemainingTrialsAbandonedAfterFailure) {
                    [&](std::size_t t, Rng&) {
                      executed.fetch_add(1);
                      if (t == 0) throw std::runtime_error("die early");
+                     // A trivial trial body lets a loaded scheduler drain
+                     // every chunk before the failing worker publishes the
+                     // abandon flag; a fixed per-trial cost keeps the race
+                     // unlosable without slowing the abandoned path.
+                     std::this_thread::sleep_for(std::chrono::microseconds(100));
                      return 0;
                    },
                    pool, 1),

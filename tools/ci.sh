@@ -2,9 +2,16 @@
 # Local CI: build and test the plain and the ASan+UBSan configurations,
 # then take a quick perf reading and diff it against the committed baseline.
 #
-#   tools/ci.sh            # both configs + quick bench
-#   tools/ci.sh plain      # RelWithDebInfo only (+ quick bench)
+#   tools/ci.sh            # both configs + quick bench + quick fuzz
+#   tools/ci.sh plain      # RelWithDebInfo only (+ quick bench + quick fuzz)
 #   tools/ci.sh sanitize   # ASan+UBSan only (no bench — numbers meaningless)
+#   tools/ci.sh --full     # like "all" but with a larger fuzz sweep
+#
+# The fuzz stage first runs `rcb_fuzz --canary` (the harness self-check: a
+# known ledger mutation must be detected and shrunk), then a bounded
+# fixed-seed scenario sweep (~200 cases; 1000 with --full).  Any oracle
+# violation fails CI and the minimized scenario + RCB_REPRO record paths
+# are printed for local replay with rcb_replay --verify.
 #
 # The bench step runs bench_m1_micro with a short --benchmark_min_time,
 # writes build/BENCH_m1.json, and runs tools/bench_compare against
@@ -18,6 +25,11 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 what="${1:-all}"
+fuzz_cases=200
+if [[ "$what" == "--full" ]]; then
+  what="all"
+  fuzz_cases=1000
+fi
 
 run_config() {
   local name="$1" dir="$2"
@@ -102,10 +114,32 @@ chaos_supervisor() {
   echo "chaos: quarantined trial replays bounded; tampered record refused"
 }
 
+# Fuzz stage: canary self-check, then a fixed-seed scenario sweep.  Oracle
+# violations land minimized in $fuzz_out and fail the stage; the rcb_fuzz
+# output names the exact files to replay.
+fuzz_stage() {
+  local fuzz="$1" fuzz_out="$2"
+  rm -rf "$fuzz_out"; mkdir -p "$fuzz_out"
+  echo "--- fuzz: canary (known mutation must be caught and shrunk)"
+  "$fuzz" --canary --quiet ||
+    { echo "fuzz: canary FAILED — harness cannot be trusted"; return 1; }
+  echo "--- fuzz: $fuzz_cases fixed-seed scenarios"
+  local rc=0
+  "$fuzz" --seed=1 --cases="$fuzz_cases" --out="$fuzz_out" --quiet || rc=$?
+  if [[ "$rc" -ne 0 ]]; then
+    echo "fuzz: oracle violations found; minimized scenarios in:"
+    ls "$fuzz_out" | sed "s|^|  $fuzz_out/|"
+    echo "replay with: build/tools/rcb_replay --record=<file>.repro.json --verify"
+    return 1
+  fi
+}
+
 if [[ "$what" == "all" || "$what" == "plain" ]]; then
   run_config plain "$repo/build" -DRCB_WERROR=ON
   echo "=== [plain] chaos: supervisor kill/resume ==="
   chaos_supervisor
+  echo "=== [plain] fuzz: scenario oracles ==="
+  fuzz_stage "$repo/build/tools/rcb_fuzz" "$repo/build/fuzz-out"
   echo "=== [plain] quick bench ==="
   "$repo/build/bench/bench_m1_micro" --benchmark_min_time=0.05 \
     --rcb_out="$repo/build/BENCH_m1.json"
@@ -116,6 +150,9 @@ fi
 
 if [[ "$what" == "all" || "$what" == "sanitize" ]]; then
   run_config sanitize "$repo/build-sanitize" -DRCB_SANITIZE=ON
+  echo "=== [sanitize] fuzz: scenario oracles ==="
+  fuzz_stage "$repo/build-sanitize/tools/rcb_fuzz" \
+    "$repo/build-sanitize/fuzz-out"
 fi
 
 echo "CI OK"

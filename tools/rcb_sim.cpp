@@ -53,6 +53,9 @@ int run_tool(int argc, const char* const* argv) {
   flags.add_int("timeout", 0,
                 "wall-clock abort after this many slots (1-to-1 protocols; "
                 "0 = no timeout; aborted trials are reported, not failed)");
+  flags.add_int("battery", 0,
+                "per-node battery capacity in slot-units (broadcast/naive "
+                "protocols; 0 = unlimited)");
   flags.add_int("fault_seed", 0, "seed for the fault-injection RNG streams");
   flags.add_double("crash_rate", 0.0, "per-slot P(an up node crashes)");
   flags.add_double("restart_rate", 0.0,
@@ -172,6 +175,7 @@ int run_tool(int argc, const char* const* argv) {
   cfg.seed = seed;
   cfg.max_epoch_extra = extra;
   cfg.timeout_slots = static_cast<SlotCount>(flags.get_int("timeout"));
+  cfg.battery = static_cast<Cost>(flags.get_int("battery"));
   cfg.faults.seed = static_cast<std::uint64_t>(flags.get_int("fault_seed"));
   cfg.faults.crash_rate = flags.get_double("crash_rate");
   cfg.faults.restart_rate = flags.get_double("restart_rate");
