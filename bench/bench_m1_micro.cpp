@@ -10,6 +10,7 @@
 // against bench/baselines/BENCH_m1_baseline.json.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "rcb/protocols/broadcast_n.hpp"
 #include "rcb/rng/rng.hpp"
 #include "rcb/rng/sampling.hpp"
+#include "rcb/runtime/thread_pool.hpp"
 #include "rcb/sim/repetition_engine.hpp"
 #include "rcb/sim/slot_engine.hpp"
 
@@ -137,6 +139,25 @@ void BM_SlotwiseEngineDense(benchmark::State& state) {
   set_engine_counters(state, slots, events);
 }
 BENCHMARK(BM_SlotwiseEngineDense)->Range(1 << 10, 1 << 16);
+
+void BM_ThreadPoolDispatch(benchmark::State& state) {
+  // Pure dispatch overhead: 1024 single-iteration chunks whose bodies do
+  // almost nothing, so the submit/steal/wake path dominates.  This is the
+  // cost the Task small-buffer path (vs one std::function heap allocation
+  // per chunk) is meant to shrink.
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    parallel_for_chunks(
+        pool, 0, 1024,
+        [&](std::size_t lo, std::size_t) { sink.fetch_add(lo + 1); }, 1);
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.counters["events_per_sec"] = benchmark::Counter(
+      1024.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(4);
 
 void BM_BroadcastNoJam(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));

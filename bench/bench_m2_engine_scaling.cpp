@@ -253,6 +253,135 @@ void run_bench(bool full, const std::string& out_path, std::uint64_t seed) {
         (on.wall_ms / off.wall_ms - 1.0) * 100.0);
   }
 
+  // Cross-point pipelining: an 8-point heavy-tailed budget sweep (the last
+  // point costs ~2^7x the first), run barrier-per-point vs flattened onto
+  // the pool (run_supervised_sweep_points).  The ISSUE-5 acceptance bar is
+  // >= 1.5x pipelined over sequential on an 8-core machine; on fewer cores
+  // the pipelined path must simply not regress.
+  {
+    std::vector<SweepPoint> points;
+    for (int i = 0; i < 8; ++i) {
+      Scenario s;
+      s.protocol = "one_to_one";
+      s.adversary = "full_duel";
+      s.budget = std::uint64_t{1} << (7 + i);
+      s.trials = full ? 64 : 16;
+      s.seed = seed + static_cast<std::uint64_t>(i) * 1000003;
+      points.push_back(SweepPoint{s, ""});
+    }
+    const std::size_t trials_total =
+        points.size() * static_cast<std::size_t>(points[0].scenario.trials);
+    SupervisorOptions sup;
+    const auto add_sched = [&](const char* name, const Measurement& m) {
+      bench::BenchEntry e;
+      e.name = std::string("m2/sweep/") + name;
+      e.config = {{"points", static_cast<double>(points.size())},
+                  {"trials", static_cast<double>(trials_total)}};
+      e.wall_ms = m.wall_ms;
+      e.events_per_sec = m.events_per_sec;  // completed trials per second
+      report.add(std::move(e));
+      table.add_row({"sweep_sched", name, Table::num(points.size()),
+                     Table::num(trials_total), Table::num(m.reps),
+                     Table::num(m.wall_ms, 3), Table::num(0),
+                     Table::num(m.events_per_sec)});
+    };
+    const Measurement sequential = measure(
+        [&](int) {
+          std::uint64_t done = 0;
+          for (const SweepPoint& p : points) {
+            done += run_supervised_sweep(p.scenario, sup).records.size();
+          }
+          return done;
+        },
+        0.3, 6, 0);
+    add_sched("sequential_points", sequential);
+    const Measurement pipelined = measure(
+        [&](int) {
+          std::uint64_t done = 0;
+          for (const SweepResult& r : run_supervised_sweep_points(points, sup)) {
+            done += r.records.size();
+          }
+          return done;
+        },
+        0.3, 6, 0);
+    add_sched("pipelined", pipelined);
+    std::printf(
+        "\nsweep scheduling: sequential %.3f ms -> pipelined %.3f ms for "
+        "%zu points / %zu trials: %.2fx (acceptance bar: >= 1.5x on 8 "
+        "cores; %zu pool threads here)\n",
+        sequential.wall_ms, pipelined.wall_ms, points.size(), trials_total,
+        sequential.wall_ms / pipelined.wall_ms,
+        ThreadPool::global().num_threads());
+  }
+
+  // Journal commit strategy: N records through the synchronous per-record
+  // flushed append vs the asynchronous group-commit writer (one flush per
+  // drained batch).  Same bytes on disk either way (append_batch is framed
+  // identically); the difference is pure flush amortisation.
+  {
+    const std::uint64_t n_records = full ? 16384 : 4096;
+    Scenario s;
+    s.protocol = "one_to_one";
+    s.adversary = "full_duel";
+    s.budget = 256;
+    s.trials = n_records;
+    s.seed = seed;
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "rcb_bench_m2_journal")
+            .string();
+    const auto make_record = [](std::uint64_t trial) {
+      CheckpointRecord rec;
+      rec.trial = trial;
+      return rec;
+    };
+    const auto add_journal = [&](const char* name, const Measurement& m) {
+      bench::BenchEntry e;
+      e.name = std::string("m2/journal/") + name;
+      e.config = {{"records", static_cast<double>(n_records)}};
+      e.wall_ms = m.wall_ms;
+      e.events_per_sec = m.events_per_sec;  // records per second
+      report.add(std::move(e));
+      table.add_row({"journal", name, Table::num(1), Table::num(n_records),
+                     Table::num(m.reps), Table::num(m.wall_ms, 3),
+                     Table::num(0), Table::num(m.events_per_sec)});
+    };
+    const Measurement per_record = measure(
+        [&](int) {
+          std::filesystem::remove_all(dir);
+          CheckpointWriter w;
+          if (!w.create(dir, s).empty()) return std::uint64_t{0};
+          for (std::uint64_t t = 0; t < n_records; ++t) {
+            if (!w.append(make_record(t)).empty()) return std::uint64_t{0};
+          }
+          w.sync();
+          w.close();
+          return n_records;
+        },
+        0.3, 8, 0);
+    add_journal("per_record_flush", per_record);
+    const Measurement group = measure(
+        [&](int) {
+          std::filesystem::remove_all(dir);
+          CheckpointWriter w;
+          if (!w.create(dir, s).empty()) return std::uint64_t{0};
+          AsyncJournalWriter journal(std::move(w));
+          for (std::uint64_t t = 0; t < n_records; ++t) {
+            if (!journal.enqueue(make_record(t))) return std::uint64_t{0};
+          }
+          if (!journal.finish().empty()) return std::uint64_t{0};
+          return n_records;
+        },
+        0.3, 8, 0);
+    add_journal("group_commit", group);
+    std::filesystem::remove_all(dir);
+    std::printf(
+        "journal commit: per-record flush %.3f ms -> group commit %.3f ms "
+        "per %llu records (%.2fx)\n",
+        per_record.wall_ms, group.wall_ms,
+        static_cast<unsigned long long>(n_records),
+        per_record.wall_ms / group.wall_ms);
+  }
+
   table.print(std::cout);
   if (dense_at_accept > 0 && event_at_accept > 0) {
     std::printf(

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #ifndef _WIN32
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -42,6 +43,22 @@ bool sync_stream(std::FILE* f) {
 #ifndef _WIN32
   return ::fsync(fileno(f)) == 0;
 #else
+  return true;
+#endif
+}
+
+/// fsync a directory so a rename inside it is durable (POSIX requires the
+/// directory entry itself to be synced; rename + file fsync alone may be
+/// rolled back by a power loss on some filesystems).
+bool sync_directory(const std::string& dir) {
+#ifndef _WIN32
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)dir;
   return true;
 #endif
 }
@@ -335,7 +352,45 @@ CheckpointLoadResult load_checkpoint(const std::string& dir) {
   return r;
 }
 
+namespace {
+
+/// Appends one framed record to `out` (shared by append / append_batch so
+/// the two paths are byte-identical by construction).
+void append_frame(std::string& out, const CheckpointRecord& rec,
+                  std::uint64_t scenario_dig) {
+  const std::string payload = record_payload(rec, scenario_dig);
+  out.reserve(out.size() + payload.size() + 32);
+  out += kFramePrefix;
+  out += std::to_string(payload.size());
+  out += ' ';
+  out += to_hex16(fnv1a64(payload));
+  out += ' ';
+  out += payload;
+  out += '\n';
+}
+
+}  // namespace
+
 CheckpointWriter::~CheckpointWriter() { close(); }
+
+CheckpointWriter::CheckpointWriter(CheckpointWriter&& other) noexcept
+    : dir_(std::move(other.dir_)),
+      scenario_digest_(other.scenario_digest_),
+      file_(other.file_) {
+  other.file_ = nullptr;
+}
+
+CheckpointWriter& CheckpointWriter::operator=(
+    CheckpointWriter&& other) noexcept {
+  if (this != &other) {
+    close();
+    dir_ = std::move(other.dir_);
+    scenario_digest_ = other.scenario_digest_;
+    file_ = other.file_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
 
 void CheckpointWriter::close() {
   if (file_ != nullptr) {
@@ -370,6 +425,9 @@ std::string CheckpointWriter::create(const std::string& dir,
   }
   if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
     return "cannot rename manifest into place: " + errno_string();
+  }
+  if (!sync_directory(dir)) {
+    return "cannot fsync checkpoint dir '" + dir + "': " + errno_string();
   }
 
   dir_ = dir;
@@ -407,17 +465,24 @@ std::string CheckpointWriter::open_for_append(const std::string& dir,
 
 std::string CheckpointWriter::append(const CheckpointRecord& rec) {
   if (file_ == nullptr) return "checkpoint writer is not open";
-  const std::string payload = record_payload(rec, scenario_digest_);
   std::string frame;
-  frame.reserve(payload.size() + 32);
-  frame += kFramePrefix;
-  frame += std::to_string(payload.size());
-  frame += ' ';
-  frame += to_hex16(fnv1a64(payload));
-  frame += ' ';
-  frame += payload;
-  frame += '\n';
+  append_frame(frame, rec, scenario_digest_);
   if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+      std::fflush(file_) != 0) {
+    return "journal append failed: " + errno_string();
+  }
+  return "";
+}
+
+std::string CheckpointWriter::append_batch(
+    const std::vector<CheckpointRecord>& recs) {
+  if (recs.empty()) return "";
+  if (file_ == nullptr) return "checkpoint writer is not open";
+  std::string frames;
+  for (const CheckpointRecord& rec : recs) {
+    append_frame(frames, rec, scenario_digest_);
+  }
+  if (std::fwrite(frames.data(), 1, frames.size(), file_) != frames.size() ||
       std::fflush(file_) != 0) {
     return "journal append failed: " + errno_string();
   }
@@ -428,6 +493,84 @@ std::string CheckpointWriter::sync() {
   if (file_ == nullptr) return "checkpoint writer is not open";
   if (!sync_stream(file_)) return "journal fsync failed: " + errno_string();
   return "";
+}
+
+AsyncJournalWriter::AsyncJournalWriter(CheckpointWriter writer,
+                                       std::size_t capacity)
+    : writer_(std::move(writer)),
+      capacity_(capacity == 0 ? 1 : capacity),
+      thread_([this] { writer_loop(); }) {}
+
+AsyncJournalWriter::~AsyncJournalWriter() { finish(); }
+
+bool AsyncJournalWriter::enqueue(CheckpointRecord rec) {
+  std::unique_lock lock(mutex_);
+  not_full_.wait(lock, [this] {
+    return queue_.size() < capacity_ || finishing_ || !first_error_.empty();
+  });
+  if (finishing_ || !first_error_.empty()) return false;
+  queue_.push_back(std::move(rec));
+  work_available_.notify_one();
+  return true;
+}
+
+std::uint64_t AsyncJournalWriter::acked_count() const {
+  return acked_.load(std::memory_order_acquire);
+}
+
+void AsyncJournalWriter::writer_loop() {
+  std::vector<CheckpointRecord> batch;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return !queue_.empty() || finishing_; });
+      if (queue_.empty() && finishing_) return;
+      // Take everything queued so far as one group commit; producers that
+      // arrive during the write form the next batch.
+      batch.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.end()));
+      queue_.clear();
+      not_full_.notify_all();
+    }
+    const std::string err = writer_.append_batch(batch);
+    if (!err.empty()) {
+      std::unique_lock lock(mutex_);
+      if (first_error_.empty()) first_error_ = err;
+      queue_.clear();  // nothing more will be written; unblock producers
+      not_full_.notify_all();
+      return;
+    }
+    // The batch is flushed to the OS: acknowledge every record in it.
+    acked_.fetch_add(batch.size(), std::memory_order_release);
+    batch.clear();
+  }
+}
+
+std::string AsyncJournalWriter::finish() {
+  {
+    std::unique_lock lock(mutex_);
+    if (finished_) return finish_result_;
+    finished_ = true;
+    finishing_ = true;
+    work_available_.notify_all();
+    not_full_.notify_all();
+  }
+  thread_.join();
+  std::string result;
+  {
+    std::unique_lock lock(mutex_);
+    result = first_error_;
+  }
+  if (result.empty()) {
+    result = writer_.sync();
+  }
+  writer_.close();
+  {
+    std::unique_lock lock(mutex_);
+    finish_result_ = result;
+  }
+  return result;
 }
 
 }  // namespace rcb

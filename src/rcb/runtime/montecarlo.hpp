@@ -2,8 +2,9 @@
 //
 // Each trial gets an independent, deterministically derived RNG stream, so
 // results are bit-identical regardless of thread count or scheduling.
-// Do not call run_trials from inside a task already running on the same
-// pool (it blocks on pool idleness).
+// run_trials may be called from inside a pool task: it blocks on a
+// completion latch and the blocked thread helps execute pool work, so
+// nested use cannot deadlock (see thread_pool.hpp).
 #pragma once
 
 #include <atomic>

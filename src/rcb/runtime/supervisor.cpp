@@ -218,153 +218,163 @@ void install_sweep_signal_handlers() {
   std::signal(SIGTERM, &sweep_signal_handler);
 }
 
-SweepResult run_supervised_sweep(const Scenario& s_in,
-                                 const SupervisorOptions& opt,
-                                 ThreadPool& pool, const TrialRunner& runner) {
-  SweepResult result;
-  result.scenario = s_in;
+namespace {
 
-  const bool checkpointing = !opt.checkpoint_dir.empty();
+/// All mutable state of one sweep point while its trials are in flight.
+/// Owned via unique_ptr so addresses stay stable for the pool tasks.
+struct PointState {
+  Scenario scenario;          ///< authoritative (manifest scenario on resume)
+  std::string scenario_json;
+  std::vector<CheckpointRecord> resumed;   ///< loaded from the journal
+  std::vector<bool> have;                  ///< trial-index completion bitmap
+  std::unique_ptr<AsyncJournalWriter> journal;  ///< null when not checkpointing
+  std::mutex fresh_mutex;
+  std::vector<CheckpointRecord> fresh;     ///< trials run by this invocation
+  /// Set on a journal failure: the point's remaining trials are skipped
+  /// (running them would complete work that can never be made durable).
+  std::atomic<bool> abort{false};
+};
+
+/// Phase-1 setup for one point: resume or create its checkpoint and hand
+/// the open writer to an AsyncJournalWriter.  Returns "" or an error.
+std::string setup_point(const SweepPoint& point, const SupervisorOptions& opt,
+                        SweepResult& result, PointState& st) {
+  result.scenario = point.scenario;
+  const bool checkpointing = !point.checkpoint_dir.empty();
   CheckpointWriter writer;
-  std::vector<CheckpointRecord> completed;
 
   if (checkpointing && opt.resume) {
     std::error_code ec;
     const std::filesystem::path manifest =
-        std::filesystem::path(opt.checkpoint_dir) / kCheckpointManifestFile;
+        std::filesystem::path(point.checkpoint_dir) / kCheckpointManifestFile;
     // --resume with no manifest yet starts fresh, so scripted restart loops
     // can pass the flag unconditionally.
     if (std::filesystem::exists(manifest, ec)) {
-      CheckpointLoadResult loaded = load_checkpoint(opt.checkpoint_dir);
-      if (!loaded.ok) {
-        result.error = loaded.error;
-        return result;
-      }
+      CheckpointLoadResult loaded = load_checkpoint(point.checkpoint_dir);
+      if (!loaded.ok) return loaded.error;
       result.scenario = loaded.scenario;
-      completed = std::move(loaded.records);
+      st.resumed = std::move(loaded.records);
       const std::string err =
-          writer.open_for_append(opt.checkpoint_dir, loaded.scenario_digest,
+          writer.open_for_append(point.checkpoint_dir, loaded.scenario_digest,
                                  loaded.journal_valid_bytes);
-      if (!err.empty()) {
-        result.error = err;
-        return result;
-      }
+      if (!err.empty()) return err;
     }
   }
 
-  const Scenario& s = result.scenario;
-  if (const std::string invalid = validate_scenario(s); !invalid.empty()) {
-    result.error = invalid;
-    return result;
+  if (const std::string invalid = validate_scenario(result.scenario);
+      !invalid.empty()) {
+    return invalid;
   }
   if (checkpointing && !writer.active()) {
-    const std::string err = writer.create(opt.checkpoint_dir, s);
-    if (!err.empty()) {
-      result.error = err;
-      return result;
+    const std::string err = writer.create(point.checkpoint_dir,
+                                          result.scenario);
+    if (!err.empty()) return err;
+  }
+
+  result.resumed = st.resumed.size();
+  st.scenario = result.scenario;
+  st.scenario_json = scenario_to_json(st.scenario);
+  st.have.assign(st.scenario.trials, false);
+  for (const CheckpointRecord& rec : st.resumed) st.have[rec.trial] = true;
+  if (writer.active()) {
+    st.journal = std::make_unique<AsyncJournalWriter>(std::move(writer));
+  }
+  return "";
+}
+
+/// The per-(point, trial) work item: run the trial with watchdog, slot
+/// budget and retry-with-reseed, then hand the record to the point's
+/// group-commit journal.
+void run_point_trial(PointState& st, std::uint64_t t,
+                     const SupervisorOptions& opt, const TrialRunner& runner,
+                     Watchdog* watchdog) {
+  // Trials not yet started when shutdown (or a journal write error) hits
+  // are skipped, not run: the journal must only ever contain records that
+  // were durably appended.
+  if (st.abort.load(std::memory_order_relaxed) ||
+      g_shutdown.load(std::memory_order_acquire)) {
+    return;
+  }
+
+  const Scenario& s = st.scenario;
+  CancelToken token(opt.trial_slot_budget);
+  CancelScope cancel_scope(&token);
+  CheckpointRecord rec;
+  rec.trial = t;
+
+  t_in_supervised_trial = true;
+  std::uint32_t attempt = 0;
+  for (;;) {
+    if (watchdog != nullptr) watchdog->watch(&token);
+    try {
+      rec.outcome = runner(s, t, attempt);
+      rec.status = "ok";
+    } catch (const TrialCancelled& cancelled) {
+      rec.status = "timed_out";
+      rec.outcome = synthetic_outcome("timed_out", t);
+      emit_repro("timeout",
+                 "trial exceeded its " + cancelled.reason() + " budget", s, t,
+                 st.scenario_json);
+    } catch (const SupervisedTrialFault& fault) {
+      std::fprintf(stderr, "RCB_REPRO %s\n", fault.record_json.c_str());
+      if (attempt < opt.max_retries) {
+        ++attempt;
+        continue;
+      }
+      rec.status = "failed";
+      rec.outcome = synthetic_outcome("failed", t);
+    } catch (const std::exception& ex) {
+      emit_repro("exception", ex.what(), s, t, st.scenario_json);
+      if (attempt < opt.max_retries) {
+        ++attempt;
+        continue;
+      }
+      rec.status = "failed";
+      rec.outcome = synthetic_outcome("failed", t);
+    } catch (...) {
+      emit_repro("exception", "unknown exception", s, t, st.scenario_json);
+      if (attempt < opt.max_retries) {
+        ++attempt;
+        continue;
+      }
+      rec.status = "failed";
+      rec.outcome = synthetic_outcome("failed", t);
+    }
+    break;
+  }
+  t_in_supervised_trial = false;
+  if (watchdog != nullptr) watchdog->unwatch(&token);
+  rec.attempts = attempt + 1;
+
+  if (st.journal != nullptr) {
+    // Group commit: the writer thread batches this with its neighbours and
+    // flushes once.  enqueue() == false means the journal is broken; the
+    // record must not count as completed (it can never be made durable).
+    if (!st.journal->enqueue(rec)) {
+      st.abort.store(true, std::memory_order_relaxed);
+      return;
     }
   }
+  std::lock_guard<std::mutex> lock(st.fresh_mutex);
+  st.fresh.push_back(std::move(rec));
+}
 
-  result.resumed = completed.size();
-  std::vector<bool> have(s.trials, false);
-  for (const CheckpointRecord& rec : completed) {
-    have[rec.trial] = true;
+/// Phase-3 finalisation for one point: drain+fsync the journal, then
+/// reduce records in trial order (sorting makes the aggregate digest
+/// independent of completion order, hence of thread count).
+void finalize_point(PointState& st, SweepResult& result) {
+  if (st.journal != nullptr) {
+    const std::string err = st.journal->finish();
+    if (!err.empty()) {
+      result.error = "checkpoint journal failed: " + err;
+      return;
+    }
   }
-
-  const std::string scenario_json = scenario_to_json(s);
-  std::optional<Watchdog> watchdog;
-  if (opt.trial_timeout_sec > 0.0) watchdog.emplace(opt.trial_timeout_sec);
-  ContractCaptureGuard contract_capture;
-
-  std::mutex journal_mutex;
-  std::string journal_error;
-  std::atomic<bool> abort_sweep{false};
-  std::vector<CheckpointRecord> fresh;
-
-  for (std::uint64_t t = 0; t < s.trials; ++t) {
-    if (have[t]) continue;
-    pool.submit([&, t] {
-      // Trials not yet started when shutdown (or a journal write error)
-      // hits are skipped, not run: the journal must only ever contain
-      // records that were durably appended.
-      if (abort_sweep.load(std::memory_order_relaxed) ||
-          g_shutdown.load(std::memory_order_acquire)) {
-        return;
-      }
-
-      CancelToken token(opt.trial_slot_budget);
-      CancelScope cancel_scope(&token);
-      CheckpointRecord rec;
-      rec.trial = t;
-
-      t_in_supervised_trial = true;
-      std::uint32_t attempt = 0;
-      for (;;) {
-        if (watchdog) watchdog->watch(&token);
-        try {
-          rec.outcome = runner(s, t, attempt);
-          rec.status = "ok";
-        } catch (const TrialCancelled& cancelled) {
-          rec.status = "timed_out";
-          rec.outcome = synthetic_outcome("timed_out", t);
-          emit_repro("timeout",
-                     "trial exceeded its " + cancelled.reason() + " budget", s,
-                     t, scenario_json);
-        } catch (const SupervisedTrialFault& fault) {
-          std::fprintf(stderr, "RCB_REPRO %s\n", fault.record_json.c_str());
-          if (attempt < opt.max_retries) {
-            ++attempt;
-            continue;
-          }
-          rec.status = "failed";
-          rec.outcome = synthetic_outcome("failed", t);
-        } catch (const std::exception& ex) {
-          emit_repro("exception", ex.what(), s, t, scenario_json);
-          if (attempt < opt.max_retries) {
-            ++attempt;
-            continue;
-          }
-          rec.status = "failed";
-          rec.outcome = synthetic_outcome("failed", t);
-        } catch (...) {
-          emit_repro("exception", "unknown exception", s, t, scenario_json);
-          if (attempt < opt.max_retries) {
-            ++attempt;
-            continue;
-          }
-          rec.status = "failed";
-          rec.outcome = synthetic_outcome("failed", t);
-        }
-        break;
-      }
-      t_in_supervised_trial = false;
-      if (watchdog) watchdog->unwatch(&token);
-      rec.attempts = attempt + 1;
-
-      std::lock_guard<std::mutex> lock(journal_mutex);
-      if (writer.active()) {
-        const std::string err = writer.append(rec);
-        if (!err.empty()) {
-          if (journal_error.empty()) journal_error = err;
-          abort_sweep.store(true, std::memory_order_relaxed);
-          return;  // not durable — must not count as completed
-        }
-      }
-      fresh.push_back(std::move(rec));
-    });
-  }
-  pool.wait_idle();
-
-  if (!journal_error.empty()) {
-    result.error = "checkpoint journal write failed: " + journal_error;
-    return result;
-  }
-
-  result.executed = fresh.size();
-  result.records = std::move(completed);
+  result.executed = st.fresh.size();
+  result.records = std::move(st.resumed);
   result.records.insert(result.records.end(),
-                        std::make_move_iterator(fresh.begin()),
-                        std::make_move_iterator(fresh.end()));
+                        std::make_move_iterator(st.fresh.begin()),
+                        std::make_move_iterator(st.fresh.end()));
   std::sort(result.records.begin(), result.records.end(),
             [](const CheckpointRecord& a, const CheckpointRecord& b) {
               return a.trial < b.trial;
@@ -373,19 +383,76 @@ SweepResult run_supervised_sweep(const Scenario& s_in,
     if (rec.status == "timed_out") ++result.timed_out;
     if (rec.status == "failed") ++result.failed_trials;
   }
-  result.interrupted = result.records.size() < s.trials;
+  result.interrupted = result.records.size() < st.scenario.trials;
   result.aggregate_digest = aggregate_digest(result.records);
-
-  if (writer.active()) {
-    const std::string err = writer.sync();
-    if (!err.empty()) {
-      result.error = "checkpoint journal sync failed: " + err;
-      return result;
-    }
-    writer.close();
-  }
   result.ok = true;
-  return result;
+}
+
+}  // namespace
+
+std::vector<SweepResult> run_supervised_sweep_points(
+    const std::vector<SweepPoint>& points, const SupervisorOptions& opt,
+    ThreadPool& pool, const TrialRunner& runner) {
+  std::vector<SweepResult> results(points.size());
+  std::vector<std::unique_ptr<PointState>> states;
+  states.reserve(points.size());
+
+  // Phase 1 — sequential setup.  Every point is loaded/validated/created
+  // before any trial runs, so a bad point fails the sweep cleanly instead
+  // of after hours of compute.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    states.push_back(std::make_unique<PointState>());
+    const std::string err =
+        setup_point(points[i], opt, results[i], *states[i]);
+    if (!err.empty()) {
+      results[i].error = err;
+      return results;  // nothing has run; other points report !ok
+    }
+  }
+
+  // Phase 2 — flatten every missing (point, trial) into one submission.
+  // The work-stealing pool keeps all workers busy across point boundaries:
+  // a long-tail trial of point i no longer serialises the start of point
+  // i+1.
+  std::optional<Watchdog> watchdog;
+  if (opt.trial_timeout_sec > 0.0) watchdog.emplace(opt.trial_timeout_sec);
+  Watchdog* wd = watchdog ? &*watchdog : nullptr;
+  ContractCaptureGuard contract_capture;
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    PointState* st = states[i].get();
+    for (std::uint64_t t = 0; t < st->scenario.trials; ++t) {
+      if (st->have[t]) continue;
+      pool.submit([st, t, &opt, &runner, wd] {
+        run_point_trial(*st, t, opt, runner, wd);
+      });
+    }
+  }
+  pool.wait_idle();
+
+  // Phase 3 — sequential finalisation in point order.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    finalize_point(*states[i], results[i]);
+  }
+  return results;
+}
+
+std::vector<SweepResult> run_supervised_sweep_points(
+    const std::vector<SweepPoint>& points, const SupervisorOptions& opt,
+    ThreadPool& pool) {
+  return run_supervised_sweep_points(points, opt, pool,
+                                     &default_trial_runner);
+}
+
+SweepResult run_supervised_sweep(const Scenario& s_in,
+                                 const SupervisorOptions& opt,
+                                 ThreadPool& pool, const TrialRunner& runner) {
+  std::vector<SweepPoint> points(1);
+  points[0].scenario = s_in;
+  points[0].checkpoint_dir = opt.checkpoint_dir;
+  std::vector<SweepResult> results =
+      run_supervised_sweep_points(points, opt, pool, runner);
+  return std::move(results[0]);
 }
 
 SweepResult run_supervised_sweep(const Scenario& s,

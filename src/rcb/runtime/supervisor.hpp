@@ -27,8 +27,14 @@
 //     result reports interrupted=true so tools can print a
 //     "resume with --resume=<dir>" hint.
 //
-// Like run_trials, run_supervised_sweep must not be called from inside a
-// task already running on the same pool (it blocks on pool idleness).
+// Multi-point sweeps (run_supervised_sweep_points) flatten every
+// (point, trial) pair into one submission on the work-stealing pool and
+// journal through per-point asynchronous group-commit writers — see
+// docs/model.md §Concurrency architecture for the full design and the
+// determinism argument.
+//
+// Neither entry point may be called from inside a task already running on
+// the same pool (both block on pool idleness).
 #pragma once
 
 #include <cstdint>
@@ -99,6 +105,43 @@ SweepResult run_supervised_sweep(const Scenario& s,
 SweepResult run_supervised_sweep(const Scenario& s,
                                  const SupervisorOptions& opt,
                                  ThreadPool& pool = ThreadPool::global());
+
+/// One point of a multi-scenario sweep: a scenario plus its own checkpoint
+/// directory (empty disables checkpointing for that point).  Points must
+/// not share directories.
+struct SweepPoint {
+  Scenario scenario;
+  std::string checkpoint_dir;
+};
+
+/// Cross-point pipelined sweep: flattens every (point, trial) pair into one
+/// batch of work items on `pool`, so long-tail trials of point i overlap
+/// with trials of points i+1..k instead of idling the pool at each point
+/// boundary.  Per point this is semantically identical to calling
+/// run_supervised_sweep with SweepPoint::checkpoint_dir — same resume
+/// semantics, same retry/watchdog policy, and bit-identical
+/// aggregate_digest for any thread count or schedule (per-trial RNG
+/// streams derive from (seed, trial); per-point aggregates reduce in trial
+/// order).  `opt.checkpoint_dir` is ignored; the per-point directories are
+/// authoritative.
+///
+/// Durability: each checkpointing point gets an asynchronous group-commit
+/// journal (checkpoint.hpp AsyncJournalWriter); workers hand completed
+/// records to the writer thread instead of serialising on a flushed
+/// append.  A point's result is reported ok only after its journal has
+/// drained and fsynced, so a reported record is always recoverable.
+///
+/// Setup (load/validate/create) runs sequentially for every point before
+/// any trial is submitted; a setup failure aborts the whole sweep with no
+/// trials run (the failing point's result carries the error).  A journal
+/// *write* failure mid-run aborts only that point's remaining trials.
+std::vector<SweepResult> run_supervised_sweep_points(
+    const std::vector<SweepPoint>& points, const SupervisorOptions& opt,
+    ThreadPool& pool, const TrialRunner& runner);
+
+std::vector<SweepResult> run_supervised_sweep_points(
+    const std::vector<SweepPoint>& points, const SupervisorOptions& opt,
+    ThreadPool& pool = ThreadPool::global());
 
 /// FNV-1a over (trial, digest) pairs; `records` must be sorted by trial.
 std::uint64_t aggregate_digest(const std::vector<CheckpointRecord>& records);

@@ -9,6 +9,8 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "rcb/common/mathutil.hpp"
@@ -250,6 +252,106 @@ TEST_F(CheckpointTest, GarbagePrefixIsCorruptionNotTruncation) {
   write_file(journal_path(), "XXXX garbage\n" + read_file(journal_path()));
   const CheckpointLoadResult loaded = load_checkpoint(dir_);
   EXPECT_FALSE(loaded.ok);
+}
+
+TEST_F(CheckpointTest, AppendBatchBytesMatchPerRecordAppends) {
+  // Group commit must not change the on-disk format: one append_batch and
+  // n appends have to produce identical journals.
+  make_checkpoint({0, 3, 5, 1});
+  const std::string per_record = read_file(journal_path());
+
+  fs::remove_all(dir_);
+  CheckpointWriter writer;
+  ASSERT_EQ(writer.create(dir_, test_scenario()), "");
+  std::vector<CheckpointRecord> batch;
+  for (const std::uint64_t t : {0, 3, 5, 1}) batch.push_back(test_record(t));
+  ASSERT_EQ(writer.append_batch(batch), "");
+  writer.close();
+  EXPECT_EQ(read_file(journal_path()), per_record);
+}
+
+TEST_F(CheckpointTest, WriterIsMovable) {
+  CheckpointWriter a;
+  ASSERT_EQ(a.create(dir_, test_scenario()), "");
+  CheckpointWriter b = std::move(a);
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move): tested
+  ASSERT_TRUE(b.active());
+  ASSERT_EQ(b.append(test_record(0)), "");
+  b.close();
+  const CheckpointLoadResult loaded = load_checkpoint(dir_);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  ASSERT_EQ(loaded.records.size(), 1u);
+}
+
+TEST_F(CheckpointTest, AsyncJournalWriterRoundTripsConcurrentProducers) {
+  CheckpointWriter writer;
+  Scenario s = test_scenario();
+  s.trials = 64;
+  ASSERT_EQ(writer.create(dir_, s), "");
+  AsyncJournalWriter journal(std::move(writer), /*capacity=*/8);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&journal, p] {
+      for (std::uint64_t t = static_cast<std::uint64_t>(p); t < 64; t += 4) {
+        CheckpointRecord rec;
+        rec.trial = t;
+        rec.outcome = test_outcome(t);
+        ASSERT_TRUE(journal.enqueue(std::move(rec)));
+      }
+    });
+  }
+  for (auto& th : producers) th.join();
+  ASSERT_EQ(journal.finish(), "");
+  EXPECT_EQ(journal.acked_count(), 64u);
+
+  const CheckpointLoadResult loaded = load_checkpoint(dir_);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  ASSERT_EQ(loaded.records.size(), 64u);
+  std::vector<bool> seen(64, false);
+  for (const CheckpointRecord& rec : loaded.records) {
+    EXPECT_EQ(rec.outcome.digest, test_outcome(rec.trial).digest);
+    seen[rec.trial] = true;
+  }
+  for (std::size_t t = 0; t < 64; ++t) EXPECT_TRUE(seen[t]) << t;
+}
+
+TEST_F(CheckpointTest, AsyncJournalWriterAckedRecordsAreLoadable) {
+  // The group-commit ack contract: once acked_count() covers a record, the
+  // journal on disk must already parse to a prefix containing it — even
+  // before finish() — so a SIGKILL after the ack can always replay it.
+  CheckpointWriter writer;
+  Scenario s = test_scenario();
+  s.trials = 16;
+  ASSERT_EQ(writer.create(dir_, s), "");
+  AsyncJournalWriter journal(std::move(writer));
+  for (std::uint64_t t = 0; t < 16; ++t) {
+    CheckpointRecord rec;
+    rec.trial = t;
+    rec.outcome = test_outcome(t);
+    ASSERT_TRUE(journal.enqueue(std::move(rec)));
+  }
+  while (journal.acked_count() < 16) std::this_thread::yield();
+
+  const CheckpointLoadResult loaded = load_checkpoint(dir_);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_FALSE(loaded.truncated_tail);
+  EXPECT_EQ(loaded.records.size(), 16u);
+  ASSERT_EQ(journal.finish(), "");
+}
+
+TEST_F(CheckpointTest, AsyncJournalWriterSurfacesWriteErrors) {
+  // An unopened writer fails the first batch; the error must reach the
+  // finisher, and later producers must see enqueue() == false instead of
+  // silently queueing records that can never be durable.
+  AsyncJournalWriter journal{CheckpointWriter{}};
+  CheckpointRecord rec;
+  rec.trial = 0;
+  journal.enqueue(rec);  // may report true; the batch fails asynchronously
+  std::string err = journal.finish();
+  EXPECT_NE(err.find("not open"), std::string::npos) << err;
+  EXPECT_EQ(journal.acked_count(), 0u);
+  EXPECT_FALSE(journal.enqueue(rec));
 }
 
 }  // namespace

@@ -285,5 +285,126 @@ TEST_F(SupervisorTest, InvalidScenarioReportsError) {
   EXPECT_FALSE(sweep.error.empty());
 }
 
+std::vector<SweepPoint> three_points(const std::string& parent = "") {
+  std::vector<SweepPoint> points(3);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    points[i].scenario = fast_scenario(6 + 2 * i);
+    points[i].scenario.budget = 256u << i;
+    points[i].scenario.seed = 99 + i * 1000003;
+    if (!parent.empty()) {
+      points[i].checkpoint_dir = parent + "/point_" + std::to_string(i);
+    }
+  }
+  return points;
+}
+
+TEST_F(SupervisorTest, MultiPointMatchesPerPointSequential) {
+  // The pipelined scheduler must be point-for-point bit-identical to
+  // running each point through the single-point path.
+  const std::vector<SweepPoint> points = three_points();
+  const std::vector<SweepResult> pipelined =
+      run_supervised_sweep_points(points, {}, pool_);
+  ASSERT_EQ(pipelined.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(pipelined[i].ok) << pipelined[i].error;
+    const SweepResult sequential =
+        run_supervised_sweep(points[i].scenario, {}, pool_);
+    ASSERT_TRUE(sequential.ok) << sequential.error;
+    EXPECT_EQ(pipelined[i].aggregate_digest, sequential.aggregate_digest)
+        << "point " << i;
+    EXPECT_EQ(pipelined[i].records.size(), points[i].scenario.trials);
+  }
+}
+
+TEST_F(SupervisorTest, MultiPointDigestsIdenticalAcrossPoolSizes) {
+  const std::vector<SweepPoint> points = three_points();
+  ThreadPool pool1(1);
+  const std::vector<SweepResult> a =
+      run_supervised_sweep_points(points, {}, pool1);
+  const std::vector<SweepResult> b =
+      run_supervised_sweep_points(points, {}, pool_);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(a[i].ok && b[i].ok);
+    EXPECT_EQ(a[i].aggregate_digest, b[i].aggregate_digest) << "point " << i;
+  }
+}
+
+TEST_F(SupervisorTest, MultiPointInterruptResumesToSequentialReference) {
+  // Kill/resume across point boundaries: interrupt a pipelined sweep after
+  // a few trials, resume it, and require every point's digest to equal the
+  // sequential single-point reference.
+  const std::vector<SweepPoint> points = three_points(dir_);
+  std::vector<std::uint64_t> reference;
+  for (const SweepPoint& p : points) {
+    const SweepResult r = run_supervised_sweep(p.scenario, {}, pool_);
+    ASSERT_TRUE(r.ok) << r.error;
+    reference.push_back(r.aggregate_digest);
+  }
+
+  SupervisorOptions opt;
+  std::atomic<int> completed{0};
+  const TrialRunner interrupting = [&](const Scenario& sc, std::uint64_t t,
+                                       std::uint32_t) {
+    const TrialOutcome o = run_scenario_trial(sc, t);
+    if (completed.fetch_add(1) + 1 >= 5) request_sweep_shutdown();
+    return o;
+  };
+  const std::vector<SweepResult> partial =
+      run_supervised_sweep_points(points, opt, pool_, interrupting);
+  std::size_t done = 0, total = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(partial[i].ok) << partial[i].error;
+    done += partial[i].records.size();
+    total += points[i].scenario.trials;
+  }
+  ASSERT_GE(done, 5u);
+  ASSERT_LT(done, total);  // genuinely interrupted mid-sweep
+
+  reset_sweep_shutdown();
+  opt.resume = true;
+  const std::vector<SweepResult> resumed =
+      run_supervised_sweep_points(points, opt, pool_);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(resumed[i].ok) << resumed[i].error;
+    EXPECT_FALSE(resumed[i].interrupted);
+    EXPECT_EQ(resumed[i].resumed, partial[i].records.size()) << "point " << i;
+    EXPECT_EQ(resumed[i].aggregate_digest, reference[i]) << "point " << i;
+  }
+}
+
+TEST_F(SupervisorTest, MultiPointSetupFailureAbortsBeforeAnyTrialRuns) {
+  std::vector<SweepPoint> points = three_points();
+  points[1].scenario.protocol = "no_such_protocol";
+  std::atomic<int> ran{0};
+  const TrialRunner counting = [&](const Scenario& sc, std::uint64_t t,
+                                   std::uint32_t) {
+    ran.fetch_add(1);
+    return run_scenario_trial(sc, t);
+  };
+  const std::vector<SweepResult> results =
+      run_supervised_sweep_points(points, {}, pool_, counting);
+  EXPECT_EQ(ran.load(), 0);  // fail-fast: validation precedes submission
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_FALSE(results[1].error.empty());
+}
+
+TEST_F(SupervisorTest, MultiPointCheckpointedDigestsStableAcrossPoolSizes) {
+  // The full pipeline — group-commit journals included — must reduce to
+  // the same digests no matter the thread count.
+  const std::vector<SweepPoint> points = three_points(dir_);
+  ThreadPool pool1(1);
+  const std::vector<SweepResult> a =
+      run_supervised_sweep_points(points, {}, pool1);
+  fs::remove_all(dir_);
+  const std::vector<SweepResult> b =
+      run_supervised_sweep_points(points, {}, pool_);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    ASSERT_TRUE(a[i].ok) << a[i].error;
+    ASSERT_TRUE(b[i].ok) << b[i].error;
+    EXPECT_EQ(a[i].aggregate_digest, b[i].aggregate_digest) << "point " << i;
+  }
+}
+
 }  // namespace
 }  // namespace rcb

@@ -137,9 +137,13 @@ int run_tool(int argc, const char* const* argv) {
   const bool lower_is_better = metric == "wall_ms";
   Table table({"entry", "baseline", "current", "change", "verdict"});
   std::size_t compared = 0, regressions = 0, improvements = 0, skipped = 0;
+  std::vector<std::string> baseline_only, current_only;
   for (const auto& [key, base] : baseline) {
     const auto it = current.find(key);
-    if (it == current.end()) continue;
+    if (it == current.end()) {
+      baseline_only.push_back(key);
+      continue;
+    }
     const double b = metric_of(base, metric);
     const double c = metric_of(it->second, metric);
     if (b <= 0.0 || c <= 0.0) {  // metric not applicable to this entry
@@ -162,14 +166,29 @@ int run_tool(int argc, const char* const* argv) {
   }
   table.print(std::cout);
 
-  const std::size_t base_only = baseline.size() - compared - skipped;
+  for (const auto& [key, e] : current) {
+    (void)e;
+    if (baseline.find(key) == baseline.end()) current_only.push_back(key);
+  }
+  // One-sided entries are loud warnings, not silent skips: a renamed bench
+  // or a stale baseline would otherwise pass the gate with no coverage.
+  for (const std::string& key : baseline_only) {
+    std::fprintf(stderr,
+                 "warning: baseline-only entry '%s' (removed or renamed? "
+                 "refresh the baseline)\n",
+                 key.c_str());
+  }
+  for (const std::string& key : current_only) {
+    std::fprintf(stderr,
+                 "warning: current-only entry '%s' (new bench not in the "
+                 "baseline; add it on the next refresh)\n",
+                 key.c_str());
+  }
   std::printf(
       "\nmetric %s: %zu compared, %zu regressions, %zu improvements "
       "(threshold %.0f%%); %zu baseline-only, %zu current-only entries\n",
       metric.c_str(), compared, regressions, improvements, threshold * 100.0,
-      base_only, current.size() >= compared + skipped
-          ? current.size() - compared - skipped
-          : 0);
+      baseline_only.size(), current_only.size());
   if (compared == 0) {
     std::fprintf(stderr, "no comparable entries — wrong file pair?\n");
     return flags.get_bool("warn_only") ? 0 : 1;

@@ -2,9 +2,10 @@
 # Local CI: build and test the plain and the ASan+UBSan configurations,
 # then take a quick perf reading and diff it against the committed baseline.
 #
-#   tools/ci.sh            # both configs + quick bench + quick fuzz
+#   tools/ci.sh            # all configs + quick bench + quick fuzz
 #   tools/ci.sh plain      # RelWithDebInfo only (+ quick bench + quick fuzz)
 #   tools/ci.sh sanitize   # ASan+UBSan only (no bench — numbers meaningless)
+#   tools/ci.sh tsan       # ThreadSanitizer, concurrency test binaries only
 #   tools/ci.sh --full     # like "all" but with a larger fuzz sweep
 #
 # The fuzz stage first runs `rcb_fuzz --canary` (the harness self-check: a
@@ -114,6 +115,57 @@ chaos_supervisor() {
   echo "chaos: quarantined trial replays bounded; tampered record refused"
 }
 
+# Chaos: the work-stealing sweep scheduler's determinism and group-commit
+# durability, end to end through rcb_sweep.
+#  1. An 8-point heavy-tailed budget sweep must print bit-identical
+#     per-point digests for --threads=1, --threads=4, and --threads=0
+#     (affinity-mask sizing) — the schedule must not leak into results.
+#  2. SIGKILL the checkpointed sweep mid-run (after the async journals have
+#     acknowledged some records), resume with a different thread count, and
+#     require the resumed digests to equal the reference: group commit must
+#     never acknowledge a record a post-kill recovery cannot replay.
+chaos_sweep_scheduler() {
+  local sweep="$repo/build/tools/rcb_sweep"
+  local work="$repo/build/chaos-sched"
+  rm -rf "$work"; mkdir -p "$work"
+  local args=(--protocol=one_to_one --adversary=full_duel --sweep=budget
+              --values=128,256,512,1024,2048,4096,8192,16384 --trials=12
+              --seed=11 --fit=none --print_digests)
+
+  echo "--- chaos-sched: digest equality across --threads=1/4/0"
+  "$sweep" "${args[@]}" --threads=1 >"$work/t1.out"
+  "$sweep" "${args[@]}" --threads=4 >"$work/t4.out"
+  "$sweep" "${args[@]}" --threads=0 >"$work/t0.out"
+  local ref; ref=$(grep '^# digest' "$work/t1.out")
+  [[ -n "$ref" ]] || { echo "chaos-sched: no digests printed"; return 1; }
+  diff <(grep '^# digest' "$work/t4.out") <(echo "$ref") >/dev/null ||
+    { echo "chaos-sched: --threads=4 digests differ from --threads=1"; return 1; }
+  diff <(grep '^# digest' "$work/t0.out") <(echo "$ref") >/dev/null ||
+    { echo "chaos-sched: --threads=0 digests differ from --threads=1"; return 1; }
+
+  echo "--- chaos-sched: SIGKILL mid-sweep, then resume with other threads"
+  rm -rf "$work/ck"
+  "$sweep" "${args[@]}" --threads=4 --checkpoint_dir="$work/ck" \
+    >"$work/ck.out" 2>"$work/ck.err" &
+  local pid=$!
+  # Strike once the group-commit journals have flushed a few records.
+  local f bytes
+  for _ in $(seq 1 400); do
+    bytes=0
+    for f in "$work/ck"/point_*/journal.rcbj; do
+      if [[ -f "$f" ]]; then bytes=$(( bytes + $(wc -c < "$f") )); fi
+    done
+    if (( bytes > 1500 )); then break; fi
+    sleep 0.02
+  done
+  kill -KILL "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  "$sweep" "${args[@]}" --threads=2 --resume="$work/ck" >"$work/resumed.out"
+  diff <(grep '^# digest' "$work/resumed.out") <(echo "$ref") >/dev/null ||
+    { echo "chaos-sched: resumed digests differ from the reference"; return 1; }
+  echo "chaos-sched: digests bit-identical across thread counts and kill/resume"
+}
+
 # Fuzz stage: canary self-check, then a fixed-seed scenario sweep.  Oracle
 # violations land minimized in $fuzz_out and fail the stage; the rcb_fuzz
 # output names the exact files to replay.
@@ -138,6 +190,8 @@ if [[ "$what" == "all" || "$what" == "plain" ]]; then
   run_config plain "$repo/build" -DRCB_WERROR=ON
   echo "=== [plain] chaos: supervisor kill/resume ==="
   chaos_supervisor
+  echo "=== [plain] chaos: sweep scheduler determinism + group commit ==="
+  chaos_sweep_scheduler
   echo "=== [plain] fuzz: scenario oracles ==="
   fuzz_stage "$repo/build/tools/rcb_fuzz" "$repo/build/fuzz-out"
   echo "=== [plain] quick bench ==="
@@ -153,6 +207,21 @@ if [[ "$what" == "all" || "$what" == "sanitize" ]]; then
   echo "=== [sanitize] fuzz: scenario oracles ==="
   fuzz_stage "$repo/build-sanitize/tools/rcb_fuzz" \
     "$repo/build-sanitize/fuzz-out"
+fi
+
+if [[ "$what" == "all" || "$what" == "tsan" ]]; then
+  # TSan instruments only what it needs: the concurrency-bearing binaries
+  # (pool, supervisor/scheduler, async journal).  A full test run under
+  # TSan is ~10x slower for no extra thread coverage.
+  echo "=== [tsan] configure ==="
+  cmake -B "$repo/build-tsan" -S "$repo" -DRCB_TSAN=ON
+  echo "=== [tsan] build ==="
+  cmake --build "$repo/build-tsan" -j "$jobs" \
+    --target thread_pool_test supervisor_test checkpoint_test
+  echo "=== [tsan] run concurrency tests ==="
+  "$repo/build-tsan/tests/thread_pool_test"
+  "$repo/build-tsan/tests/supervisor_test"
+  "$repo/build-tsan/tests/checkpoint_test"
 fi
 
 echo "CI OK"

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -88,6 +89,8 @@ int run_tool(int argc, const char* const* argv) {
   flags.add_int("max_retries", 0,
                 "re-run a trial that dies on a contract failure or exception "
                 "up to this many times with a reseeded stream");
+  flags.add_int("threads", 0,
+                "worker threads (0 = all CPUs in the process affinity mask)");
   flags.add_string("format", "table", "table | json | csv");
   flags.add_bool("histogram", false,
                  "print an ASCII histogram of per-trial max cost");
@@ -204,12 +207,18 @@ int run_tool(int argc, const char* const* argv) {
                           sup.trial_timeout_sec > 0.0 ||
                           sup.trial_slot_budget != 0 || sup.max_retries != 0;
 
+  const auto thread_count =
+      static_cast<std::size_t>(flags.get_int("threads"));
+  std::optional<ThreadPool> own_pool;
+  if (thread_count != 0) own_pool.emplace(thread_count);
+  ThreadPool& pool = own_pool ? *own_pool : ThreadPool::global();
+
   tools::SimAggregate agg;
   if (supervised) {
     install_sweep_signal_handlers();
-    agg = tools::run_sim(cfg, sup);
+    agg = tools::run_sim(cfg, sup, pool);
   } else {
-    agg = tools::run_sim(cfg);
+    agg = tools::run_sim(cfg, pool);
     agg.scenario = cfg;
     agg.completed_trials = cfg.trials;
     agg.executed_trials = cfg.trials;

@@ -11,7 +11,9 @@
 // sweep variable and the chosen y-metric are positive) reports the fitted
 // exponent of y ~ x^alpha — the quantity the paper's theorems are about.
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -71,6 +73,13 @@ int run_tool(int argc, const char* const* argv) {
   flags.add_int("max_retries", 0,
                 "retries (reseeded) for trials dying on contract failures "
                 "or exceptions");
+  flags.add_int("threads", 0,
+                "worker threads for the sweep scheduler (0 = all CPUs in "
+                "the process affinity mask)");
+  flags.add_bool("print_digests", false,
+                 "print '# digest point_<i> <hex16>' per point (chaos "
+                 "harness: digests are bit-identical across thread counts "
+                 "and kill/resume)");
   if (!flags.parse(argc, argv)) return 1;
 
   tools::SimConfig base;
@@ -112,14 +121,16 @@ int run_tool(int argc, const char* const* argv) {
                           sup_base.max_retries != 0;
   if (supervised) install_sweep_signal_handlers();
 
-  Table table({sweep, "success", "max cost", "mean cost", "T (mean)",
-               "latency"});
-  std::vector<double> xs, ys;
-
-  std::uint64_t seed_offset = 0;
-  for (const std::string& value : values) {
+  // Build every sweep point up front: the scheduler flattens all
+  // (point, trial) pairs into one submission, so trials of point i overlap
+  // with trials of point i+1 (no per-point pool barrier).
+  std::vector<tools::SimConfig> cfgs;
+  std::vector<double> point_x;
+  cfgs.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::string& value = values[i];
     tools::SimConfig cfg = base;
-    cfg.seed = base.seed + (seed_offset++) * 1000003;
+    cfg.seed = base.seed + static_cast<std::uint64_t>(i) * 1000003;
     char* end = nullptr;
     const double x = std::strtod(value.c_str(), &end);
     if (end == value.c_str() || *end != '\0') {
@@ -142,31 +153,54 @@ int run_tool(int argc, const char* const* argv) {
       std::fprintf(stderr, "unknown sweep flag '%s'\n", sweep.c_str());
       return 1;
     }
+    cfgs.push_back(cfg);
+    point_x.push_back(x);
+  }
 
-    tools::SimAggregate agg;
-    if (supervised) {
-      SupervisorOptions sup = sup_base;
-      if (!sup.checkpoint_dir.empty()) {
-        sup.checkpoint_dir += "/point_" + std::to_string(seed_offset - 1);
-      }
-      agg = tools::run_sim(cfg, sup);
-      if (agg.valid && agg.interrupted) {
-        std::fprintf(stderr,
-                     "interrupted at sweep point %llu (%zu/%zu trials "
-                     "journaled); resume with --resume=%s\n",
-                     static_cast<unsigned long long>(seed_offset - 1),
-                     agg.completed_trials, agg.scenario.trials,
-                     sup_base.checkpoint_dir.c_str());
-        return 130;
-      }
-    } else {
-      agg = tools::run_sim(cfg);
-    }
-    if (!agg.valid) {
+  const auto thread_count =
+      static_cast<std::size_t>(flags.get_int("threads"));
+  std::optional<ThreadPool> own_pool;
+  if (thread_count != 0) own_pool.emplace(thread_count);
+  ThreadPool& pool = own_pool ? *own_pool : ThreadPool::global();
+
+  const std::vector<tools::SimAggregate> aggs =
+      tools::run_sweep_points(cfgs, sup_base, sup_base.checkpoint_dir, pool);
+
+  // A setup failure aborts the sweep before any trial runs; the failing
+  // point carries the error (earlier points report !valid with no error).
+  for (const tools::SimAggregate& agg : aggs) {
+    if (!agg.valid && !agg.error.empty()) {
       std::fprintf(stderr, "%s\n", agg.error.c_str());
       return 1;
     }
-    table.add_row({value, Table::num(agg.success_rate, 4),
+  }
+
+  Table table({sweep, "success", "max cost", "mean cost", "T (mean)",
+               "latency"});
+  std::vector<double> xs, ys;
+
+  for (std::size_t i = 0; i < aggs.size(); ++i) {
+    const tools::SimAggregate& agg = aggs[i];
+    if (agg.interrupted) {
+      // With pipelining, points after the first incomplete one may also be
+      // partial; everything journaled so far is durable and resumable.
+      std::fprintf(stderr,
+                   "interrupted at sweep point %zu (%zu/%zu trials "
+                   "journaled); resume with --resume=%s\n",
+                   i, agg.completed_trials, agg.scenario.trials,
+                   sup_base.checkpoint_dir.c_str());
+      return 130;
+    }
+    if (!supervised && (agg.timed_out_rate > 0.0 || agg.failed_rate > 0.0)) {
+      // Without checkpointing/retries the user asked for raw trials; a
+      // quarantined trial would silently skew the aggregate, so fail loudly
+      // (the RCB_REPRO record is already on stderr).
+      std::fprintf(stderr,
+                   "sweep point %zu: trials failed (see RCB_REPRO above)\n",
+                   i);
+      return 1;
+    }
+    table.add_row({values[i], Table::num(agg.success_rate, 4),
                    Table::num(agg.max_cost.mean),
                    Table::num(agg.mean_cost.mean),
                    Table::num(agg.adversary_cost.mean),
@@ -180,10 +214,18 @@ int run_tool(int argc, const char* const* argv) {
     }
     // Fit against realised T when sweeping the budget (the theorems are
     // about T, and a budget may not be fully spent).
-    const double fit_x = sweep == "budget" ? agg.adversary_cost.mean : x;
+    const double fit_x =
+        sweep == "budget" ? agg.adversary_cost.mean : point_x[i];
     if (fit_x > 0.0 && y > 0.0) {
       xs.push_back(fit_x);
       ys.push_back(y);
+    }
+  }
+
+  if (flags.get_bool("print_digests")) {
+    for (std::size_t i = 0; i < aggs.size(); ++i) {
+      std::printf("# digest point_%zu %016llx\n", i,
+                  static_cast<unsigned long long>(aggs[i].aggregate_digest));
     }
   }
 

@@ -50,14 +50,15 @@ struct SimAggregate {
 
 /// Runs the configured Monte-Carlo experiment.  On an invalid
 /// protocol/adversary combination, returns valid = false with an error.
-inline SimAggregate run_sim(const SimConfig& cfg) {
+inline SimAggregate run_sim(const SimConfig& cfg,
+                            ThreadPool& pool = ThreadPool::global()) {
   SimAggregate agg;
   agg.error = validate_scenario(cfg);
   if (!agg.error.empty()) return agg;
 
   const auto outcomes = run_trials<TrialOutcome>(
       cfg.trials, cfg.seed,
-      [&](std::size_t t, Rng&) { return run_scenario_trial(cfg, t); });
+      [&](std::size_t t, Rng&) { return run_scenario_trial(cfg, t); }, pool);
 
   std::vector<double> mean_v, adv_v, lat_v;
   std::size_t successes = 0, aborts = 0;
@@ -85,17 +86,11 @@ inline SimAggregate run_sim(const SimConfig& cfg) {
   return agg;
 }
 
-/// Supervised variant: runs the experiment through the crash-safe sweep
-/// supervisor (runtime/supervisor.hpp) — checkpoint/resume, per-trial
-/// watchdogs, graceful shutdown.  On interruption the aggregate covers the
-/// completed prefix (rates are over completed trials) and interrupted is
-/// set so the tool can print a resume hint and exit 130.  Quarantined
-/// ("timed_out") and failed trials contribute their synthetic outcomes, so
-/// the aggregate digest stays comparable across resumed runs.
-inline SimAggregate run_sim(const SimConfig& cfg,
-                            const SupervisorOptions& sup) {
+/// Reduces a finished SweepResult into the tool-facing aggregate.
+/// Quarantined ("timed_out") and failed trials contribute their synthetic
+/// outcomes, so the aggregate digest stays comparable across resumed runs.
+inline SimAggregate aggregate_from_sweep(const SweepResult& sweep) {
   SimAggregate agg;
-  const SweepResult sweep = run_supervised_sweep(cfg, sup);
   if (!sweep.ok) {
     agg.error = sweep.error;
     return agg;
@@ -138,6 +133,45 @@ inline SimAggregate run_sim(const SimConfig& cfg,
   agg.scenario = sweep.scenario;
   agg.valid = true;
   return agg;
+}
+
+/// Supervised variant: runs the experiment through the crash-safe sweep
+/// supervisor (runtime/supervisor.hpp) — checkpoint/resume, per-trial
+/// watchdogs, graceful shutdown.  On interruption the aggregate covers the
+/// completed prefix (rates are over completed trials) and interrupted is
+/// set so the tool can print a resume hint and exit 130.
+inline SimAggregate run_sim(const SimConfig& cfg, const SupervisorOptions& sup,
+                            ThreadPool& pool = ThreadPool::global()) {
+  return aggregate_from_sweep(run_supervised_sweep(cfg, sup, pool));
+}
+
+/// Cross-point pipelined sweep over `cfgs`: every (point, trial) pair is
+/// one work item on the pool, so long-tail trials of one point overlap
+/// with trials of the next (runtime/supervisor.hpp,
+/// run_supervised_sweep_points).  When `checkpoint_parent` is non-empty,
+/// point i journals under "<checkpoint_parent>/point_<i>" — the same
+/// layout the sequential per-point loop used, so old checkpoints resume
+/// under the new scheduler.  `sup.checkpoint_dir` is ignored.
+inline std::vector<SimAggregate> run_sweep_points(
+    const std::vector<SimConfig>& cfgs, const SupervisorOptions& sup,
+    const std::string& checkpoint_parent,
+    ThreadPool& pool = ThreadPool::global()) {
+  std::vector<SweepPoint> points(cfgs.size());
+  for (std::size_t i = 0; i < cfgs.size(); ++i) {
+    points[i].scenario = cfgs[i];
+    if (!checkpoint_parent.empty()) {
+      points[i].checkpoint_dir =
+          checkpoint_parent + "/point_" + std::to_string(i);
+    }
+  }
+  const std::vector<SweepResult> sweeps =
+      run_supervised_sweep_points(points, sup, pool);
+  std::vector<SimAggregate> aggs;
+  aggs.reserve(sweeps.size());
+  for (const SweepResult& sweep : sweeps) {
+    aggs.push_back(aggregate_from_sweep(sweep));
+  }
+  return aggs;
 }
 
 }  // namespace rcb::tools
