@@ -21,6 +21,7 @@
 #include "bench_util.hpp"
 #include "rcb/cli/flags.hpp"
 #include "rcb/rng/rng.hpp"
+#include "rcb/runtime/shard.hpp"
 #include "rcb/runtime/supervisor.hpp"
 #include "rcb/sim/repetition_engine.hpp"
 #include "rcb/sim/slot_engine.hpp"
@@ -380,6 +381,68 @@ void run_bench(bool full, const std::string& out_path, std::uint64_t seed) {
         per_record.wall_ms, group.wall_ms,
         static_cast<unsigned long long>(n_records),
         per_record.wall_ms / group.wall_ms);
+  }
+
+  // Shard-journal merge: folding S complete shard journals back into the
+  // canonical per-point result is the serial tail of every multi-process
+  // sweep, so it must stay cheap relative to the trials it summarises.
+  // Setup (spec + journals on disk) happens once; only the merge is timed.
+  {
+    const std::uint64_t n_trials = full ? 16384 : 4096;
+    const std::size_t n_shards = 8;
+    Scenario s;
+    s.protocol = "one_to_one";
+    s.adversary = "full_duel";
+    s.budget = 256;
+    s.trials = n_trials;
+    s.seed = seed;
+    const std::string root =
+        (std::filesystem::temp_directory_path() / "rcb_bench_m2_shards")
+            .string();
+    std::filesystem::remove_all(root);
+    ShardSpec spec;
+    spec.points = {s};
+    spec.shards = make_shard_plan({n_trials}, n_shards);
+    bool setup_ok = write_shard_spec(root, spec).empty();
+    for (std::size_t i = 0; setup_ok && i < spec.shards.size(); ++i) {
+      CheckpointWriter w;
+      setup_ok = w.create(shard_dir(root, i), s).empty();
+      std::vector<CheckpointRecord> batch;
+      for (std::uint64_t t = spec.shards[i].begin;
+           setup_ok && t < spec.shards[i].end; ++t) {
+        CheckpointRecord rec;
+        rec.trial = t;
+        batch.push_back(rec);
+      }
+      setup_ok = setup_ok && w.append_batch(batch).empty();
+      w.sync();
+      w.close();
+    }
+    const Measurement m = measure(
+        [&](int) {
+          if (!setup_ok) return std::uint64_t{0};
+          const ShardMergeResult r = merge_shard_journals(root, spec);
+          return r.ok ? static_cast<std::uint64_t>(r.points[0].records.size())
+                      : std::uint64_t{0};
+        },
+        0.3, 8, 0);
+    bench::BenchEntry e;
+    e.name = "m2/shard/merge";
+    e.config = {{"shards", static_cast<double>(spec.shards.size())},
+                {"trials", static_cast<double>(n_trials)}};
+    e.wall_ms = m.wall_ms;
+    e.events_per_sec = m.events_per_sec;  // merged trial records per second
+    report.add(std::move(e));
+    table.add_row({"shard", "merge", Table::num(spec.shards.size()),
+                   Table::num(n_trials), Table::num(m.reps),
+                   Table::num(m.wall_ms, 3), Table::num(0),
+                   Table::num(m.events_per_sec)});
+    std::filesystem::remove_all(root);
+    std::printf(
+        "shard merge: %.3f ms to fold %zu shard journals / %llu records "
+        "(%.0f records/sec)\n",
+        m.wall_ms, spec.shards.size(),
+        static_cast<unsigned long long>(n_trials), m.events_per_sec);
   }
 
   table.print(std::cout);

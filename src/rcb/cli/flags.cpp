@@ -24,13 +24,17 @@ void FlagSet::add_string(const std::string& name, std::string default_value,
 }
 
 void FlagSet::add_int(const std::string& name, std::int64_t default_value,
-                      std::string help) {
+                      std::string help, std::int64_t min_value,
+                      std::int64_t max_value) {
   RCB_REQUIRE(!flags_.count(name));
+  RCB_REQUIRE(min_value <= default_value && default_value <= max_value);
   Flag f;
   f.type = Type::kInt;
   f.help = std::move(help);
   f.default_repr = std::to_string(default_value);
   f.int_value = default_value;
+  f.int_min = min_value;
+  f.int_max = max_value;
   flags_.emplace(name, std::move(f));
   order_.push_back(name);
 }
@@ -79,6 +83,18 @@ bool FlagSet::set_value(const std::string& name, const std::string& value) {
       if (errno != 0 || end == value.c_str() || *end != '\0') {
         std::fprintf(stderr, "--%s expects an integer, got '%s'\n",
                      name.c_str(), value.c_str());
+        return false;
+      }
+      if (v < f.int_min || v > f.int_max) {
+        if (f.int_max == INT64_MAX) {
+          std::fprintf(stderr, "--%s must be >= %lld, got '%s'\n",
+                       name.c_str(), static_cast<long long>(f.int_min),
+                       value.c_str());
+        } else {
+          std::fprintf(stderr, "--%s must be in [%lld, %lld], got '%s'\n",
+                       name.c_str(), static_cast<long long>(f.int_min),
+                       static_cast<long long>(f.int_max), value.c_str());
+        }
         return false;
       }
       f.int_value = v;

@@ -18,8 +18,13 @@ class FlagSet {
 
   void add_string(const std::string& name, std::string default_value,
                   std::string help);
+  /// `min_value`/`max_value` bound accepted inputs (inclusive); an
+  /// out-of-range value is rejected at parse time with a one-line error
+  /// naming the bound, so e.g. --threads=-4 fails loudly instead of
+  /// wrapping through an unsigned cast deep inside the tool.
   void add_int(const std::string& name, std::int64_t default_value,
-               std::string help);
+               std::string help, std::int64_t min_value = INT64_MIN,
+               std::int64_t max_value = INT64_MAX);
   void add_double(const std::string& name, double default_value,
                   std::string help);
   void add_bool(const std::string& name, bool default_value, std::string help);
@@ -50,6 +55,8 @@ class FlagSet {
     std::string default_repr;
     std::string string_value;
     std::int64_t int_value = 0;
+    std::int64_t int_min = INT64_MIN;
+    std::int64_t int_max = INT64_MAX;
     double double_value = 0.0;
     bool bool_value = false;
   };

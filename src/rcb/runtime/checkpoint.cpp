@@ -26,6 +26,19 @@ constexpr std::string_view kFramePrefix = "RCBJ ";
 
 std::string errno_string() { return std::strerror(errno); }
 
+std::mutex g_write_fault_mutex;
+WriteFaultHook g_write_fault;
+
+/// Returns the injected errno for a write of `bytes` (0 = no fault).
+int injected_write_errno(std::size_t bytes) {
+  WriteFaultHook hook;
+  {
+    std::lock_guard<std::mutex> lock(g_write_fault_mutex);
+    hook = g_write_fault;
+  }
+  return hook ? hook(bytes) : 0;
+}
+
 bool read_file(const std::string& path, std::string& out) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return false;
@@ -188,6 +201,39 @@ std::string_view scenario_slice(std::string_view manifest) {
 }
 
 }  // namespace
+
+void set_checkpoint_write_fault(WriteFaultHook hook) {
+  std::lock_guard<std::mutex> lock(g_write_fault_mutex);
+  g_write_fault = std::move(hook);
+}
+
+std::string write_file_atomic(const std::string& path,
+                              std::string_view content) {
+  const std::string tmp_path = path + ".tmp";
+  if (const int err = injected_write_errno(content.size()); err != 0) {
+    return "cannot write '" + tmp_path + "': " + std::strerror(err);
+  }
+  {
+    std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+    if (f == nullptr) {
+      return "cannot open '" + tmp_path + "': " + errno_string();
+    }
+    const bool wrote =
+        std::fwrite(content.data(), 1, content.size(), f) == content.size() &&
+        sync_stream(f);
+    std::fclose(f);
+    if (!wrote) return "cannot write '" + tmp_path + "': " + errno_string();
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return "cannot rename '" + tmp_path + "' into place: " + errno_string();
+  }
+  const std::string parent =
+      std::filesystem::path(path).parent_path().string();
+  if (!parent.empty() && !sync_directory(parent)) {
+    return "cannot fsync directory '" + parent + "': " + errno_string();
+  }
+  return "";
+}
 
 CheckpointLoadResult load_checkpoint(const std::string& dir) {
   CheckpointLoadResult r;
@@ -409,25 +455,9 @@ std::string CheckpointWriter::create(const std::string& dir,
   // Manifest: temp file + fsync + rename, so a crash leaves either the old
   // manifest or the new one, never a torn write.
   const std::string final_path = dir + "/" + kCheckpointManifestFile;
-  const std::string tmp_path = final_path + ".tmp";
-  {
-    std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
-    if (f == nullptr) {
-      return "cannot open '" + tmp_path + "': " + errno_string();
-    }
-    const std::string manifest = manifest_json(s);
-    const bool wrote =
-        std::fwrite(manifest.data(), 1, manifest.size(), f) ==
-            manifest.size() &&
-        sync_stream(f);
-    std::fclose(f);
-    if (!wrote) return "cannot write '" + tmp_path + "': " + errno_string();
-  }
-  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
-    return "cannot rename manifest into place: " + errno_string();
-  }
-  if (!sync_directory(dir)) {
-    return "cannot fsync checkpoint dir '" + dir + "': " + errno_string();
+  if (const std::string err = write_file_atomic(final_path, manifest_json(s));
+      !err.empty()) {
+    return err;
   }
 
   dir_ = dir;
@@ -446,9 +476,15 @@ std::string CheckpointWriter::open_for_append(const std::string& dir,
   close();
   dir_ = dir;
   scenario_digest_ = digest;
+  // A crash between the manifest temp-write and its rename leaves a stale
+  // "manifest.json.tmp" next to the (old or absent) manifest.  It carries
+  // no information the real manifest lacks, and left alone it would linger
+  // forever, so recovery removes it here.
+  std::error_code ec;
+  std::filesystem::remove(
+      dir + "/" + kCheckpointManifestFile + std::string(".tmp"), ec);
   const std::string journal_path = dir + "/" + kCheckpointJournalFile;
   // Drop any partial tail frame before appending: resize, then append.
-  std::error_code ec;
   if (std::filesystem::exists(journal_path, ec)) {
     std::filesystem::resize_file(journal_path, valid_bytes, ec);
     if (ec) {
@@ -467,6 +503,9 @@ std::string CheckpointWriter::append(const CheckpointRecord& rec) {
   if (file_ == nullptr) return "checkpoint writer is not open";
   std::string frame;
   append_frame(frame, rec, scenario_digest_);
+  if (const int err = injected_write_errno(frame.size()); err != 0) {
+    return "journal append failed: " + std::string(std::strerror(err));
+  }
   if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
       std::fflush(file_) != 0) {
     return "journal append failed: " + errno_string();
@@ -481,6 +520,9 @@ std::string CheckpointWriter::append_batch(
   std::string frames;
   for (const CheckpointRecord& rec : recs) {
     append_frame(frames, rec, scenario_digest_);
+  }
+  if (const int err = injected_write_errno(frames.size()); err != 0) {
+    return "journal append failed: " + std::string(std::strerror(err));
   }
   if (std::fwrite(frames.data(), 1, frames.size(), file_) != frames.size() ||
       std::fflush(file_) != 0) {

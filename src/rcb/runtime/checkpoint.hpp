@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -41,6 +42,24 @@
 #include "rcb/runtime/scenario.hpp"
 
 namespace rcb {
+
+/// Writes `content` to `path` atomically: temp file in the same directory,
+/// fsync, rename over the final name, fsync the directory.  A crash leaves
+/// either the old file or the new one, never a torn write (a crash between
+/// the temp write and the rename can leave a stale "<path>.tmp", which the
+/// checkpoint recovery path removes).  Returns "" or an error description.
+std::string write_file_atomic(const std::string& path,
+                              std::string_view content);
+
+/// Test-only fault injection for journal/manifest writes.  When set, the
+/// hook is consulted before every CheckpointWriter write with the byte
+/// count about to be written; returning a nonzero errno (e.g. ENOSPC)
+/// fails that write exactly as the OS would — the bytes are not written
+/// and the writer reports the errno's message.  Thread-safe; pass nullptr
+/// to disarm.  Lets tests prove that a full disk taints the sweep instead
+/// of silently dropping records.
+using WriteFaultHook = std::function<int(std::size_t bytes)>;
+void set_checkpoint_write_fault(WriteFaultHook hook);
 
 /// One journaled trial: the outcome plus how the supervisor got it.
 struct CheckpointRecord {

@@ -1,0 +1,121 @@
+// Multi-process sweep coordinator: fork/exec workers over a shard plan,
+// watch them with heartbeat leases, and reassign the shards of crashed or
+// wedged workers.
+//
+// Process model
+//
+//   coordinator (rcb_sweep --workers=N)
+//     ├─ writes <root>/sweep.json (runtime/shard.hpp) once, atomically
+//     ├─ fork/execs up to N workers: the *same binary* re-entered via the
+//     │  internal --shard_worker flag, each running the existing
+//     │  supervised sweep over its shard's trial range into
+//     │  <root>/shard_<i>/
+//     ├─ watches workers: pipe liveness (a pipe write end inherited across
+//     │  exec reads EOF the instant the worker dies, even if waitpid lags)
+//     │  + a lease file per shard that the worker's heartbeat thread
+//     │  rewrites every ~100ms (mtime refresh); a lease older than
+//     │  lease_timeout_sec means the worker is wedged (alive but not
+//     │  making progress) and gets SIGKILLed
+//     ├─ reassigns the shard of any dead worker with bounded retry +
+//     │  exponential backoff; the journal the dead worker left behind is
+//     │  resumed, not discarded, so a kill costs at most the un-journaled
+//     │  suffix of one shard
+//     └─ merges shard journals into per-point results whose
+//        aggregate_digest is bit-identical to a single-process run
+//
+// Failure matrix (pinned by tests/coordinator_test.cpp and the ci.sh
+// chaos_multiproc stage):
+//
+//   worker SIGKILL      shard rescanned, partial journal resumed by the
+//                       replacement worker; digest unchanged
+//   worker hang/wedge   lease goes stale, coordinator SIGKILLs and
+//                       reassigns; digest unchanged
+//   worker always dies  bounded retries exhaust, the sweep fails loudly
+//                       (never spins forever, never reports partial data)
+//   coordinator SIGKILL workers die with it (PR_SET_PDEATHSIG); re-running
+//                       with resume=true re-adopts completed shard
+//                       journals, resumes partial ones, refuses corrupt
+//                       ones (PR 3 taxonomy); digest unchanged
+//   SIGINT/SIGTERM      graceful: workers get SIGTERM, drain their
+//                       journals, and the result reports interrupted so
+//                       tools print a resume hint
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rcb/runtime/shard.hpp"
+
+namespace rcb {
+
+struct CoordinatorOptions {
+  /// Sweep root: holds sweep.json and the shard_<i>/ checkpoint dirs.
+  std::string root;
+  /// Max concurrent worker processes (>= 1).
+  std::size_t workers = 1;
+  /// Re-adopt an existing <root>/sweep.json and the shard journals under
+  /// it; the on-disk spec is then authoritative (like the manifest on
+  /// single-process resume).  When false, stale shard state under root is
+  /// removed and the sweep starts fresh.
+  bool resume = false;
+  /// A worker whose lease file is older than this is considered wedged and
+  /// is SIGKILLed + reassigned (0 disables the lease watchdog; pipe/waitpid
+  /// still catch plain crashes).
+  double lease_timeout_sec = 10.0;
+  /// Reassignment budget per shard: a shard whose worker dies more than
+  /// this many times fails the sweep.  Generous by default so a chaos
+  /// harness killing random workers in a loop converges anyway.
+  std::uint32_t max_shard_retries = 25;
+  /// First retry of a shard waits this long, doubling per subsequent
+  /// retry (decorrelates a crashing shard from a struggling machine).
+  double backoff_base_sec = 0.05;
+  /// Builds the argv for the worker process of shard `shard_id`; argv[0]
+  /// is the executable path.  Defaults (when unset) to re-entering the
+  /// current executable: {/proc/self/exe, --shard_worker=<root>,
+  /// --shard_id=<i>}.  Tests substitute crashing or wedging workers here.
+  std::function<std::vector<std::string>(std::size_t shard_id)> worker_argv;
+  /// Test hook, called with (shard_id, pid) after each successful spawn —
+  /// the chaos tests SIGKILL/SIGSTOP workers from it.
+  std::function<void(std::size_t shard_id, pid_t pid)> on_worker_spawn;
+  /// Test hook: abort the coordinator (as if SIGKILLed, workers killed too)
+  /// once this many shards have completed.  0 = off.
+  std::size_t simulate_crash_after_shards = 0;
+};
+
+struct CoordinatorResult {
+  bool ok = false;
+  std::string error;
+  /// Graceful shutdown (SIGINT/SIGTERM) stopped the sweep before every
+  /// shard finished; re-run with resume=true to continue.
+  bool interrupted = false;
+  std::size_t shards_completed = 0;
+  std::size_t worker_restarts = 0;  ///< reassignments across all shards
+  /// One merged result per spec point (empty unless ok).
+  std::vector<SweepResult> points;
+};
+
+/// Runs `spec` under `opt` to completion (or failure/interruption).  On a
+/// fresh run the spec is written to opt.root; on resume the on-disk spec
+/// wins and `spec` is ignored.  Blocks until every shard is merged, the
+/// retry budget is exhausted, or shutdown is requested.  Not reentrant;
+/// one coordinator per process.
+CoordinatorResult run_shard_coordinator(const ShardSpec& spec,
+                                        const CoordinatorOptions& opt);
+
+/// Worker-mode entry point (the target of --shard_worker): runs shard
+/// `shard_id` of the spec at `root` into its shard dir, heartbeating the
+/// lease file, resuming any journal left by a predecessor.  Returns a
+/// process exit code: 0 complete, 130 interrupted by signal, 2 bad
+/// spec/arguments, 1 any other failure.
+int run_shard_worker(const std::string& root, std::size_t shard_id,
+                     const TrialRunner& runner);
+int run_shard_worker(const std::string& root, std::size_t shard_id);
+
+/// Name of the lease file inside a shard dir (exposed for tests).
+extern const char kShardLeaseFile[];
+
+}  // namespace rcb

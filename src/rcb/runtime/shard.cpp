@@ -1,0 +1,377 @@
+#include "rcb/runtime/shard.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "rcb/cli/json.hpp"
+#include "rcb/cli/json_parse.hpp"
+#include "rcb/common/contracts.hpp"
+
+namespace rcb {
+namespace {
+
+std::string read_text_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "cannot open " + path;
+  out.clear();
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) return "read error on " + path;
+  return "";
+}
+
+/// Fetches a required non-negative integer member of the spec object.
+std::string get_u64(const JsonValue& obj, const char* key,
+                    std::uint64_t& out) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || !v->is_number()) {
+    return std::string("shard spec: missing numeric \"") + key + "\"";
+  }
+  const double d = v->as_number();
+  if (d < 0 || d != static_cast<double>(static_cast<std::uint64_t>(d))) {
+    return std::string("shard spec: \"") + key +
+           "\" must be a non-negative integer";
+  }
+  out = static_cast<std::uint64_t>(d);
+  return "";
+}
+
+}  // namespace
+
+std::vector<ShardAssignment> make_shard_plan(
+    const std::vector<std::uint64_t>& trials_per_point,
+    std::size_t target_shards) {
+  if (target_shards == 0) target_shards = 1;
+  std::uint64_t total = 0;
+  for (const std::uint64_t t : trials_per_point) total += t;
+  const std::uint64_t chunk =
+      std::max<std::uint64_t>(1, (total + target_shards - 1) / target_shards);
+
+  std::vector<ShardAssignment> plan;
+  for (std::size_t p = 0; p < trials_per_point.size(); ++p) {
+    const std::uint64_t trials = trials_per_point[p];
+    if (trials == 0) {
+      // Degenerate point: one empty shard so the point still gets a
+      // checkpoint dir and the merge sees it as trivially complete.
+      plan.push_back({p, 0, 0});
+      continue;
+    }
+    for (std::uint64_t b = 0; b < trials; b += chunk) {
+      plan.push_back({p, b, std::min(trials, b + chunk)});
+    }
+  }
+  return plan;
+}
+
+std::string validate_shard_spec(const ShardSpec& spec) {
+  if (spec.points.empty()) return "shard spec has no points";
+  if (spec.shards.empty()) return "shard spec has no shards";
+  for (std::size_t p = 0; p < spec.points.size(); ++p) {
+    if (const std::string err = validate_scenario(spec.points[p]);
+        !err.empty()) {
+      return "shard spec point " + std::to_string(p) + ": " + err;
+    }
+  }
+  // Each point's shards must exactly tile [0, trials): a gap would merge an
+  // incomplete sweep, an overlap would double-count trials.
+  std::vector<std::vector<ShardAssignment>> by_point(spec.points.size());
+  for (std::size_t i = 0; i < spec.shards.size(); ++i) {
+    const ShardAssignment& a = spec.shards[i];
+    if (a.point >= spec.points.size()) {
+      return "shard " + std::to_string(i) + " references unknown point " +
+             std::to_string(a.point);
+    }
+    const std::uint64_t trials = spec.points[a.point].trials;
+    if (a.begin > a.end || a.end > trials) {
+      return "shard " + std::to_string(i) + " range [" +
+             std::to_string(a.begin) + ", " + std::to_string(a.end) +
+             ") exceeds point " + std::to_string(a.point) + "'s " +
+             std::to_string(trials) + " trials";
+    }
+    by_point[a.point].push_back(a);
+  }
+  for (std::size_t p = 0; p < by_point.size(); ++p) {
+    std::vector<ShardAssignment>& shards = by_point[p];
+    std::sort(shards.begin(), shards.end(),
+              [](const ShardAssignment& a, const ShardAssignment& b) {
+                return a.begin < b.begin;
+              });
+    std::uint64_t expect = 0;
+    for (const ShardAssignment& a : shards) {
+      if (a.begin != expect) {
+        return "point " + std::to_string(p) + " shards do not tile [0, " +
+               std::to_string(spec.points[p].trials) + "): " +
+               (a.begin > expect ? "gap" : "overlap") + " at trial " +
+               std::to_string(std::min(a.begin, expect));
+      }
+      expect = a.end;
+    }
+    if (expect != spec.points[p].trials) {
+      return "point " + std::to_string(p) + " shards cover only " +
+             std::to_string(expect) + " of " +
+             std::to_string(spec.points[p].trials) + " trials";
+    }
+  }
+  return "";
+}
+
+std::string shard_dir(const std::string& root, std::size_t shard_id) {
+  return root + "/shard_" + std::to_string(shard_id);
+}
+
+std::string shard_spec_path(const std::string& root) {
+  return root + "/sweep.json";
+}
+
+std::string write_shard_spec(const std::string& root, const ShardSpec& spec) {
+  if (const std::string err = validate_shard_spec(spec); !err.empty()) {
+    return err;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(root, ec);
+  if (ec) return "cannot create " + root + ": " + ec.message();
+
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("rcb_shard_sweep").value(std::int64_t{1});
+  w.key("worker_threads").value(static_cast<std::int64_t>(spec.worker_threads));
+  w.key("trial_timeout_sec").value(spec.trial_timeout_sec);
+  w.key("trial_slot_budget")
+      .value(static_cast<std::uint64_t>(spec.trial_slot_budget));
+  w.key("max_retries").value(static_cast<std::uint64_t>(spec.max_retries));
+  // Scenarios travel as JSON *strings* (the canonical scenario codec output,
+  // escaped by the writer), so the spec reuses the codec that the manifest
+  // digests are keyed on instead of inventing a second scenario schema.
+  w.key("points").begin_array();
+  for (const Scenario& s : spec.points) w.value(scenario_to_json(s));
+  w.end_array();
+  w.key("shards").begin_array();
+  for (const ShardAssignment& a : spec.shards) {
+    w.begin_object();
+    w.key("point").value(static_cast<std::uint64_t>(a.point));
+    w.key("begin").value(a.begin);
+    w.key("end").value(a.end);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return write_file_atomic(shard_spec_path(root), os.str());
+}
+
+ShardSpecLoadResult load_shard_spec(const std::string& root) {
+  ShardSpecLoadResult out;
+  const std::string path = shard_spec_path(root);
+  std::string text;
+  if (const std::string err = read_text_file(path, text); !err.empty()) {
+    out.error = err;
+    return out;
+  }
+  const JsonParseResult parsed = json_parse(text);
+  if (!parsed.ok) {
+    out.error = path + ": " + parsed.error;
+    return out;
+  }
+  const JsonValue& doc = parsed.value;
+  std::uint64_t version = 0;
+  if (const std::string err = get_u64(doc, "rcb_shard_sweep", version);
+      !err.empty()) {
+    out.error = err;
+    return out;
+  }
+  if (version != 1) {
+    out.error = "shard spec: unsupported version " + std::to_string(version);
+    return out;
+  }
+
+  std::uint64_t threads = 0, slot_budget = 0, retries = 0;
+  std::string err;
+  if ((err = get_u64(doc, "worker_threads", threads)).empty() &&
+      (err = get_u64(doc, "trial_slot_budget", slot_budget)).empty()) {
+    err = get_u64(doc, "max_retries", retries);
+  }
+  if (!err.empty()) {
+    out.error = err;
+    return out;
+  }
+  out.spec.worker_threads = static_cast<int>(threads);
+  out.spec.trial_slot_budget = static_cast<SlotCount>(slot_budget);
+  out.spec.max_retries = static_cast<std::uint32_t>(retries);
+  const JsonValue* timeout = doc.find("trial_timeout_sec");
+  if (timeout == nullptr || !timeout->is_number() ||
+      timeout->as_number() < 0) {
+    out.error = "shard spec: missing numeric \"trial_timeout_sec\"";
+    return out;
+  }
+  out.spec.trial_timeout_sec = timeout->as_number();
+
+  const JsonValue* points = doc.find("points");
+  if (points == nullptr || !points->is_array()) {
+    out.error = "shard spec: missing \"points\" array";
+    return out;
+  }
+  for (const JsonValue& p : points->as_array()) {
+    if (!p.is_string()) {
+      out.error = "shard spec: points must be scenario JSON strings";
+      return out;
+    }
+    const ScenarioParseResult sp = scenario_from_json(p.as_string());
+    if (!sp.ok) {
+      out.error = "shard spec point " +
+                  std::to_string(out.spec.points.size()) + ": " + sp.error;
+      return out;
+    }
+    out.spec.points.push_back(sp.scenario);
+  }
+
+  const JsonValue* shards = doc.find("shards");
+  if (shards == nullptr || !shards->is_array()) {
+    out.error = "shard spec: missing \"shards\" array";
+    return out;
+  }
+  for (const JsonValue& sh : shards->as_array()) {
+    if (!sh.is_object()) {
+      out.error = "shard spec: shards must be objects";
+      return out;
+    }
+    ShardAssignment a;
+    std::uint64_t point = 0;
+    if ((err = get_u64(sh, "point", point)).empty() &&
+        (err = get_u64(sh, "begin", a.begin)).empty()) {
+      err = get_u64(sh, "end", a.end);
+    }
+    if (!err.empty()) {
+      out.error = err;
+      return out;
+    }
+    a.point = static_cast<std::size_t>(point);
+    out.spec.shards.push_back(a);
+  }
+
+  if (const std::string invalid = validate_shard_spec(out.spec);
+      !invalid.empty()) {
+    out.error = invalid;
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+ShardScan scan_shard(const std::string& root, const ShardSpec& spec,
+                     std::size_t shard_id) {
+  RCB_REQUIRE(shard_id < spec.shards.size());
+  const ShardAssignment& a = spec.shards[shard_id];
+  ShardScan scan;
+
+  const std::string dir = shard_dir(root, shard_id);
+  std::error_code ec;
+  if (!std::filesystem::exists(
+          std::filesystem::path(dir) / kCheckpointManifestFile, ec)) {
+    scan.state = ShardScanState::kMissing;
+    return scan;
+  }
+  CheckpointLoadResult loaded = load_checkpoint(dir);
+  if (!loaded.ok) {
+    scan.state = ShardScanState::kCorrupt;
+    scan.error = "shard " + std::to_string(shard_id) + ": " + loaded.error;
+    return scan;
+  }
+  if (loaded.scenario_digest != scenario_digest(spec.points[a.point])) {
+    scan.state = ShardScanState::kCorrupt;
+    scan.error = "shard " + std::to_string(shard_id) +
+                 ": manifest scenario does not match the sweep spec";
+    return scan;
+  }
+  for (const CheckpointRecord& rec : loaded.records) {
+    if (rec.trial < a.begin || rec.trial >= a.end) {
+      scan.state = ShardScanState::kCorrupt;
+      scan.error = "shard " + std::to_string(shard_id) +
+                   ": record for trial " + std::to_string(rec.trial) +
+                   " is outside its assigned range [" +
+                   std::to_string(a.begin) + ", " + std::to_string(a.end) +
+                   ")";
+      return scan;
+    }
+  }
+  scan.records = std::move(loaded.records);
+  scan.state = scan.records.size() == a.end - a.begin
+                   ? ShardScanState::kComplete
+                   : ShardScanState::kPartial;
+  return scan;
+}
+
+ShardMergeResult merge_shard_journals(const std::string& root,
+                                      const ShardSpec& spec) {
+  ShardMergeResult out;
+  if (const std::string err = validate_shard_spec(spec); !err.empty()) {
+    out.error = err;
+    return out;
+  }
+  out.points.resize(spec.points.size());
+  std::vector<std::vector<bool>> seen(spec.points.size());
+  for (std::size_t p = 0; p < spec.points.size(); ++p) {
+    seen[p].assign(spec.points[p].trials, false);
+  }
+
+  for (std::size_t i = 0; i < spec.shards.size(); ++i) {
+    ShardScan scan = scan_shard(root, spec, i);
+    switch (scan.state) {
+      case ShardScanState::kCorrupt:
+        out.points.clear();
+        out.error = scan.error;
+        return out;
+      case ShardScanState::kMissing:
+      case ShardScanState::kPartial: {
+        const ShardAssignment& a = spec.shards[i];
+        out.points.clear();
+        out.error = "shard " + std::to_string(i) + " is incomplete: " +
+                    std::to_string(scan.records.size()) + " of " +
+                    std::to_string(a.end - a.begin) + " trials journaled";
+        return out;
+      }
+      case ShardScanState::kComplete:
+        break;
+    }
+    const std::size_t p = spec.shards[i].point;
+    for (CheckpointRecord& rec : scan.records) {
+      // Cross-journal duplicates cannot happen under a tiled plan with
+      // in-range records, but the merge is the last line of defence against
+      // double-counting, so it re-checks instead of trusting the plan.
+      if (seen[p][rec.trial]) {
+        out.points.clear();
+        out.error = "trial " + std::to_string(rec.trial) + " of point " +
+                    std::to_string(p) +
+                    " appears in more than one shard journal; refusing to "
+                    "double-count";
+        return out;
+      }
+      seen[p][rec.trial] = true;
+      out.points[p].records.push_back(std::move(rec));
+    }
+  }
+
+  for (std::size_t p = 0; p < out.points.size(); ++p) {
+    SweepResult& res = out.points[p];
+    res.scenario = spec.points[p];
+    std::sort(res.records.begin(), res.records.end(),
+              [](const CheckpointRecord& a, const CheckpointRecord& b) {
+                return a.trial < b.trial;
+              });
+    res.resumed = res.records.size();
+    for (const CheckpointRecord& rec : res.records) {
+      if (rec.status == "timed_out") ++res.timed_out;
+      if (rec.status == "failed") ++res.failed_trials;
+    }
+    res.aggregate_digest = aggregate_digest(res.records);
+    res.ok = true;
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace rcb

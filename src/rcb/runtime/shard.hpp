@@ -1,0 +1,137 @@
+// Deterministic sharding of a sweep's (point, trial) space for the
+// multi-process executor (runtime/coordinator.hpp).
+//
+// A *shard* is a contiguous trial range of one sweep point — shards never
+// span points, because each shard's checkpoint manifest embeds that
+// point's full scenario and the PR 3 corruption taxonomy keys every
+// journal record on the scenario digest.  The shard plan is a pure
+// function of (trials per point, target shard count), so a resumed
+// coordinator recomputes the identical plan and re-adopts shard journals
+// by index.
+//
+// On disk a sharded sweep root looks like:
+//
+//   <root>/sweep.json    the shard spec: scenarios, supervisor knobs and
+//                        the shard plan, written atomically once at sweep
+//                        start (authoritative on --resume, mirroring the
+//                        manifest-wins rule of single-process resume)
+//   <root>/shard_<i>/    a standard checkpoint dir (manifest.json +
+//                        journal.rcbj) owned by whichever worker process
+//                        currently holds shard i, plus its lease file
+//
+// merge_shard_journals folds the per-shard journals back into per-point
+// results.  Because every trial is a pure function of (scenario, trial
+// index) and records carry absolute trial indices, the merged
+// aggregate_digest is bit-identical to a single-process run regardless of
+// worker count, kill schedule, or retry history.  The merge *refuses*
+// (rather than repairs) anything inconsistent: a record outside its
+// shard's assigned range, the same trial present in two journals, a
+// scenario-digest mismatch, or a missing trial — silently double-counting
+// or dropping trials would fabricate experiment results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rcb/runtime/supervisor.hpp"
+
+namespace rcb {
+
+/// One shard: the half-open trial range [begin, end) of sweep point
+/// `point`.  `end == begin` (an empty shard) is legal and merges as zero
+/// records.
+struct ShardAssignment {
+  std::size_t point = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  friend bool operator==(const ShardAssignment& a, const ShardAssignment& b) {
+    return a.point == b.point && a.begin == b.begin && a.end == b.end;
+  }
+};
+
+/// Splits each point's trial range into contiguous chunks of roughly
+/// total_trials / target_shards trials, in (point, begin) order.  Every
+/// point contributes at least one shard (so a point's checkpoint dir
+/// always exists) and each shard stays within one point.  Deterministic;
+/// `target_shards` is a hint, not an exact count.
+std::vector<ShardAssignment> make_shard_plan(
+    const std::vector<std::uint64_t>& trials_per_point,
+    std::size_t target_shards);
+
+/// Everything a worker process needs to run its shard: the scenarios, the
+/// supervisor policy knobs, and the shard plan.
+struct ShardSpec {
+  /// Threads per worker process (<= 0: ThreadPool::default_concurrency()).
+  int worker_threads = 1;
+  double trial_timeout_sec = 0.0;
+  SlotCount trial_slot_budget = 0;
+  std::uint32_t max_retries = 0;
+  std::vector<Scenario> points;
+  std::vector<ShardAssignment> shards;
+};
+
+/// "" when the spec is internally consistent: at least one point, every
+/// scenario valid, and each point's shards exactly tiling [0, trials)
+/// without gaps or overlap (overlap would double-count trials at merge).
+std::string validate_shard_spec(const ShardSpec& spec);
+
+/// Checkpoint dir of shard `shard_id` under `root`.
+std::string shard_dir(const std::string& root, std::size_t shard_id);
+
+/// Path of the shard spec file under `root` ("<root>/sweep.json").
+std::string shard_spec_path(const std::string& root);
+
+/// Validates and writes the spec atomically to shard_spec_path(root),
+/// creating `root` if needed.  Returns "" or an error description.
+std::string write_shard_spec(const std::string& root, const ShardSpec& spec);
+
+struct ShardSpecLoadResult {
+  bool ok = false;
+  std::string error;
+  ShardSpec spec;
+};
+
+/// Reads and validates shard_spec_path(root).
+ShardSpecLoadResult load_shard_spec(const std::string& root);
+
+/// What a coordinator found in one shard's checkpoint dir.
+enum class ShardScanState {
+  kMissing,   ///< no manifest yet: the shard never started
+  kPartial,   ///< valid journal, not all assigned trials present: resumable
+  kComplete,  ///< every assigned trial journaled: adoptable as-is
+  kCorrupt,   ///< refuse: corrupt journal, wrong scenario, or out-of-range
+};
+
+struct ShardScan {
+  ShardScanState state = ShardScanState::kMissing;
+  std::string error;  ///< set for kCorrupt
+  std::vector<CheckpointRecord> records;
+};
+
+/// Classifies shard `shard_id`'s checkpoint dir against the spec.  Corrupt
+/// means the PR 3 taxonomy refused the journal, the manifest scenario does
+/// not match the spec's point scenario, or a record lies outside the
+/// shard's assigned range (the journal belongs to a different shard
+/// assignment); a truncated tail alone is recoverable and scans as
+/// kPartial/kComplete.
+ShardScan scan_shard(const std::string& root, const ShardSpec& spec,
+                     std::size_t shard_id);
+
+struct ShardMergeResult {
+  bool ok = false;
+  std::string error;
+  /// One result per spec point, same shape as run_supervised_sweep_points:
+  /// records sorted by trial, aggregate_digest over them.
+  std::vector<SweepResult> points;
+};
+
+/// Folds every shard journal under `root` into per-point results.  Fails —
+/// refusing the whole merge — on any corrupt shard, duplicate trial across
+/// journals, or missing trial; on success each point's aggregate_digest is
+/// bit-identical to the single-process reference.
+ShardMergeResult merge_shard_journals(const std::string& root,
+                                      const ShardSpec& spec);
+
+}  // namespace rcb

@@ -224,6 +224,8 @@ namespace {
 /// Owned via unique_ptr so addresses stay stable for the pool tasks.
 struct PointState {
   Scenario scenario;          ///< authoritative (manifest scenario on resume)
+  std::uint64_t begin = 0;    ///< assigned trial range [begin, end)
+  std::uint64_t end = 0;
   std::string scenario_json;
   std::vector<CheckpointRecord> resumed;   ///< loaded from the journal
   std::vector<bool> have;                  ///< trial-index completion bitmap
@@ -273,9 +275,25 @@ std::string setup_point(const SweepPoint& point, const SupervisorOptions& opt,
 
   result.resumed = st.resumed.size();
   st.scenario = result.scenario;
+  st.begin = point.trial_begin;
+  st.end = point.trial_end;
+  if (st.begin == 0 && st.end == 0) st.end = st.scenario.trials;
+  if (st.begin > st.end || st.end > st.scenario.trials) {
+    return "invalid trial range [" + std::to_string(st.begin) + ", " +
+           std::to_string(st.end) + ") for scenario with " +
+           std::to_string(st.scenario.trials) + " trials";
+  }
   st.scenario_json = scenario_to_json(st.scenario);
-  st.have.assign(st.scenario.trials, false);
-  for (const CheckpointRecord& rec : st.resumed) st.have[rec.trial] = true;
+  st.have.assign(st.end - st.begin, false);
+  for (const CheckpointRecord& rec : st.resumed) {
+    if (rec.trial < st.begin || rec.trial >= st.end) {
+      return "checkpoint record for trial " + std::to_string(rec.trial) +
+             " is outside the assigned range [" + std::to_string(st.begin) +
+             ", " + std::to_string(st.end) +
+             "): journal belongs to a different shard assignment";
+    }
+    st.have[rec.trial - st.begin] = true;
+  }
   if (writer.active()) {
     st.journal = std::make_unique<AsyncJournalWriter>(std::move(writer));
   }
@@ -383,7 +401,7 @@ void finalize_point(PointState& st, SweepResult& result) {
     if (rec.status == "timed_out") ++result.timed_out;
     if (rec.status == "failed") ++result.failed_trials;
   }
-  result.interrupted = result.records.size() < st.scenario.trials;
+  result.interrupted = result.records.size() < (st.end - st.begin);
   result.aggregate_digest = aggregate_digest(result.records);
   result.ok = true;
 }
@@ -421,8 +439,8 @@ std::vector<SweepResult> run_supervised_sweep_points(
 
   for (std::size_t i = 0; i < points.size(); ++i) {
     PointState* st = states[i].get();
-    for (std::uint64_t t = 0; t < st->scenario.trials; ++t) {
-      if (st->have[t]) continue;
+    for (std::uint64_t t = st->begin; t < st->end; ++t) {
+      if (st->have[t - st->begin]) continue;
       pool.submit([st, t, &opt, &runner, wd] {
         run_point_trial(*st, t, opt, runner, wd);
       });

@@ -109,9 +109,21 @@ SweepResult run_supervised_sweep(const Scenario& s,
 /// One point of a multi-scenario sweep: a scenario plus its own checkpoint
 /// directory (empty disables checkpointing for that point).  Points must
 /// not share directories.
+///
+/// `trial_begin`/`trial_end` restrict the point to the half-open trial
+/// range [trial_begin, trial_end) — the unit of work a shard worker owns
+/// (runtime/shard.hpp).  Records keep their absolute trial indices, so a
+/// ranged journal merges with its sibling shards into the same aggregate
+/// as an unranged run.  Both zero (the default) means the full range
+/// [0, scenario.trials).  An empty range (begin == end > 0) is legal and
+/// runs nothing beyond creating the checkpoint.  On resume, a journal
+/// record outside the assigned range is corruption (the journal belongs
+/// to a different shard assignment) and fails setup.
 struct SweepPoint {
   Scenario scenario;
   std::string checkpoint_dir;
+  std::uint64_t trial_begin = 0;
+  std::uint64_t trial_end = 0;
 };
 
 /// Cross-point pipelined sweep: flattens every (point, trial) pair into one

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -338,6 +341,87 @@ TEST_F(CheckpointTest, AsyncJournalWriterAckedRecordsAreLoadable) {
   EXPECT_FALSE(loaded.truncated_tail);
   EXPECT_EQ(loaded.records.size(), 16u);
   ASSERT_EQ(journal.finish(), "");
+}
+
+TEST_F(CheckpointTest, StaleManifestTmpFromCrashWindowIsCleanedUp) {
+  // A crash between the temp-file write and the rename leaves
+  // "manifest.json.tmp" next to the manifest.  It must not survive
+  // recovery: a later crash mid-rewrite could otherwise be confused with
+  // it, and it lingers forever on disk.
+  make_checkpoint({0, 1});
+  const std::string tmp = manifest_path() + ".tmp";
+  write_file(tmp, "{\"partial\":");  // torn temp write from the dead process
+
+  CheckpointLoadResult loaded = load_checkpoint(dir_);
+  ASSERT_TRUE(loaded.ok) << loaded.error;  // the real manifest is intact
+  CheckpointWriter writer;
+  ASSERT_EQ(writer.open_for_append(dir_, loaded.scenario_digest,
+                                   loaded.journal_valid_bytes),
+            "");
+  writer.close();
+  EXPECT_FALSE(fs::exists(tmp)) << "stale manifest temp file survived resume";
+
+  // The fresh-start path also recovers: create() rewrites through the same
+  // temp name, so the stale file is replaced, not left behind.
+  write_file(tmp, "{\"partial\":");
+  ASSERT_EQ(writer.create(dir_, test_scenario()), "");
+  writer.close();
+  EXPECT_FALSE(fs::exists(tmp));
+}
+
+TEST_F(CheckpointTest, InjectedWriteFaultFailsAppendWithoutWriting) {
+  CheckpointWriter writer;
+  ASSERT_EQ(writer.create(dir_, test_scenario()), "");
+  ASSERT_EQ(writer.append(test_record(0)), "");
+  const std::string before = read_file(journal_path());
+
+  set_checkpoint_write_fault([](std::size_t) { return ENOSPC; });
+  const std::string err = writer.append(test_record(1));
+  set_checkpoint_write_fault(nullptr);
+  EXPECT_NE(err.find("journal append failed"), std::string::npos) << err;
+  EXPECT_EQ(read_file(journal_path()), before);  // failed write wrote nothing
+
+  // The journal still parses to the pre-fault prefix.
+  const CheckpointLoadResult loaded = load_checkpoint(dir_);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.records.size(), 1u);
+}
+
+TEST_F(CheckpointTest, DiskFullTaintsAsyncWriterAndSurfacesFromFinish) {
+  // ENOSPC-style fault mid-sweep: the first failed group commit must taint
+  // the writer (later enqueues refused, nothing silently dropped) and the
+  // error must surface from finish() — the path the sweep supervisor
+  // reports from.
+  CheckpointWriter writer;
+  Scenario s = test_scenario();
+  s.trials = 64;
+  ASSERT_EQ(writer.create(dir_, s), "");
+
+  std::atomic<int> writes_left{2};
+  set_checkpoint_write_fault([&writes_left](std::size_t) {
+    return writes_left.fetch_sub(1) <= 0 ? ENOSPC : 0;
+  });
+  AsyncJournalWriter journal(std::move(writer));
+  std::size_t accepted = 0;
+  for (std::uint64_t t = 0; t < 64; ++t) {
+    CheckpointRecord rec;
+    rec.trial = t;
+    rec.outcome = test_outcome(t);
+    if (journal.enqueue(std::move(rec))) ++accepted;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::string err = journal.finish();
+  set_checkpoint_write_fault(nullptr);
+
+  EXPECT_NE(err.find("journal append failed"), std::string::npos) << err;
+  EXPECT_LT(accepted, 64u);            // the taint refused later producers
+  EXPECT_LT(journal.acked_count(), 64u);  // nothing past the fault was acked
+  EXPECT_FALSE(journal.enqueue(CheckpointRecord{}));
+
+  // Whatever was acked before the disk filled up is still replayable.
+  const CheckpointLoadResult loaded = load_checkpoint(dir_);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.records.size(), journal.acked_count());
 }
 
 TEST_F(CheckpointTest, AsyncJournalWriterSurfacesWriteErrors) {

@@ -1,0 +1,432 @@
+// Tests for the multi-process sharded sweep (runtime/shard.hpp +
+// runtime/coordinator.hpp): shard-plan determinism, spec round-trip,
+// merge determinism against the single-process reference, orphan
+// reassignment after worker SIGKILL, lease expiry for wedged workers,
+// coordinator-crash resume, corrupt-shard refusal, and the merge edge
+// cases (empty shard, single shard, duplicated trials across journals).
+//
+// This binary has a custom main: the coordinator re-enters the test
+// executable itself as the worker process via the --rcb_shard_worker
+// argv prefix, so the fork/exec path under test is the real one.
+#include "rcb/runtime/coordinator.hpp"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rcb/runtime/shard.hpp"
+#include "rcb/runtime/supervisor.hpp"
+
+namespace {
+std::string g_self_exe;  // argv[0]; workers re-exec this test binary
+}
+
+namespace rcb {
+namespace {
+
+namespace fs = std::filesystem;
+
+Scenario fast_scenario(std::uint64_t seed, std::uint64_t trials) {
+  Scenario s;
+  s.protocol = "one_to_one";
+  s.adversary = "full_duel";
+  s.budget = 512;
+  s.eps = 0.02;
+  s.trials = trials;
+  s.seed = seed;
+  return s;
+}
+
+/// Single-process reference: same scenarios, one thread, no checkpointing.
+std::vector<std::uint64_t> reference_digests(
+    const std::vector<Scenario>& scenarios) {
+  ThreadPool pool(1);
+  std::vector<SweepPoint> points(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    points[i].scenario = scenarios[i];
+  }
+  SupervisorOptions opt;
+  const std::vector<SweepResult> results =
+      run_supervised_sweep_points(points, opt, pool);
+  std::vector<std::uint64_t> digests;
+  for (const SweepResult& res : results) {
+    EXPECT_TRUE(res.ok) << res.error;
+    digests.push_back(res.aggregate_digest);
+  }
+  return digests;
+}
+
+ShardSpec make_spec(const std::vector<Scenario>& scenarios,
+                    std::size_t target_shards) {
+  ShardSpec spec;
+  spec.worker_threads = 2;
+  spec.points = scenarios;
+  std::vector<std::uint64_t> trials;
+  for (const Scenario& s : scenarios) trials.push_back(s.trials);
+  spec.shards = make_shard_plan(trials, target_shards);
+  return spec;
+}
+
+class CoordinatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset_sweep_shutdown();
+    root_ = (fs::temp_directory_path() /
+             ("rcb_coord_test_" +
+              std::string(::testing::UnitTest::GetInstance()
+                              ->current_test_info()
+                              ->name())))
+                .string();
+    fs::remove_all(root_);
+  }
+  void TearDown() override {
+    reset_sweep_shutdown();
+    fs::remove_all(root_);
+  }
+
+  CoordinatorOptions options(std::size_t workers) const {
+    CoordinatorOptions opt;
+    opt.root = root_;
+    opt.workers = workers;
+    opt.backoff_base_sec = 0.01;
+    opt.worker_argv = [root = root_](std::size_t shard) {
+      return std::vector<std::string>{g_self_exe, "--rcb_shard_worker", root,
+                                      std::to_string(shard)};
+    };
+    return opt;
+  }
+
+  std::string root_;
+};
+
+// ---------------------------------------------------------------------------
+// Shard plan + spec codec.
+
+TEST(ShardPlanTest, TilesEveryPointContiguously) {
+  const std::vector<std::uint64_t> trials{10, 3, 7};
+  const std::vector<ShardAssignment> plan = make_shard_plan(trials, 5);
+  std::vector<std::uint64_t> next{0, 0, 0};
+  for (const ShardAssignment& a : plan) {
+    ASSERT_LT(a.point, trials.size());
+    EXPECT_EQ(a.begin, next[a.point]);  // contiguous, in order
+    EXPECT_LE(a.end, trials[a.point]);
+    next[a.point] = a.end;
+  }
+  for (std::size_t p = 0; p < trials.size(); ++p) {
+    EXPECT_EQ(next[p], trials[p]);  // full coverage
+  }
+  EXPECT_EQ(plan, make_shard_plan(trials, 5));  // deterministic
+}
+
+TEST(ShardPlanTest, OneShardPerPointWhenTargetIsSmall) {
+  const std::vector<ShardAssignment> plan = make_shard_plan({5, 5}, 1);
+  ASSERT_EQ(plan.size(), 2u);  // shards never span points
+  EXPECT_EQ(plan[0].point, 0u);
+  EXPECT_EQ(plan[1].point, 1u);
+}
+
+TEST(ShardSpecTest, RoundTripsThroughDisk) {
+  const std::string root =
+      (fs::temp_directory_path() / "rcb_shard_spec_roundtrip").string();
+  fs::remove_all(root);
+  ShardSpec spec = make_spec({fast_scenario(7, 9), fast_scenario(9, 4)}, 4);
+  spec.trial_timeout_sec = 1.5;
+  spec.trial_slot_budget = 100000;
+  spec.max_retries = 2;
+  ASSERT_EQ(write_shard_spec(root, spec), "");
+  const ShardSpecLoadResult loaded = load_shard_spec(root);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.spec.worker_threads, spec.worker_threads);
+  EXPECT_EQ(loaded.spec.trial_timeout_sec, spec.trial_timeout_sec);
+  EXPECT_EQ(loaded.spec.trial_slot_budget, spec.trial_slot_budget);
+  EXPECT_EQ(loaded.spec.max_retries, spec.max_retries);
+  ASSERT_EQ(loaded.spec.points.size(), spec.points.size());
+  for (std::size_t i = 0; i < spec.points.size(); ++i) {
+    EXPECT_EQ(scenario_digest(loaded.spec.points[i]),
+              scenario_digest(spec.points[i]));
+  }
+  ASSERT_EQ(loaded.spec.shards.size(), spec.shards.size());
+  for (std::size_t i = 0; i < spec.shards.size(); ++i) {
+    EXPECT_EQ(loaded.spec.shards[i].point, spec.shards[i].point);
+    EXPECT_EQ(loaded.spec.shards[i].begin, spec.shards[i].begin);
+    EXPECT_EQ(loaded.spec.shards[i].end, spec.shards[i].end);
+  }
+  fs::remove_all(root);
+}
+
+TEST(ShardSpecTest, RejectsOverlapAndGap) {
+  ShardSpec spec;
+  spec.points = {fast_scenario(1, 10)};
+  spec.shards = {{0, 0, 6}, {0, 5, 10}};  // overlap at trial 5
+  EXPECT_NE(validate_shard_spec(spec), "");
+  spec.shards = {{0, 0, 4}, {0, 6, 10}};  // gap at trial 4
+  EXPECT_NE(validate_shard_spec(spec), "");
+  spec.shards = {{0, 0, 6}, {0, 6, 10}};
+  EXPECT_EQ(validate_shard_spec(spec), "");
+}
+
+// ---------------------------------------------------------------------------
+// Ranged sweep points (the supervisor seam the workers run on).
+
+TEST(RangedSweepTest, RangedPointsComposeToTheFullDigest) {
+  const Scenario s = fast_scenario(21, 10);
+  const std::uint64_t reference = reference_digests({s})[0];
+
+  ThreadPool pool(2);
+  std::vector<SweepPoint> halves(2);
+  halves[0].scenario = s;
+  halves[0].trial_begin = 0;
+  halves[0].trial_end = 6;
+  halves[1].scenario = s;
+  halves[1].trial_begin = 6;
+  halves[1].trial_end = 10;
+  SupervisorOptions opt;
+  std::vector<SweepResult> results =
+      run_supervised_sweep_points(halves, opt, pool);
+  ASSERT_TRUE(results[0].ok && results[1].ok);
+  EXPECT_FALSE(results[0].interrupted);
+  EXPECT_FALSE(results[1].interrupted);
+
+  std::vector<CheckpointRecord> merged = results[0].records;
+  merged.insert(merged.end(), results[1].records.begin(),
+                results[1].records.end());
+  EXPECT_EQ(aggregate_digest(merged), reference);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator end-to-end.
+
+TEST_F(CoordinatorTest, MatchesSingleProcessDigestAcrossWorkerCounts) {
+  const std::vector<Scenario> scenarios{fast_scenario(31, 11),
+                                        fast_scenario(32, 5)};
+  const std::vector<std::uint64_t> reference = reference_digests(scenarios);
+
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    fs::remove_all(root_);
+    const CoordinatorResult res =
+        run_shard_coordinator(make_spec(scenarios, workers * 2),
+                              options(workers));
+    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_EQ(res.points.size(), scenarios.size());
+    for (std::size_t p = 0; p < scenarios.size(); ++p) {
+      EXPECT_EQ(res.points[p].aggregate_digest, reference[p])
+          << "workers=" << workers << " point=" << p;
+      EXPECT_EQ(res.points[p].records.size(), scenarios[p].trials);
+    }
+  }
+}
+
+TEST_F(CoordinatorTest, ReassignsShardsAfterWorkerSigkill) {
+  const std::vector<Scenario> scenarios{fast_scenario(41, 16)};
+  const std::uint64_t reference = reference_digests(scenarios)[0];
+
+  std::atomic<int> kills{3};
+  CoordinatorOptions opt = options(2);
+  opt.on_worker_spawn = [&kills](std::size_t, pid_t pid) {
+    const int remaining = kills.fetch_sub(1);
+    if (remaining == 3) {
+      // Kill the very first worker before it can finish its shard, so at
+      // least one restart is guaranteed even on a fast machine.
+      kill(pid, SIGKILL);
+    } else if (remaining > 0) {
+      // Let later victims journal a few trials first so a replacement
+      // exercises the resume-partial-journal path, not just restart.  If
+      // the worker already finished, the kill lands on a complete journal
+      // and the coordinator adopts it — that path is legal too.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      kill(pid, SIGKILL);
+    }
+  };
+  const CoordinatorResult res =
+      run_shard_coordinator(make_spec(scenarios, 4), opt);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_LE(kills.load(), 0);  // the chaos actually fired
+  EXPECT_GE(res.worker_restarts, 1u);
+  EXPECT_EQ(res.points[0].aggregate_digest, reference);
+  EXPECT_EQ(res.points[0].records.size(), scenarios[0].trials);
+}
+
+TEST_F(CoordinatorTest, StaleLeaseKillsWedgedWorker) {
+  const std::vector<Scenario> scenarios{fast_scenario(43, 8)};
+  const std::uint64_t reference = reference_digests(scenarios)[0];
+
+  std::atomic<bool> wedged{false};
+  CoordinatorOptions opt = options(1);
+  opt.lease_timeout_sec = 0.4;
+  opt.on_worker_spawn = [&wedged](std::size_t, pid_t pid) {
+    if (!wedged.exchange(true)) {
+      kill(pid, SIGSTOP);  // alive but frozen: heartbeat stops, lease ages
+    }
+  };
+  const CoordinatorResult res =
+      run_shard_coordinator(make_spec(scenarios, 2), opt);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(wedged.load());
+  EXPECT_GE(res.worker_restarts, 1u);  // the wedged worker was put down
+  EXPECT_EQ(res.points[0].aggregate_digest, reference);
+}
+
+TEST_F(CoordinatorTest, ResumesAfterCoordinatorCrash) {
+  const std::vector<Scenario> scenarios{fast_scenario(47, 12),
+                                        fast_scenario(48, 6)};
+  const std::vector<std::uint64_t> reference = reference_digests(scenarios);
+  const ShardSpec spec = make_spec(scenarios, 4);
+
+  CoordinatorOptions crash = options(2);
+  crash.simulate_crash_after_shards = 1;
+  const CoordinatorResult first = run_shard_coordinator(spec, crash);
+  ASSERT_FALSE(first.ok);
+  ASSERT_GE(first.shards_completed, 1u);
+
+  CoordinatorOptions resume = options(2);
+  resume.resume = true;
+  const CoordinatorResult second = run_shard_coordinator(spec, resume);
+  ASSERT_TRUE(second.ok) << second.error;
+  // The completed shards were adopted, not re-run: the resumed coordinator
+  // finishes strictly fewer shards than the plan has.
+  EXPECT_EQ(second.shards_completed, spec.shards.size());
+  for (std::size_t p = 0; p < scenarios.size(); ++p) {
+    EXPECT_EQ(second.points[p].aggregate_digest, reference[p]);
+  }
+}
+
+TEST_F(CoordinatorTest, RefusesCorruptShardOnResume) {
+  const std::vector<Scenario> scenarios{fast_scenario(51, 8)};
+  const ShardSpec spec = make_spec(scenarios, 2);
+  const CoordinatorResult first = run_shard_coordinator(spec, options(2));
+  ASSERT_TRUE(first.ok) << first.error;
+
+  // Flip one payload byte inside shard 0's journal: complete frame, bad
+  // digest — corruption, not truncation, under the PR 3 taxonomy.
+  const std::string journal =
+      shard_dir(root_, 0) + "/" + kCheckpointJournalFile;
+  std::fstream f(journal, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(32);
+  f.put('X');
+  f.close();
+
+  CoordinatorOptions resume = options(2);
+  resume.resume = true;
+  const CoordinatorResult res = run_shard_coordinator(spec, resume);
+  ASSERT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("shard 0"), std::string::npos) << res.error;
+}
+
+TEST_F(CoordinatorTest, BoundedRetriesFailTheSweepLoudly) {
+  const std::vector<Scenario> scenarios{fast_scenario(53, 4)};
+  CoordinatorOptions opt = options(1);
+  opt.max_shard_retries = 1;
+  opt.worker_argv = [](std::size_t) {
+    return std::vector<std::string>{"/bin/false"};
+  };
+  const CoordinatorResult res =
+      run_shard_coordinator(make_spec(scenarios, 1), opt);
+  ASSERT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("failed after"), std::string::npos) << res.error;
+}
+
+TEST_F(CoordinatorTest, GracefulShutdownReportsInterruptedAndResumes) {
+  const std::vector<Scenario> scenarios{fast_scenario(57, 16)};
+  const std::uint64_t reference = reference_digests(scenarios)[0];
+  const ShardSpec spec = make_spec(scenarios, 4);
+
+  std::atomic<bool> once{false};
+  CoordinatorOptions opt = options(1);
+  opt.on_worker_spawn = [&once](std::size_t, pid_t) {
+    if (!once.exchange(true)) request_sweep_shutdown();
+  };
+  const CoordinatorResult first = run_shard_coordinator(spec, opt);
+  ASSERT_FALSE(first.ok);
+  EXPECT_TRUE(first.interrupted);
+
+  reset_sweep_shutdown();
+  CoordinatorOptions resume = options(2);
+  resume.resume = true;
+  const CoordinatorResult second = run_shard_coordinator(spec, resume);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_EQ(second.points[0].aggregate_digest, reference);
+}
+
+// ---------------------------------------------------------------------------
+// Merge edge cases.
+
+TEST_F(CoordinatorTest, EmptyShardMergesAsZeroTrials) {
+  const std::vector<Scenario> scenarios{fast_scenario(61, 6)};
+  const std::uint64_t reference = reference_digests(scenarios)[0];
+  ShardSpec spec = make_spec(scenarios, 1);
+  spec.shards = {{0, 0, 3}, {0, 3, 3}, {0, 3, 6}};  // middle shard is empty
+  ASSERT_EQ(validate_shard_spec(spec), "");
+  const CoordinatorResult res = run_shard_coordinator(spec, options(2));
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.shards_completed, 3u);
+  EXPECT_EQ(res.points[0].aggregate_digest, reference);
+}
+
+TEST_F(CoordinatorTest, SingleShardDegeneratesToTheExistingPath) {
+  const std::vector<Scenario> scenarios{fast_scenario(63, 7)};
+  const std::uint64_t reference = reference_digests(scenarios)[0];
+  ShardSpec spec = make_spec(scenarios, 1);
+  ASSERT_EQ(spec.shards.size(), 1u);
+  const CoordinatorResult res = run_shard_coordinator(spec, options(1));
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.points[0].aggregate_digest, reference);
+}
+
+TEST_F(CoordinatorTest, DuplicateTrialsAcrossShardJournalsAreRefused) {
+  const std::vector<Scenario> scenarios{fast_scenario(67, 8)};
+  ShardSpec spec = make_spec(scenarios, 2);
+  ASSERT_EQ(spec.shards.size(), 2u);
+  const CoordinatorResult first = run_shard_coordinator(spec, options(2));
+  ASSERT_TRUE(first.ok) << first.error;
+
+  // Overwrite shard 1's journal with a copy of shard 0's: every record now
+  // duplicates a trial that shard 0 already owns (and lies outside shard
+  // 1's assigned range).  The merge must refuse, not double-count.
+  std::error_code ec;
+  fs::copy_file(shard_dir(root_, 0) + "/" + kCheckpointJournalFile,
+                shard_dir(root_, 1) + "/" + kCheckpointJournalFile,
+                fs::copy_options::overwrite_existing, ec);
+  ASSERT_FALSE(ec);
+  const ShardMergeResult merged = merge_shard_journals(root_, spec);
+  ASSERT_FALSE(merged.ok);
+  EXPECT_NE(merged.error.find("outside its assigned range"),
+            std::string::npos)
+      << merged.error;
+  EXPECT_TRUE(merged.points.empty());  // refusal yields no partial results
+}
+
+TEST_F(CoordinatorTest, MergeRefusesMissingShard) {
+  const std::vector<Scenario> scenarios{fast_scenario(71, 8)};
+  const ShardSpec spec = make_spec(scenarios, 2);
+  const CoordinatorResult first = run_shard_coordinator(spec, options(2));
+  ASSERT_TRUE(first.ok) << first.error;
+  fs::remove_all(shard_dir(root_, 1));
+  const ShardMergeResult merged = merge_shard_journals(root_, spec);
+  ASSERT_FALSE(merged.ok);
+  EXPECT_NE(merged.error.find("incomplete"), std::string::npos)
+      << merged.error;
+}
+
+}  // namespace
+}  // namespace rcb
+
+int main(int argc, char** argv) {
+  g_self_exe = argv[0];
+  // Worker mode: the coordinator under test re-execs this binary as
+  // "<exe> --rcb_shard_worker <root> <shard_id>".
+  if (argc == 4 && std::string(argv[1]) == "--rcb_shard_worker") {
+    return rcb::run_shard_worker(argv[2],
+                                 static_cast<std::size_t>(std::atoi(argv[3])));
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

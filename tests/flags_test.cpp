@@ -97,6 +97,48 @@ TEST(FlagsTest, HelpReturnsFalseAndListsFlags) {
   EXPECT_NE(help.find("default: 42"), std::string::npos);
 }
 
+TEST(FlagsTest, IntBelowMinimumRejected) {
+  // e.g. --threads=-4: must fail loudly at parse time instead of wrapping
+  // through an unsigned cast deep inside the tool.
+  FlagSet flags("test tool");
+  flags.add_int("threads", 0, "worker threads", 0, 4096);
+  const char* argv[] = {"prog", "--threads=-4"};
+  EXPECT_FALSE(flags.parse(2, argv));
+  EXPECT_EQ(flags.get_int("threads"), 0);  // default untouched
+}
+
+TEST(FlagsTest, IntAboveMaximumRejected) {
+  FlagSet flags("test tool");
+  flags.add_int("workers", 0, "worker processes", 0, 1024);
+  const char* argv[] = {"prog", "--workers=4097"};
+  EXPECT_FALSE(flags.parse(2, argv));
+}
+
+TEST(FlagsTest, IntBoundsAreInclusive) {
+  FlagSet flags("test tool");
+  flags.add_int("count", 5, "bounded", 1, 10);
+  EXPECT_TRUE(flags.set("count", "1"));
+  EXPECT_TRUE(flags.set("count", "10"));
+  EXPECT_FALSE(flags.set("count", "0"));
+  EXPECT_FALSE(flags.set("count", "11"));
+  EXPECT_EQ(flags.get_int("count"), 10);  // last accepted value sticks
+}
+
+TEST(FlagsTest, UnboundedIntStillAcceptsNegatives) {
+  FlagSet flags = make_set();
+  EXPECT_TRUE(flags.set("count", "-42"));
+  EXPECT_EQ(flags.get_int("count"), -42);
+}
+
+TEST(FlagsDeathTest, DefaultOutsideBoundsRejected) {
+  EXPECT_DEATH(
+      {
+        FlagSet flags("test tool");
+        flags.add_int("bad", -1, "default below minimum", 0, 10);
+      },
+      "");
+}
+
 TEST(FlagsDeathTest, DuplicateRegistrationRejected) {
   FlagSet flags("t");
   flags.add_int("x", 1, "");

@@ -166,6 +166,84 @@ chaos_sweep_scheduler() {
   echo "chaos-sched: digests bit-identical across thread counts and kill/resume"
 }
 
+# Chaos: the multi-process sharded sweep's fault tolerance, end to end
+# through rcb_sweep --workers (coordinator + shard workers + journal merge).
+#  1. Digest equality: --workers=1/2/4 must print per-point digests
+#     bit-identical to the in-process --threads=1 reference.
+#  2. SIGKILL random *workers* mid-sweep: the coordinator reassigns their
+#     shards, resumes the partial shard journals, and the digests still
+#     match.
+#  3. SIGKILL the *coordinator* mid-sweep (workers die with it via parent-
+#     death signal), re-run with --resume: completed shards are adopted,
+#     partial ones resumed, and the digests still match.
+chaos_multiproc() {
+  local sweep="$repo/build/tools/rcb_sweep"
+  local work="$repo/build/chaos-multiproc"
+  rm -rf "$work"; mkdir -p "$work"
+  local args=(--protocol=one_to_one --adversary=full_duel --sweep=budget
+              --values=128,256,512,1024,2048,4096 --trials=12
+              --seed=17 --fit=none --print_digests)
+
+  echo "--- chaos-mp: in-process reference digests (--threads=1)"
+  "$sweep" "${args[@]}" --threads=1 >"$work/ref.out"
+  local ref; ref=$(grep '^# digest' "$work/ref.out")
+  [[ -n "$ref" ]] || { echo "chaos-mp: no reference digests"; return 1; }
+
+  local w
+  for w in 1 2 4; do
+    echo "--- chaos-mp: --workers=$w digest equality"
+    rm -rf "$work/w$w"
+    "$sweep" "${args[@]}" --workers="$w" --threads=2 \
+      --checkpoint_dir="$work/w$w" >"$work/w$w.out"
+    diff <(grep '^# digest' "$work/w$w.out") <(echo "$ref") >/dev/null ||
+      { echo "chaos-mp: --workers=$w digests differ from --threads=1"; return 1; }
+  done
+
+  echo "--- chaos-mp: SIGKILL random workers mid-sweep"
+  rm -rf "$work/kill"
+  "$sweep" "${args[@]}" --workers=3 --threads=1 \
+    --checkpoint_dir="$work/kill" >"$work/kill.out" 2>"$work/kill.err" &
+  local pid=$! rounds=0 victims victim
+  while kill -0 "$pid" 2>/dev/null && (( rounds < 6 )); do
+    sleep 0.15
+    victims=$(pgrep -P "$pid" 2>/dev/null || true)
+    if [[ -n "$victims" ]]; then
+      victim=$(echo "$victims" | shuf -n1)
+      kill -KILL "$victim" 2>/dev/null || true
+      rounds=$((rounds + 1))
+    fi
+  done
+  local rc=0; wait "$pid" || rc=$?
+  [[ "$rc" -eq 0 ]] ||
+    { echo "chaos-mp: sweep with killed workers exited $rc"
+      cat "$work/kill.err"; return 1; }
+  diff <(grep '^# digest' "$work/kill.out") <(echo "$ref") >/dev/null ||
+    { echo "chaos-mp: digests differ after random worker kills"; return 1; }
+
+  echo "--- chaos-mp: SIGKILL the coordinator, then --resume"
+  rm -rf "$work/co"
+  "$sweep" "${args[@]}" --workers=2 --threads=1 \
+    --checkpoint_dir="$work/co" >"$work/co.out" 2>"$work/co.err" &
+  pid=$!
+  # Strike once the shard journals have flushed a few records.
+  local f bytes
+  for _ in $(seq 1 400); do
+    bytes=0
+    for f in "$work/co"/shard_*/journal.rcbj; do
+      if [[ -f "$f" ]]; then bytes=$(( bytes + $(wc -c < "$f") )); fi
+    done
+    if (( bytes > 1500 )); then break; fi
+    sleep 0.02
+  done
+  kill -KILL "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  "$sweep" "${args[@]}" --workers=2 --threads=1 --resume="$work/co" \
+    >"$work/co_resumed.out"
+  diff <(grep '^# digest' "$work/co_resumed.out") <(echo "$ref") >/dev/null ||
+    { echo "chaos-mp: coordinator kill/resume digests differ"; return 1; }
+  echo "chaos-mp: sharded digests bit-identical across worker counts, worker kills, and coordinator kill/resume"
+}
+
 # Fuzz stage: canary self-check, then a fixed-seed scenario sweep.  Oracle
 # violations land minimized in $fuzz_out and fail the stage; the rcb_fuzz
 # output names the exact files to replay.
@@ -192,6 +270,8 @@ if [[ "$what" == "all" || "$what" == "plain" ]]; then
   chaos_supervisor
   echo "=== [plain] chaos: sweep scheduler determinism + group commit ==="
   chaos_sweep_scheduler
+  echo "=== [plain] chaos: multi-process sharded sweep fault tolerance ==="
+  chaos_multiproc
   echo "=== [plain] fuzz: scenario oracles ==="
   fuzz_stage "$repo/build/tools/rcb_fuzz" "$repo/build/fuzz-out"
   echo "=== [plain] quick bench ==="
@@ -217,11 +297,12 @@ if [[ "$what" == "all" || "$what" == "tsan" ]]; then
   cmake -B "$repo/build-tsan" -S "$repo" -DRCB_TSAN=ON
   echo "=== [tsan] build ==="
   cmake --build "$repo/build-tsan" -j "$jobs" \
-    --target thread_pool_test supervisor_test checkpoint_test
+    --target thread_pool_test supervisor_test checkpoint_test coordinator_test
   echo "=== [tsan] run concurrency tests ==="
   "$repo/build-tsan/tests/thread_pool_test"
   "$repo/build-tsan/tests/supervisor_test"
   "$repo/build-tsan/tests/checkpoint_test"
+  "$repo/build-tsan/tests/coordinator_test"
 fi
 
 echo "CI OK"

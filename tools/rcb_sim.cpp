@@ -41,13 +41,14 @@ int run_tool(int argc, const char* const* argv) {
                    "1-to-1: none|send_phase|nack_phase|full_duel|both_views|"
                    "sym_random|spoof; broadcast: none|suffix|fraction|random|"
                    "burst");
-  flags.add_int("budget", 16384, "adversary energy budget (slot-units)");
+  flags.add_int("budget", 16384, "adversary energy budget (slot-units)", 0);
   flags.add_double("q", 0.6, "blocking fraction for suffix-style adversaries");
   flags.add_double("rate", 0.3, "per-slot rate for random jammers");
-  flags.add_int("n", 32, "number of nodes (broadcast protocols)");
+  flags.add_int("n", 32, "number of nodes (broadcast protocols)", 1);
   flags.add_double("eps", 0.01, "Fig. 1 failure parameter");
-  flags.add_int("trials", 100, "Monte-Carlo trials");
-  flags.add_int("seed", 1, "master seed (trials derive independent streams)");
+  flags.add_int("trials", 100, "Monte-Carlo trials", 1);
+  flags.add_int("seed", 1, "master seed (trials derive independent streams)",
+                0);
   flags.add_int("max_epoch_extra", 0,
                 "cap epochs at first_epoch + this (0 = protocol default; "
                 "needed for --adversary=spoof, which never lets Fig.1 halt)");
@@ -85,12 +86,15 @@ int run_tool(int argc, const char* const* argv) {
                    "quarantines stuck trials as timed_out and keeps sweeping");
   flags.add_int("trial_slot_budget", 0,
                 "deterministic per-trial budget in simulated slots (0 = "
-                "off); like --trial_timeout but reproducible bit-for-bit");
+                "off); like --trial_timeout but reproducible bit-for-bit",
+                0);
   flags.add_int("max_retries", 0,
                 "re-run a trial that dies on a contract failure or exception "
-                "up to this many times with a reseeded stream");
+                "up to this many times with a reseeded stream",
+                0);
   flags.add_int("threads", 0,
-                "worker threads (0 = all CPUs in the process affinity mask)");
+                "worker threads (0 = all CPUs in the process affinity mask)",
+                0, 4096);
   flags.add_string("format", "table", "table | json | csv");
   flags.add_bool("histogram", false,
                  "print an ASCII histogram of per-trial max cost");

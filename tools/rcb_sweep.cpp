@@ -41,14 +41,14 @@ int run_tool(int argc, const char* const* argv) {
   flags.add_string("protocol", "one_to_one",
                    "one_to_one | ksy | combined | broadcast | naive | sqrt");
   flags.add_string("adversary", "none", "see rcb_sim --help");
-  flags.add_int("budget", 16384, "adversary energy budget");
+  flags.add_int("budget", 16384, "adversary energy budget", 0);
   flags.add_double("q", 0.6, "blocking fraction");
   flags.add_double("rate", 0.3, "random-jammer rate");
-  flags.add_int("n", 32, "number of nodes");
+  flags.add_int("n", 32, "number of nodes", 1);
   flags.add_double("eps", 0.01, "Fig. 1 failure parameter");
-  flags.add_int("trials", 50, "Monte-Carlo trials per sweep point");
-  flags.add_int("seed", 1, "master seed");
-  flags.add_int("max_epoch_extra", 0, "epoch cap offset (0 = default)");
+  flags.add_int("trials", 50, "Monte-Carlo trials per sweep point", 1);
+  flags.add_int("seed", 1, "master seed", 0);
+  flags.add_int("max_epoch_extra", 0, "epoch cap offset (0 = default)", 0);
   flags.add_string("sweep", "budget",
                    "flag to sweep: budget | q | rate | n | eps | trials");
   flags.add_string("values", "4096,16384,65536",
@@ -69,18 +69,42 @@ int run_tool(int argc, const char* const* argv) {
   flags.add_double("trial_timeout", 0.0,
                    "wall-clock watchdog per trial, seconds (0 = off)");
   flags.add_int("trial_slot_budget", 0,
-                "deterministic per-trial budget in simulated slots (0 = off)");
+                "deterministic per-trial budget in simulated slots (0 = off)",
+                0);
   flags.add_int("max_retries", 0,
                 "retries (reseeded) for trials dying on contract failures "
-                "or exceptions");
+                "or exceptions",
+                0);
   flags.add_int("threads", 0,
                 "worker threads for the sweep scheduler (0 = all CPUs in "
-                "the process affinity mask)");
+                "the process affinity mask); with --workers, threads per "
+                "worker process",
+                0, 4096);
+  flags.add_int("workers", 0,
+                "run the sweep across this many worker *processes* over "
+                "sharded trial ranges, with crash detection and shard "
+                "reassignment (0 = in-process; requires --checkpoint_dir "
+                "or --resume)",
+                0, 1024);
+  flags.add_string("shard_worker", "",
+                   "internal: run as the shard worker for the sweep root "
+                   "at this path (spawned by the --workers coordinator)");
+  flags.add_int("shard_id", 0, "internal: shard index for --shard_worker",
+                0);
   flags.add_bool("print_digests", false,
                  "print '# digest point_<i> <hex16>' per point (chaos "
                  "harness: digests are bit-identical across thread counts "
                  "and kill/resume)");
   if (!flags.parse(argc, argv)) return 1;
+
+  // Worker mode: the coordinator re-enters this binary with the internal
+  // --shard_worker flag; every other flag is ignored (the on-disk shard
+  // spec is authoritative, mirroring manifest-wins resume semantics).
+  if (const std::string worker_root = flags.get_string("shard_worker");
+      !worker_root.empty()) {
+    return run_shard_worker(worker_root,
+                            static_cast<std::size_t>(flags.get_int("shard_id")));
+  }
 
   tools::SimConfig base;
   base.protocol = flags.get_string("protocol");
@@ -97,7 +121,7 @@ int run_tool(int argc, const char* const* argv) {
 
   const std::string sweep = flags.get_string("sweep");
   const std::string metric = flags.get_string("metric");
-  const auto values = split_csv(flags.get_string("values"));
+  auto values = split_csv(flags.get_string("values"));
   if (values.empty()) {
     std::fprintf(stderr, "--values is empty\n");
     return 1;
@@ -157,14 +181,47 @@ int run_tool(int argc, const char* const* argv) {
     point_x.push_back(x);
   }
 
-  const auto thread_count =
-      static_cast<std::size_t>(flags.get_int("threads"));
-  std::optional<ThreadPool> own_pool;
-  if (thread_count != 0) own_pool.emplace(thread_count);
-  ThreadPool& pool = own_pool ? *own_pool : ThreadPool::global();
-
-  const std::vector<tools::SimAggregate> aggs =
-      tools::run_sweep_points(cfgs, sup_base, sup_base.checkpoint_dir, pool);
+  const auto workers = static_cast<std::size_t>(flags.get_int("workers"));
+  std::vector<tools::SimAggregate> aggs;
+  if (workers > 0) {
+    // Multi-process mode: shard the (point, trial) space across worker
+    // processes with crash detection + reassignment; the merged per-point
+    // digests are bit-identical to the in-process path below.
+    if (sup_base.checkpoint_dir.empty()) {
+      std::fprintf(stderr,
+                   "--workers requires --checkpoint_dir or --resume (shard "
+                   "journals need a sweep root)\n");
+      return 1;
+    }
+    tools::ShardedSweepOutcome sharded = tools::run_sweep_sharded(
+        cfgs, sup_base, sup_base.checkpoint_dir, workers,
+        static_cast<int>(flags.get_int("threads")));
+    if (sharded.interrupted) {
+      std::fprintf(stderr,
+                   "interrupted with %zu shards complete; resume with "
+                   "--resume=%s --workers=%zu\n",
+                   sharded.shards_completed, sup_base.checkpoint_dir.c_str(),
+                   workers);
+      return 130;
+    }
+    if (!sharded.ok) {
+      std::fprintf(stderr, "%s\n", sharded.error.c_str());
+      return 1;
+    }
+    if (sharded.worker_restarts > 0) {
+      std::fprintf(stderr, "# %zu worker restart(s) during the sweep\n",
+                   sharded.worker_restarts);
+    }
+    aggs = std::move(sharded.points);
+  } else {
+    const auto thread_count =
+        static_cast<std::size_t>(flags.get_int("threads"));
+    std::optional<ThreadPool> own_pool;
+    if (thread_count != 0) own_pool.emplace(thread_count);
+    ThreadPool& pool = own_pool ? *own_pool : ThreadPool::global();
+    aggs = tools::run_sweep_points(cfgs, sup_base, sup_base.checkpoint_dir,
+                                   pool);
+  }
 
   // A setup failure aborts the sweep before any trial runs; the failing
   // point carries the error (earlier points report !valid with no error).
@@ -179,7 +236,13 @@ int run_tool(int argc, const char* const* argv) {
                "latency"});
   std::vector<double> xs, ys;
 
+  // On --resume the on-disk spec/manifests win, so a resumed sweep may have
+  // a different point count than the current --values; label by index then.
   for (std::size_t i = 0; i < aggs.size(); ++i) {
+    if (i >= values.size()) {
+      values.push_back("point_" + std::to_string(i));
+      point_x.push_back(0.0);
+    }
     const tools::SimAggregate& agg = aggs[i];
     if (agg.interrupted) {
       // With pipelining, points after the first incomplete one may also be

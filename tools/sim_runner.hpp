@@ -6,12 +6,15 @@
 // replayable RCB_REPRO record.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "rcb/runtime/coordinator.hpp"
 #include "rcb/runtime/montecarlo.hpp"
 #include "rcb/runtime/scenario.hpp"
+#include "rcb/runtime/shard.hpp"
 #include "rcb/runtime/supervisor.hpp"
 #include "rcb/stats/summary.hpp"
 
@@ -172,6 +175,68 @@ inline std::vector<SimAggregate> run_sweep_points(
     aggs.push_back(aggregate_from_sweep(sweep));
   }
   return aggs;
+}
+
+/// Result of a multi-process sharded sweep (rcb_sweep --workers=N).
+struct ShardedSweepOutcome {
+  bool ok = false;
+  std::string error;
+  bool interrupted = false;          ///< graceful shutdown; resume with root
+  std::size_t shards_completed = 0;
+  std::size_t worker_restarts = 0;   ///< shards reassigned after a crash
+  std::vector<SimAggregate> points;  ///< one per cfg, same as in-process
+};
+
+/// Multi-process sharded sweep: partitions every (point, trial) range into
+/// shards (runtime/shard.hpp), fork/execs up to `workers` worker processes
+/// over them via the coordinator (runtime/coordinator.hpp), and merges the
+/// shard journals into per-point aggregates.  The merged aggregate_digest
+/// per point is bit-identical to run_sweep_points with the same cfgs —
+/// regardless of worker count, worker crashes, or coordinator restarts.
+/// `root` holds sweep.json and the shard_<i>/ checkpoint dirs;
+/// `worker_threads` is the per-worker pool size (<= 0: one worker's fair
+/// share of the affinity mask).  sup.resume re-adopts an existing root.
+inline ShardedSweepOutcome run_sweep_sharded(const std::vector<SimConfig>& cfgs,
+                                             const SupervisorOptions& sup,
+                                             const std::string& root,
+                                             std::size_t workers,
+                                             int worker_threads) {
+  ShardSpec spec;
+  if (worker_threads <= 0) {
+    const std::size_t share =
+        ThreadPool::default_concurrency() / std::max<std::size_t>(workers, 1);
+    worker_threads = static_cast<int>(std::max<std::size_t>(share, 1));
+  }
+  spec.worker_threads = worker_threads;
+  spec.trial_timeout_sec = sup.trial_timeout_sec;
+  spec.trial_slot_budget = sup.trial_slot_budget;
+  spec.max_retries = sup.max_retries;
+  spec.points = cfgs;
+  std::vector<std::uint64_t> trials_per_point;
+  trials_per_point.reserve(cfgs.size());
+  for (const SimConfig& cfg : cfgs) trials_per_point.push_back(cfg.trials);
+  // More shards than workers: losing a worker then only forfeits a fraction
+  // of its trials, and stragglers rebalance across the survivors.
+  spec.shards = make_shard_plan(trials_per_point, workers * 4);
+
+  CoordinatorOptions copt;
+  copt.root = root;
+  copt.workers = workers;
+  copt.resume = sup.resume;
+  const CoordinatorResult res = run_shard_coordinator(spec, copt);
+
+  ShardedSweepOutcome out;
+  out.interrupted = res.interrupted;
+  out.shards_completed = res.shards_completed;
+  out.worker_restarts = res.worker_restarts;
+  out.error = res.error;
+  if (!res.ok) return out;
+  out.points.reserve(res.points.size());
+  for (const SweepResult& sweep : res.points) {
+    out.points.push_back(aggregate_from_sweep(sweep));
+  }
+  out.ok = true;
+  return out;
 }
 
 }  // namespace rcb::tools
