@@ -7,6 +7,7 @@
 // (b) Lemma 1 empirically: within a single phase, a genuinely reactive
 //     slot-by-slot adversary blocks delivery no better than a committed
 //     suffix jammer of the same budget.
+#include <algorithm>
 #include <iostream>
 #include <memory>
 
@@ -64,6 +65,21 @@ class TriggerHappy final : public SlotAdversary {
     --budget_;
     return true;
   }
+  bool jam_run(SlotIndex begin, SlotIndex end,
+               std::span<const SlotActivity> history,
+               JamRunSink& sink) override {
+    // The trigger can only fire on the run's first slot (later run slots
+    // look back at silence); once triggered, jam until the budget is dry.
+    if (!triggered_ && !history.empty() && history.back().senders > 0) {
+      triggered_ = true;
+    }
+    const SlotCount len = end - begin;
+    const SlotCount jams = triggered_ ? std::min<SlotCount>(budget_, len) : 0;
+    sink.append(jams, true);
+    sink.append(len - jams, false);
+    budget_ -= jams;
+    return true;
+  }
   SlotCount history_window() const override { return 1; }
 
  private:
@@ -78,6 +94,13 @@ class SuffixSlotAdversary final : public SlotAdversary {
       : start_(num_slots > budget ? num_slots - budget : 0) {}
   bool jam(SlotIndex slot, std::span<const SlotActivity>) override {
     return slot >= start_;
+  }
+  bool jam_run(SlotIndex begin, SlotIndex end, std::span<const SlotActivity>,
+               JamRunSink& sink) override {
+    const SlotIndex split = std::clamp(start_, begin, end);
+    sink.append(split - begin, false);
+    sink.append(end - split, true);
+    return true;
   }
   SlotCount history_window() const override { return 0; }
 

@@ -66,6 +66,11 @@ std::vector<NodeAction> make_actions(int n, double total_rate) {
 class Passive final : public SlotAdversary {
  public:
   bool jam(SlotIndex, std::span<const SlotActivity>) override { return false; }
+  bool jam_run(SlotIndex begin, SlotIndex end,
+               std::span<const SlotActivity>, JamRunSink& sink) override {
+    sink.append(end - begin, false);
+    return true;
+  }
   SlotCount history_window() const override { return 0; }
 };
 
@@ -74,6 +79,15 @@ class Reactive final : public SlotAdversary {
  public:
   bool jam(SlotIndex, std::span<const SlotActivity> history) override {
     return !history.empty() && history.back().senders > 0;
+  }
+  bool jam_run(SlotIndex begin, SlotIndex end,
+               std::span<const SlotActivity> history,
+               JamRunSink& sink) override {
+    // Only the run's first slot can see a transmission in its lookback.
+    const bool first = !history.empty() && history.back().senders > 0;
+    sink.append(1, first);
+    sink.append(end - begin - 1, false);
+    return true;
   }
   SlotCount history_window() const override { return 1; }
 };

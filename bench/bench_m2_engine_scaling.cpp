@@ -36,6 +36,16 @@ class Reactive final : public SlotAdversary {
   bool jam(SlotIndex, std::span<const SlotActivity> history) override {
     return !history.empty() && history.back().senders > 0;
   }
+  bool jam_run(SlotIndex begin, SlotIndex end,
+               std::span<const SlotActivity> history,
+               JamRunSink& sink) override {
+    // Only the run's first slot can see a transmission in its lookback;
+    // every later slot looks back at a silent run slot.
+    const bool first = !history.empty() && history.back().senders > 0;
+    sink.append(1, first);
+    sink.append(end - begin - 1, false);
+    return true;
+  }
   SlotCount history_window() const override { return 1; }
 };
 
@@ -184,8 +194,13 @@ void run_bench(bool full, const std::string& out_path, std::uint64_t seed) {
             event_at_accept = m.slots_per_sec;
           }
         }
-        if (std::string(v.name) == "base" &&
-            static_cast<std::uint64_t>(n) * slots <= dense_cap) {
+        // The acceptance cell is always measured (even if the cap shrinks)
+        // so the event-vs-dense speedup entry below never goes missing.
+        const bool dense_this_cell =
+            std::string(v.name) == "base" &&
+            (static_cast<std::uint64_t>(n) * slots <= dense_cap ||
+             (n == accept_n && slots == accept_slots));
+        if (dense_this_cell) {
           FaultPlan faults(fault_config());
           Reactive adversary;
           const auto m = measure(
@@ -447,6 +462,15 @@ void run_bench(bool full, const std::string& out_path, std::uint64_t seed) {
 
   table.print(std::cout);
   if (dense_at_accept > 0 && event_at_accept > 0) {
+    // Machine-readable speedup ratio (dimensionless, carried in the
+    // slots_per_sec field) so tools/bench_compare can gate on it directly
+    // instead of the ratio being recomputed by hand from two entries.
+    bench::BenchEntry e;
+    e.name = "m2/speedup/event_vs_dense";
+    e.config = {{"n", static_cast<double>(accept_n)},
+                {"slots", static_cast<double>(accept_slots)}};
+    e.slots_per_sec = event_at_accept / dense_at_accept;
+    report.add(std::move(e));
     std::printf(
         "\nslotwise speedup (event-driven vs dense) at n=%u, slots=2^20: "
         "%.1fx (acceptance bar: >= 5x)\n",

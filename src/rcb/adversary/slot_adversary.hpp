@@ -22,11 +22,22 @@
 //     history.size() may be smaller than the slot index.  Returning 0 means
 //     the adversary is oblivious to history (time-triggered or randomized
 //     strategies) and always receives an empty span.
+// Bulk consultation (the engine fast path):
+//   Most of a phase is *eventless* — nobody sends or listens.  For a maximal
+//   eventless run of slots the engine may call jam_run() once instead of
+//   jam() per slot.  Answering is optional (the default declines, and the
+//   engine falls back to per-slot jam() calls, bit-identical to the
+//   one-call-per-slot contract); an adversary that answers must produce
+//   exactly the decisions repeated jam() calls would have produced, where
+//   each elapsed run slot appears in the materialized history as a
+//   zero-sender record carrying the adversary's own decision.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 
+#include "rcb/common/contracts.hpp"
 #include "rcb/common/types.hpp"
 
 namespace rcb {
@@ -37,6 +48,49 @@ struct SlotActivity {
   SlotIndex slot = 0;
   std::uint32_t senders = 0;
   bool jammed = false;
+};
+
+/// Run-length-encoded jam decisions for one eventless run, filled by
+/// SlotAdversary::jam_run().  Capacity is deliberately small: a strategy
+/// whose decisions over an eventless run need more than kMaxSegments
+/// alternations should decline the call (append() returns false) and let
+/// the engine drive it slot by slot.
+class JamRunSink {
+ public:
+  static constexpr std::size_t kMaxSegments = 64;
+
+  struct Segment {
+    SlotCount length;
+    bool jammed;
+  };
+
+  /// Appends `length` slots with one decision; adjacent same-decision
+  /// segments merge.  Returns false (sink unchanged) when capacity is
+  /// exhausted — the caller should then decline the jam_run() call.
+  bool append(SlotCount length, bool jammed) {
+    if (length == 0) return true;
+    if (count_ > 0 && segments_[count_ - 1].jammed == jammed) {
+      segments_[count_ - 1].length += length;
+    } else {
+      if (count_ == kMaxSegments) return false;
+      segments_[count_++] = Segment{length, jammed};
+    }
+    total_ += length;
+    return true;
+  }
+
+  std::span<const Segment> segments() const { return {segments_.data(), count_}; }
+  SlotCount total() const { return total_; }
+
+  void reset() {
+    count_ = 0;
+    total_ = 0;
+  }
+
+ private:
+  std::array<Segment, kMaxSegments> segments_;
+  std::size_t count_ = 0;
+  SlotCount total_ = 0;
 };
 
 /// Adversary interface for the slotwise engine.
@@ -51,6 +105,27 @@ class SlotAdversary {
   /// previous slots of this phase (see the history contract above).  Return
   /// true to jam `slot`.
   virtual bool jam(SlotIndex slot, std::span<const SlotActivity> history) = 0;
+
+  /// Optional bulk form of jam() for a maximal eventless run [begin, end):
+  /// no node sends or listens in any slot of the run, so every run slot's
+  /// history record is {slot, 0, <own decision>}.  `history` is the state
+  /// as of `begin` (same view jam(begin, ...) would receive).  To answer,
+  /// append decisions for exactly end - begin slots (in slot order) to
+  /// `sink`, advance any internal state exactly as per-slot jam() calls
+  /// would have, and return true.  To decline — the default — return false
+  /// *without mutating any state*; the engine then issues the per-slot
+  /// jam() calls itself.  Answering is a pure optimization: decisions must
+  /// be identical to the per-slot path's, and the engine enforces
+  /// sink.total() == end - begin.
+  virtual bool jam_run(SlotIndex begin, SlotIndex end,
+                       std::span<const SlotActivity> history,
+                       JamRunSink& sink) {
+    (void)begin;
+    (void)end;
+    (void)history;
+    (void)sink;
+    return false;
+  }
 
   /// Upper bound on how many trailing history records jam() inspects.
   /// Defaults to unbounded; override for O(1)-lookback strategies so the

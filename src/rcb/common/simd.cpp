@@ -1,0 +1,72 @@
+#include "rcb/common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "rcb/common/contracts.hpp"
+
+namespace rcb::simd {
+namespace {
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RCB_SIMD_HAS_AVX2_KERNELS 1
+#endif
+
+bool detect_avx2() {
+#ifdef RCB_SIMD_HAS_AVX2_KERNELS
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+Mode resolve_default() {
+  if (!avx2_available()) return Mode::kScalar;
+  if (const char* env = std::getenv("RCB_SIMD")) {
+    if (std::strcmp(env, "avx2") == 0) return Mode::kAvx2;
+    if (std::strcmp(env, "scalar") == 0) return Mode::kScalar;
+  }
+#ifdef RCB_NATIVE_BUILD
+  return Mode::kAvx2;
+#else
+  return Mode::kScalar;
+#endif
+}
+
+// 0 = no override, 1 = scalar, 2 = avx2.  Relaxed is fine: tests set the
+// override before spawning engine work, and a racy read only ever selects
+// one of two bit-identical implementations.
+std::atomic<int> g_override{0};
+
+}  // namespace
+
+bool avx2_available() {
+  static const bool available = detect_avx2();
+  return available;
+}
+
+Mode active_mode() {
+  switch (g_override.load(std::memory_order_relaxed)) {
+    case 1:
+      return Mode::kScalar;
+    case 2:
+      return Mode::kAvx2;
+    default: {
+      static const Mode resolved = resolve_default();
+      return resolved;
+    }
+  }
+}
+
+void set_mode(Mode mode) {
+  // kAvx2 may only be forced on a host that can actually run the kernels.
+  if (mode == Mode::kAvx2) RCB_REQUIRE(avx2_available());
+  g_override.store(mode == Mode::kAvx2 ? 2 : 1, std::memory_order_relaxed);
+}
+
+void clear_mode_override() {
+  g_override.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rcb::simd

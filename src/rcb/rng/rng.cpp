@@ -13,6 +13,10 @@ std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
 }
 
+std::uint64_t rotr(std::uint64_t x, int k) {
+  return (x >> k) | (x << (64 - k));
+}
+
 }  // namespace
 
 std::uint64_t splitmix64_next(std::uint64_t& state) {
@@ -80,6 +84,27 @@ bool Rng::bernoulli(double p) {
 
 double Rng::exponential() {
   return -std::log(uniform_double_open());
+}
+
+void Rng::rewind(std::uint64_t draws) {
+  // The next_u64 state transition is linear over GF(2):
+  //   t  = a1 << 17
+  //   b2 = a2 ^ a0 ^ t,  b3 = rotl(a3 ^ a1, 45),
+  //   b1 = a1 ^ a2 ^ a0, b0 = a0 ^ a3 ^ a1.
+  // Solving for (a0..a3): note b1 ^ b2 = a1 ^ (a1 << 17); the shift-by-17
+  // map L is nilpotent (L^4 = 0), so (I ^ L)^-1 = I ^ L ^ L^2 ^ L^3.
+  while (draws-- > 0) {
+    const std::uint64_t b0 = s_[0], b1 = s_[1], b2 = s_[2], b3 = s_[3];
+    const std::uint64_t x3 = rotr(b3, 45);  // a3 ^ a1
+    const std::uint64_t c = b1 ^ b2;        // a1 ^ (a1 << 17)
+    const std::uint64_t a1 = c ^ (c << 17) ^ (c << 34) ^ (c << 51);
+    const std::uint64_t x2 = b1 ^ a1;  // a2 ^ a0
+    const std::uint64_t a0 = b0 ^ x3;
+    s_[0] = a0;
+    s_[1] = a1;
+    s_[2] = x2 ^ a0;
+    s_[3] = x3 ^ a1;
+  }
 }
 
 }  // namespace rcb

@@ -48,6 +48,13 @@ class Rng {
   /// Standard exponential variate (rate 1).
   double exponential();
 
+  /// Steps the state backwards by `draws` calls to next_u64().  The
+  /// xoshiro256** transition is linear over GF(2) and therefore invertible;
+  /// this lets block-speculative consumers (the SIMD geometric-skip sampler)
+  /// draw a fixed-width batch and return the unused tail to the stream, so
+  /// the observable draw sequence stays identical to one-at-a-time use.
+  void rewind(std::uint64_t draws = 1);
+
   /// Snapshot of the internal state, for tests.
   std::array<std::uint64_t, 4> state() const { return s_; }
 

@@ -32,11 +32,8 @@ SlotIndex BernoulliSlotSampler::next() {
 void sample_bernoulli_slots(SlotCount num_slots, double p, Rng& rng,
                             std::vector<SlotIndex>& out) {
   out.clear();
-  BernoulliSlotSampler sampler(num_slots, p, rng);
-  for (SlotIndex s = sampler.next(); s != BernoulliSlotSampler::kEnd;
-       s = sampler.next()) {
-    out.push_back(s);
-  }
+  for_each_bernoulli_slot(num_slots, p, rng, detail::skip_block_fn(),
+                          [&](SlotIndex s) { out.push_back(s); });
 }
 
 std::uint64_t binomial(std::uint64_t n, double p, Rng& rng) {

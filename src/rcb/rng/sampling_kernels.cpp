@@ -1,0 +1,149 @@
+// Geometric-skip block kernels: scalar reference and AVX2.
+//
+// Both kernels compute, for four raw 64-bit RNG outputs,
+//
+//     skip_i = floor(log(1 - (raw_i >> 11) * 2^-53) * inv_log1mp)
+//
+// and must agree bit-for-bit.  The AVX2 path evaluates a vector log via
+// exponent/mantissa decomposition and an atanh series, which is *not*
+// correctly rounded — so it brackets each result with a guard interval wide
+// enough to cover both its own error and std::log's, and recomputes any lane
+// whose floor is ambiguous with the scalar reference.  Agreement is therefore
+// by construction, not by hoping two libm-quality logs round the same way;
+// the guard fires on a negligible fraction of draws (it is proportional to
+// the interval width, ~2^-40 of a slot for typical probabilities).
+#include <cmath>
+#include <cstdint>
+
+#include "rcb/common/simd.hpp"
+#include "rcb/rng/sampling.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RCB_SAMPLING_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace rcb::detail {
+
+void skip_block_scalar(const std::uint64_t raw[4], double inv_log1mp,
+                       double out[4]) {
+  for (int i = 0; i < 4; ++i) {
+    // Identical to Rng::uniform_double_open() on the same raw draw.
+    const double u =
+        1.0 - static_cast<double>(raw[i] >> 11) * 0x1.0p-53;
+    out[i] = std::floor(std::log(u) * inv_log1mp);
+  }
+}
+
+#ifdef RCB_SAMPLING_AVX2
+
+__attribute__((target("avx2,fma"))) void skip_block_avx2(
+    const std::uint64_t raw[4], double inv_log1mp, double out[4]) {
+  const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(raw));
+  // u = 1 - (raw>>11)*2^-53 == (2^53 - (raw>>11)) * 2^-53 exactly: the
+  // integer v = 2^53 - top53 is in [1, 2^53], exactly representable, so the
+  // subtraction the scalar path performs in floating point is replayed here
+  // as exact integer arithmetic.
+  const __m256i top53 = _mm256_srli_epi64(x, 11);
+  const __m256i v =
+      _mm256_sub_epi64(_mm256_set1_epi64x(std::int64_t{1} << 53), top53);
+  // Exact int64 -> double for v <= 2^53 (split into 32-bit halves carried by
+  // the 2^84 / 2^52 exponent windows).
+  __m256i vh = _mm256_srli_epi64(v, 32);
+  vh = _mm256_or_si256(vh, _mm256_castpd_si256(_mm256_set1_pd(0x1.0p84)));
+  const __m256i vl = _mm256_blend_epi16(
+      v, _mm256_castpd_si256(_mm256_set1_pd(0x1.0p52)), 0xcc);
+  const __m256d vd = _mm256_add_pd(
+      _mm256_sub_pd(_mm256_castsi256_pd(vh),
+                    _mm256_set1_pd(0x1.0p84 + 0x1.0p52)),
+      _mm256_castsi256_pd(vl));
+  const __m256d u = _mm256_mul_pd(vd, _mm256_set1_pd(0x1.0p-53));
+
+  // Decompose u = 2^e * m with m in [sqrt(2)/2, sqrt(2)).  u is in
+  // [2^-53, 1] and always normal, so the exponent field is authoritative.
+  const __m256i bits = _mm256_castpd_si256(u);
+  __m256i e_i = _mm256_sub_epi64(_mm256_srli_epi64(bits, 52),
+                                 _mm256_set1_epi64x(1023));
+  __m256d m = _mm256_castsi256_pd(_mm256_or_si256(
+      _mm256_and_si256(bits, _mm256_set1_epi64x(0x000FFFFFFFFFFFFFll)),
+      _mm256_set1_epi64x(0x3FF0000000000000ll)));  // mantissa in [1, 2)
+  const __m256d ge_sqrt2 =
+      _mm256_cmp_pd(m, _mm256_set1_pd(1.4142135623730951), _CMP_GE_OQ);
+  m = _mm256_blendv_pd(m, _mm256_mul_pd(m, _mm256_set1_pd(0.5)), ge_sqrt2);
+  e_i = _mm256_add_epi64(
+      e_i, _mm256_and_si256(_mm256_castpd_si256(ge_sqrt2),
+                            _mm256_set1_epi64x(1)));
+  // e is in [-53, 0]: bias into the 2^52 window for an exact int -> double.
+  const __m256d e_d = _mm256_sub_pd(
+      _mm256_castsi256_pd(_mm256_or_si256(
+          _mm256_add_epi64(e_i, _mm256_set1_epi64x(1075)),
+          _mm256_castpd_si256(_mm256_set1_pd(0x1.0p52)))),
+      _mm256_set1_pd(0x1.0p52 + 1075.0));
+
+  // log(m) = 2 atanh(r), r = (m-1)/(m+1) in [-0.1716, 0.1716]; the odd
+  // series truncated at r^21 has error < 2^-55 |log m|.
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d r =
+      _mm256_div_pd(_mm256_sub_pd(m, one), _mm256_add_pd(m, one));
+  const __m256d s = _mm256_mul_pd(r, r);
+  __m256d poly = _mm256_set1_pd(1.0 / 21.0);
+  poly = _mm256_fmadd_pd(poly, s, _mm256_set1_pd(1.0 / 19.0));
+  poly = _mm256_fmadd_pd(poly, s, _mm256_set1_pd(1.0 / 17.0));
+  poly = _mm256_fmadd_pd(poly, s, _mm256_set1_pd(1.0 / 15.0));
+  poly = _mm256_fmadd_pd(poly, s, _mm256_set1_pd(1.0 / 13.0));
+  poly = _mm256_fmadd_pd(poly, s, _mm256_set1_pd(1.0 / 11.0));
+  poly = _mm256_fmadd_pd(poly, s, _mm256_set1_pd(1.0 / 9.0));
+  poly = _mm256_fmadd_pd(poly, s, _mm256_set1_pd(1.0 / 7.0));
+  poly = _mm256_fmadd_pd(poly, s, _mm256_set1_pd(1.0 / 5.0));
+  poly = _mm256_fmadd_pd(poly, s, _mm256_set1_pd(1.0 / 3.0));
+  poly = _mm256_fmadd_pd(poly, s, one);
+  const __m256d logm = _mm256_mul_pd(_mm256_add_pd(r, r), poly);
+
+  // log(u) = e*ln2 + log(m), with ln2 split so the e*ln2_hi product is exact
+  // for |e| <= 53 (ln2_hi has its low 22 significand bits zero).
+  const __m256d t = _mm256_fmadd_pd(
+      e_d, _mm256_set1_pd(6.93147180369123816490e-01),
+      _mm256_fmadd_pd(e_d, _mm256_set1_pd(1.90821492927058770002e-10), logm));
+  const __m256d inv = _mm256_set1_pd(inv_log1mp);
+  const __m256d y = _mm256_mul_pd(t, inv);
+
+  // Guard interval: the series path is good to ~|t| * 2^-48 and std::log to
+  // ~|t| * 2^-53, so a band of |t| * 2^-43 (plus slack for the final
+  // multiply) brackets the scalar result with a wide margin.  If both ends
+  // floor the same, that floor is the scalar floor; otherwise redo the lane
+  // with std::log itself.  NaN/inf lanes (degenerate inv_log1mp) never
+  // compare equal and always take the scalar path.
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFll));
+  const __m256d delta = _mm256_fmadd_pd(
+      _mm256_mul_pd(
+          _mm256_add_pd(_mm256_and_pd(t, abs_mask), _mm256_set1_pd(0x1.0p-40)),
+          _mm256_and_pd(inv, abs_mask)),
+      _mm256_set1_pd(0x1.0p-43),
+      _mm256_fmadd_pd(_mm256_and_pd(y, abs_mask), _mm256_set1_pd(0x1.0p-47),
+                      _mm256_set1_pd(0x1.0p-47)));
+  const __m256d lo = _mm256_floor_pd(_mm256_sub_pd(y, delta));
+  const __m256d hi = _mm256_floor_pd(_mm256_add_pd(y, delta));
+  _mm256_storeu_pd(out, lo);
+  const int unambiguous =
+      _mm256_movemask_pd(_mm256_cmp_pd(lo, hi, _CMP_EQ_OQ));
+  if (unambiguous != 0xF) {
+    for (int lane = 0; lane < 4; ++lane) {
+      if (unambiguous & (1 << lane)) continue;
+      const double ul =
+          1.0 - static_cast<double>(raw[lane] >> 11) * 0x1.0p-53;
+      out[lane] = std::floor(std::log(ul) * inv_log1mp);
+    }
+  }
+}
+
+#endif  // RCB_SAMPLING_AVX2
+
+SkipBlockFn skip_block_fn() {
+#ifdef RCB_SAMPLING_AVX2
+  if (simd::active_mode() == simd::Mode::kAvx2) return &skip_block_avx2;
+#endif
+  return &skip_block_scalar;
+}
+
+}  // namespace rcb::detail

@@ -20,6 +20,7 @@
 #include "rcb/common/contracts.hpp"
 #include "rcb/rng/rng.hpp"
 #include "rcb/runtime/thread_pool.hpp"
+#include "rcb/sim/engine_workspace.hpp"
 
 namespace rcb {
 
@@ -91,6 +92,9 @@ std::vector<Result> run_trials(std::size_t trials, std::uint64_t master_seed,
           if (failed.load(std::memory_order_relaxed)) break;
           try {
             Rng rng = Rng::stream(master_seed, t);
+            // Trial boundary: rewind this thread's engine arena so the
+            // trial's scratch state replays from the same addresses.
+            engine_workspace_begin_trial();
             local.push_back(fn(t, rng));
           } catch (...) {
             std::lock_guard<std::mutex> lock(failure_mutex);

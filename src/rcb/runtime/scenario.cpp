@@ -18,6 +18,7 @@
 #include "rcb/protocols/naive_broadcast.hpp"
 #include "rcb/protocols/one_to_one.hpp"
 #include "rcb/protocols/sqrt_broadcast.hpp"
+#include "rcb/sim/engine_workspace.hpp"
 
 namespace rcb {
 namespace {
@@ -339,6 +340,9 @@ TrialOutcome run_scenario_trial(const Scenario& s, std::uint64_t trial) {
   ReproScope repro(s.seed, trial, scenario_to_json(s));
 
   Rng rng = Rng::stream(s.seed, trial);
+  // Trial boundary: rewind this thread's engine arena so the trial's
+  // scratch state replays from the same addresses.
+  engine_workspace_begin_trial();
   FaultPlan faults(s.faults);
   FaultPlan* fp = faults.active() ? &faults : nullptr;
 

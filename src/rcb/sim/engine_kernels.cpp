@@ -1,0 +1,102 @@
+#include "rcb/sim/engine_kernels.hpp"
+
+#include "rcb/common/simd.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RCB_ENGINE_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace rcb::engine_kernels {
+namespace {
+
+std::size_t count_keys_below_scalar(const std::uint64_t* keys,
+                                    std::size_t count, std::uint64_t bound) {
+  std::size_t i = 0;
+  while (i < count && keys[i] < bound) ++i;
+  return i;
+}
+
+void fill_history_scalar(SlotActivity* dst, SlotIndex first_slot,
+                         SlotCount len, bool jammed) {
+  for (SlotCount k = 0; k < len; ++k) {
+    dst[k] = SlotActivity{first_slot + k, 0, jammed};
+  }
+}
+
+#ifdef RCB_ENGINE_AVX2
+
+__attribute__((target("avx2"))) std::size_t count_keys_below_avx2(
+    const std::uint64_t* keys, std::size_t count, std::uint64_t bound) {
+  // AVX2 has signed 64-bit compares only; flipping the sign bit maps the
+  // unsigned order onto the signed one.
+  const __m256i flip = _mm256_set1_epi64x(
+      static_cast<std::int64_t>(std::uint64_t{1} << 63));
+  const __m256i vbound = _mm256_xor_si256(
+      _mm256_set1_epi64x(static_cast<std::int64_t>(bound)), flip);
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m256i k = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i)), flip);
+    // Lane mask of keys[i..i+3] < bound; the keys are sorted, so the first
+    // not-below lane ends the scan.
+    const int below = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpgt_epi64(vbound, k)));
+    if (below != 0xF) {
+      return i + static_cast<std::size_t>(
+                     __builtin_ctz(static_cast<unsigned>(~below & 0xF)));
+    }
+  }
+  while (i < count && keys[i] < bound) ++i;
+  return i;
+}
+
+__attribute__((target("avx2"))) void fill_history_avx2(SlotActivity* dst,
+                                                       SlotIndex first_slot,
+                                                       SlotCount len,
+                                                       bool jammed) {
+  static_assert(sizeof(SlotActivity) == 16);
+  // One SlotActivity is {u64 slot; u32 senders; u8 jammed; pad} — two
+  // records per 256-bit store: [slot, flags, slot+1, flags].
+  const std::uint64_t flags = jammed ? (std::uint64_t{1} << 32) : 0;
+  SlotCount k = 0;
+  if (len >= 2) {
+    __m256i rec = _mm256_set_epi64x(
+        static_cast<std::int64_t>(flags),
+        static_cast<std::int64_t>(first_slot + 1),
+        static_cast<std::int64_t>(flags), static_cast<std::int64_t>(first_slot));
+    const __m256i step = _mm256_set_epi64x(0, 2, 0, 2);
+    for (; k + 2 <= len; k += 2) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + k), rec);
+      rec = _mm256_add_epi64(rec, step);
+    }
+  }
+  for (; k < len; ++k) dst[k] = SlotActivity{first_slot + k, 0, jammed};
+}
+
+#endif  // RCB_ENGINE_AVX2
+
+}  // namespace
+
+std::size_t count_keys_below(const std::uint64_t* keys, std::size_t count,
+                             std::uint64_t bound) {
+#ifdef RCB_ENGINE_AVX2
+  if (count >= 8 && simd::active_mode() == simd::Mode::kAvx2) {
+    return count_keys_below_avx2(keys, count, bound);
+  }
+#endif
+  return count_keys_below_scalar(keys, count, bound);
+}
+
+void fill_history_records(SlotActivity* dst, SlotIndex first_slot,
+                          SlotCount len, bool jammed) {
+#ifdef RCB_ENGINE_AVX2
+  if (len >= 8 && simd::active_mode() == simd::Mode::kAvx2) {
+    fill_history_avx2(dst, first_slot, len, jammed);
+    return;
+  }
+#endif
+  fill_history_scalar(dst, first_slot, len, jammed);
+}
+
+}  // namespace rcb::engine_kernels

@@ -1,0 +1,62 @@
+// Hot inner kernels shared by the channel engines, with AVX2 variants.
+//
+// Every kernel here is dispatched on simd::active_mode() and the AVX2
+// variants are bit-identical to the scalar ones (they produce the same
+// bytes; the simulation's RNG stream is untouched).  The presample helper
+// ties the geometric-skip block sampler to the packed event-key layout of
+// EngineWorkspace, so both engines share one schedule-generation path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rcb/adversary/slot_adversary.hpp"
+#include "rcb/common/types.hpp"
+#include "rcb/rng/sampling.hpp"
+#include "rcb/sim/engine_workspace.hpp"
+#include "rcb/sim/faults.hpp"
+#include "rcb/sim/repetition_engine.hpp"
+
+namespace rcb::engine_kernels {
+
+/// Number of leading keys (sorted ascending) strictly below `bound` —
+/// event-group and sender/listener boundary resolution over packed keys.
+std::size_t count_keys_below(const std::uint64_t* keys, std::size_t count,
+                             std::uint64_t bound);
+
+/// Writes `len` zero-sender history records with consecutive slots
+/// [first_slot, first_slot + len) and one jam decision into `dst`.
+void fill_history_records(SlotActivity* dst, SlotIndex first_slot,
+                          SlotCount len, bool jammed);
+
+/// Presamples one node's send/listen events into ws.events as packed keys.
+/// Listens colliding with the node's own sends are dropped (half-duplex);
+/// a crashed node's events are dropped after sampling, so the Rng stream is
+/// consumed identically with and without an active FaultPlan.  Draw-for-draw
+/// identical to the pre-SoA per-node generators in both engines.
+inline void presample_node_events(NodeId u, const NodeAction& action,
+                                  SlotCount num_slots, Rng& rng,
+                                  EngineWorkspace& ws, FaultPlan* faults,
+                                  detail::SkipBlockFn skip_block) {
+  auto& send_slots = ws.send_slots;
+  send_slots.clear();
+  for_each_bernoulli_slot(num_slots, action.send_prob, rng, skip_block,
+                          [&](SlotIndex s) { send_slots.push_back(s); });
+  for (SlotIndex s : send_slots) {
+    if (faults != nullptr && faults->node_down(u, s)) continue;
+    ws.events.push_back(event_key::pack(s, false, u));
+  }
+
+  std::size_t si = 0;  // cursor into send_slots
+  for_each_bernoulli_slot(
+      num_slots, action.listen_prob, rng, skip_block, [&](SlotIndex s) {
+        while (si < send_slots.size() && send_slots[si] < s) ++si;
+        if (si < send_slots.size() && send_slots[si] == s) {
+          return;  // busy sending
+        }
+        if (faults != nullptr && faults->node_down(u, s)) return;
+        ws.events.push_back(event_key::pack(s, true, u));
+      });
+}
+
+}  // namespace rcb::engine_kernels

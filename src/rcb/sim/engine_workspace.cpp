@@ -1,0 +1,20 @@
+#include "rcb/sim/engine_workspace.hpp"
+
+namespace rcb {
+
+void EngineWorkspace::begin_trial() {
+  arena.reset();
+  events.detach();
+  send_slots.detach();
+  history.detach();
+  payloads.detach();
+}
+
+EngineWorkspace& engine_workspace() {
+  thread_local EngineWorkspace workspace;
+  return workspace;
+}
+
+void engine_workspace_begin_trial() { engine_workspace().begin_trial(); }
+
+}  // namespace rcb

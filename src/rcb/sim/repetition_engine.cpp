@@ -5,49 +5,11 @@
 #include "rcb/common/contracts.hpp"
 #include "rcb/rng/sampling.hpp"
 #include "rcb/runtime/cancel.hpp"
+#include "rcb/sim/engine_kernels.hpp"
+#include "rcb/sim/engine_workspace.hpp"
 
 namespace rcb {
 namespace {
-
-// A send or listen event at a specific slot.  Sorted so that the sweep sees
-// all of a slot's senders before its listeners.
-struct Event {
-  SlotIndex slot;
-  NodeId node;
-  bool is_listen;
-
-  friend bool operator<(const Event& a, const Event& b) {
-    if (a.slot != b.slot) return a.slot < b.slot;
-    if (a.is_listen != b.is_listen) return !a.is_listen;  // senders first
-    return a.node < b.node;
-  }
-};
-
-// Generates all events for one node.  Listens that collide with the node's
-// own sends are dropped (half-duplex: the send wins and is the only charge).
-// A node that is crashed in a slot (fault injection) neither sends nor
-// listens there; the slots are sampled regardless, so the main Rng stream
-// is consumed identically with and without an active FaultPlan.
-void generate_node_events(NodeId u, const NodeAction& action,
-                          SlotCount num_slots, Rng& rng,
-                          std::vector<Event>& events, FaultPlan* faults) {
-  thread_local std::vector<SlotIndex> send_slots;
-  sample_bernoulli_slots(num_slots, action.send_prob, rng, send_slots);
-  for (SlotIndex s : send_slots) {
-    if (faults != nullptr && faults->node_down(u, s)) continue;
-    events.push_back(Event{s, u, false});
-  }
-
-  BernoulliSlotSampler listens(num_slots, action.listen_prob, rng);
-  std::size_t si = 0;  // cursor into send_slots
-  for (SlotIndex s = listens.next(); s != BernoulliSlotSampler::kEnd;
-       s = listens.next()) {
-    while (si < send_slots.size() && send_slots[si] < s) ++si;
-    if (si < send_slots.size() && send_slots[si] == s) continue;  // busy sending
-    if (faults != nullptr && faults->node_down(u, s)) continue;
-    events.push_back(Event{s, u, true});
-  }
-}
 
 Reception resolve(std::uint32_t sender_count, Payload single_payload,
                   bool jammed) {
@@ -75,6 +37,8 @@ RepetitionResult run_repetition_luniform(
   RCB_REQUIRE(actions.size() == partition.size());
   RCB_REQUIRE(!schedules.empty());
   for (std::uint32_t p : partition) RCB_REQUIRE(p < schedules.size());
+  RCB_REQUIRE(actions.size() <= event_key::kMaxNodes);
+  RCB_REQUIRE(num_slots <= event_key::kMaxSlots);
 
   // Cooperative cancellation checkpoint: one poll per repetition keeps a
   // watchdogged or slot-budgeted trial from stalling a sweep for more than
@@ -89,44 +53,61 @@ RepetitionResult run_repetition_luniform(
   RepetitionResult result;
   result.obs.resize(actions.size());
 
-  thread_local std::vector<Event> events;
-  events.clear();
+  EngineWorkspace& ws = engine_workspace();
+  const detail::SkipBlockFn skip_block = detail::skip_block_fn();
+  ws.events.clear();
   // Size the event buffer from the expected activity: one event per success
   // of each node's per-slot send/listen Bernoullis.
   double expected_rate = 0.0;
   for (const NodeAction& a : actions) {
     expected_rate += a.send_prob + a.listen_prob;
   }
-  events.reserve(static_cast<std::size_t>(
-                     expected_rate * static_cast<double>(num_slots)) +
-                 16);
+  ws.events.reserve(static_cast<std::size_t>(
+                        expected_rate * static_cast<double>(num_slots)) +
+                    16);
   for (NodeId u = 0; u < actions.size(); ++u) {
-    generate_node_events(u, actions[u], num_slots, rng, events, faults);
+    engine_kernels::presample_node_events(u, actions[u], num_slots, rng, ws,
+                                          faults, skip_block);
   }
-  std::sort(events.begin(), events.end());
+  std::sort(ws.events.begin(), ws.events.end());
+
+  // Per-node effective payload with sender-side clock skew applied (skew is
+  // fixed per phase).
+  ws.payloads.clear();
+  ws.payloads.reserve(actions.size());
+  for (NodeId u = 0; u < actions.size(); ++u) {
+    Payload p = actions[u].payload;
+    if (faults != nullptr && faults->node_skewed(u)) p = Payload::kNoise;
+    ws.payloads.push_back(static_cast<std::uint8_t>(p));
+  }
 
   // Sweep slot groups: count senders, then deliver receptions to listeners.
+  const std::uint64_t* keys = ws.events.data();
+  const std::size_t num_events = ws.events.size();
   std::size_t i = 0;
-  while (i < events.size()) {
-    const SlotIndex slot = events[i].slot;
-    std::uint32_t sender_count = 0;
+  while (i < num_events) {
+    const SlotIndex slot = event_key::slot(keys[i]);
+    const std::size_t group_end =
+        i + engine_kernels::count_keys_below(
+                keys + i, num_events - i, event_key::pack(slot + 1, false, 0));
+    const std::size_t senders_end =
+        i + engine_kernels::count_keys_below(
+                keys + i, group_end - i, event_key::pack(slot, true, 0));
+
+    const auto sender_count = static_cast<std::uint32_t>(senders_end - i);
     Payload single_payload = Payload::kNoise;
-    std::size_t j = i;
-    for (; j < events.size() && events[j].slot == slot && !events[j].is_listen;
-         ++j) {
-      ++sender_count;
-      single_payload = actions[events[j].node].payload;
+    for (std::size_t j = i; j < senders_end; ++j) {
+      const NodeId u = event_key::node(keys[j]);
       // A clock-skewed transmitter straddles slot boundaries: its signal is
-      // energy without a decodable payload.
-      if (faults != nullptr && faults->node_skewed(events[j].node)) {
-        single_payload = Payload::kNoise;
-      }
-      ++result.obs[events[j].node].sends;
+      // energy without a decodable payload (folded into ws.payloads).
+      single_payload = static_cast<Payload>(ws.payloads[u]);
+      ++result.obs[u].sends;
     }
+
     std::uint32_t listener_count = 0;
     bool any_jam_seen = false;
-    for (; j < events.size() && events[j].slot == slot; ++j) {
-      const NodeId u = events[j].node;
+    for (std::size_t j = senders_end; j < group_end; ++j) {
+      const NodeId u = event_key::node(keys[j]);
       NodeObservation& o = result.obs[u];
       ++o.listens;
       ++listener_count;
@@ -165,7 +146,7 @@ RepetitionResult run_repetition_luniform(
     if (trace != nullptr) {
       trace->record(slot, sender_count, listener_count, any_jam_seen);
     }
-    i = j;
+    i = group_end;
   }
 
   // Nodes that never heard m listened for the whole phase.

@@ -6,23 +6,11 @@
 #include "rcb/common/contracts.hpp"
 #include "rcb/rng/sampling.hpp"
 #include "rcb/runtime/cancel.hpp"
+#include "rcb/sim/engine_kernels.hpp"
+#include "rcb/sim/engine_workspace.hpp"
 
 namespace rcb {
 namespace {
-
-// A send or listen event at a specific slot.  Sorted so that the sweep sees
-// all of a slot's senders before its listeners.
-struct SlotEvent {
-  SlotIndex slot;
-  NodeId node;
-  bool is_listen;
-
-  friend bool operator<(const SlotEvent& a, const SlotEvent& b) {
-    if (a.slot != b.slot) return a.slot < b.slot;
-    if (a.is_listen != b.is_listen) return !a.is_listen;  // senders first
-    return a.node < b.node;
-  }
-};
 
 Reception resolve(std::uint32_t sender_count, Payload single_payload,
                   bool jammed) {
@@ -61,30 +49,52 @@ void record(NodeObservation& o, Reception heard, SlotIndex slot) {
   }
 }
 
-// Presamples one node's send/listen slots with the same skip sampling the
-// batch engine uses.  Listens that collide with the node's own sends are
-// dropped (half-duplex: the send wins and is the only charge).  A node that
-// is crashed in a slot neither sends nor listens there; the slots are
-// sampled regardless, so the main Rng stream is consumed identically with
-// and without an active FaultPlan.
-void generate_node_events(NodeId u, const NodeAction& action,
-                          SlotCount num_slots, Rng& rng,
-                          std::vector<SlotEvent>& events, FaultPlan* faults) {
-  thread_local std::vector<SlotIndex> send_slots;
-  sample_bernoulli_slots(num_slots, action.send_prob, rng, send_slots);
-  for (SlotIndex s : send_slots) {
-    if (faults != nullptr && faults->node_down(u, s)) continue;
-    events.push_back(SlotEvent{s, u, false});
+// Appends one history record, keeping the bounded-window buffer compacted
+// exactly as the pre-SoA engine did (compact to the trailing `window`
+// records whenever the buffer reaches 2 * window).
+void push_history(ArenaVector<SlotActivity>& history, const SlotActivity& rec,
+                  SlotCount window, bool bounded) {
+  history.push_back(rec);
+  if (bounded && history.size() >= 2 * static_cast<std::size_t>(window)) {
+    history.erase_prefix(history.size() - static_cast<std::size_t>(window));
   }
+}
 
-  BernoulliSlotSampler listens(num_slots, action.listen_prob, rng);
-  std::size_t si = 0;  // cursor into send_slots
-  for (SlotIndex s = listens.next(); s != BernoulliSlotSampler::kEnd;
-       s = listens.next()) {
-    while (si < send_slots.size() && send_slots[si] < s) ++si;
-    if (si < send_slots.size() && send_slots[si] == s) continue;  // busy sending
-    if (faults != nullptr && faults->node_down(u, s)) continue;
-    events.push_back(SlotEvent{s, u, true});
+// Materializes the history of an accepted jam_run: `sink` covers the
+// eventless run starting at `first_slot`.  Only the trailing `window`
+// records of a bounded buffer can ever be observed again, so a run at least
+// that long replaces the buffer with just its own tail — this is what makes
+// long eventless runs O(segments) instead of O(slots) for the O(1)-lookback
+// adversaries the fast path exists for.
+void append_run_history(ArenaVector<SlotActivity>& history,
+                        SlotIndex first_slot, const JamRunSink& sink,
+                        SlotCount window, bool bounded) {
+  if (window == 0) return;
+  const SlotCount len = sink.total();
+  if (bounded && len >= window) {
+    history.clear();
+    const SlotIndex start = first_slot + len - window;
+    SlotIndex cur = first_slot;
+    for (const JamRunSink::Segment& seg : sink.segments()) {
+      const SlotIndex seg_end = cur + seg.length;
+      if (seg_end > start) {
+        const SlotIndex lo = cur > start ? cur : start;
+        engine_kernels::fill_history_records(
+            history.append_uninitialized(seg_end - lo), lo, seg_end - lo,
+            seg.jammed);
+      }
+      cur = seg_end;
+    }
+    return;
+  }
+  SlotIndex cur = first_slot;
+  for (const JamRunSink::Segment& seg : sink.segments()) {
+    engine_kernels::fill_history_records(
+        history.append_uninitialized(seg.length), cur, seg.length, seg.jammed);
+    cur += seg.length;
+  }
+  if (bounded && history.size() >= 2 * static_cast<std::size_t>(window)) {
+    history.erase_prefix(history.size() - static_cast<std::size_t>(window));
   }
 }
 
@@ -95,6 +105,8 @@ SlotwiseResult run_repetition_slotwise(SlotCount num_slots,
                                        SlotAdversary& adversary, Rng& rng,
                                        const CcaModel& cca, FaultPlan* faults) {
   poll_cancellation(num_slots);
+  RCB_REQUIRE(actions.size() <= event_key::kMaxNodes);
+  RCB_REQUIRE(num_slots <= event_key::kMaxSlots);
   if (faults != nullptr && !faults->active()) faults = nullptr;
   if (faults != nullptr) {
     faults->begin_phase(static_cast<std::uint32_t>(actions.size()), num_slots);
@@ -103,64 +115,112 @@ SlotwiseResult run_repetition_slotwise(SlotCount num_slots,
   SlotwiseResult result;
   result.rep.obs.resize(actions.size());
 
-  // Presample every node's activity.  Node action draws are independent of
-  // jamming, so committing them up front leaves the adversary's adaptivity
-  // intact: it still decides each slot knowing everything it could have
-  // physically observed up to that slot.
-  thread_local std::vector<SlotEvent> events;
-  events.clear();
+  // Presample every node's activity into packed event keys.  Node action
+  // draws are independent of jamming, so committing them up front leaves
+  // the adversary's adaptivity intact: it still decides each slot knowing
+  // everything it could have physically observed up to that slot.
+  EngineWorkspace& ws = engine_workspace();
+  const detail::SkipBlockFn skip_block = detail::skip_block_fn();
+  ws.events.clear();
   double expected_rate = 0.0;
   for (const NodeAction& a : actions) {
     expected_rate += a.send_prob + a.listen_prob;
   }
-  events.reserve(static_cast<std::size_t>(
-                     expected_rate * static_cast<double>(num_slots)) +
-                 16);
+  ws.events.reserve(static_cast<std::size_t>(
+                        expected_rate * static_cast<double>(num_slots)) +
+                    16);
   for (NodeId u = 0; u < actions.size(); ++u) {
-    generate_node_events(u, actions[u], num_slots, rng, events, faults);
+    engine_kernels::presample_node_events(u, actions[u], num_slots, rng, ws,
+                                          faults, skip_block);
   }
-  std::sort(events.begin(), events.end());
-  result.event_count = events.size();
+  std::sort(ws.events.begin(), ws.events.end());
+  result.event_count = ws.events.size();
 
-  // History buffer, reused across repetitions.  When the adversary declares
-  // a finite lookback window we keep only a bounded suffix, compacting
-  // amortized-O(1); otherwise every elapsed slot is materialized (empty
-  // slots as zero-sender records).
+  // Per-node effective payload, sender-side clock skew applied (skew is
+  // fixed per phase, so this flat array replaces a FaultPlan query per
+  // sender event).
+  ws.payloads.clear();
+  ws.payloads.reserve(actions.size());
+  for (NodeId u = 0; u < actions.size(); ++u) {
+    Payload p = actions[u].payload;
+    if (faults != nullptr && faults->node_skewed(u)) p = Payload::kNoise;
+    ws.payloads.push_back(static_cast<std::uint8_t>(p));
+  }
+
+  // History buffer.  When the adversary declares a finite lookback window
+  // we keep only a bounded suffix, compacting amortized-O(1); otherwise
+  // every elapsed slot is materialized (empty slots as zero-sender
+  // records).
   const SlotCount window = adversary.history_window();
   // A window covering the whole phase is equivalent to unbounded (and never
   // needs compaction, so 2 * window below cannot overflow).
   const bool bounded =
       window != SlotAdversary::kUnboundedHistory && window < num_slots;
-  thread_local std::vector<SlotActivity> history;
+  ArenaVector<SlotActivity>& history = ws.history;
   history.clear();
   if (!bounded) history.reserve(num_slots);
 
   const auto history_view = [&]() -> std::span<const SlotActivity> {
-    if (!bounded) return history;
+    if (!bounded) return history.view();
     const std::size_t keep =
         std::min<std::size_t>(history.size(), static_cast<std::size_t>(window));
     return {history.data() + (history.size() - keep), keep};
   };
 
-  std::size_t i = 0;  // cursor into events
-  for (SlotIndex slot = 0; slot < num_slots; ++slot) {
+  const std::uint64_t* keys = ws.events.data();
+  const std::size_t num_events = ws.events.size();
+  JamRunSink sink;
+
+  std::size_t i = 0;  // cursor into the sorted keys
+  SlotIndex slot = 0;
+  while (slot < num_slots) {
+    const SlotIndex next_event_slot =
+        i < num_events ? event_key::slot(keys[i]) : num_slots;
+    if (slot < next_event_slot) {
+      // Maximal eventless run [slot, next_event_slot): every record is a
+      // zero-sender record, so the adversary may answer it in bulk.
+      sink.reset();
+      if (adversary.jam_run(slot, next_event_slot, history_view(), sink)) {
+        RCB_REQUIRE(sink.total() == next_event_slot - slot);
+        for (const JamRunSink::Segment& seg : sink.segments()) {
+          if (seg.jammed) result.jammed_slots += seg.length;
+        }
+        append_run_history(history, slot, sink, window, bounded);
+      } else {
+        // Declined: per-slot consultation, bit-identical to the pre-SoA
+        // engine's every-slot loop.
+        for (SlotIndex s = slot; s < next_event_slot; ++s) {
+          const bool jammed = adversary.jam(s, history_view());
+          if (jammed) ++result.jammed_slots;
+          if (window > 0) {
+            push_history(history, SlotActivity{s, 0, jammed}, window, bounded);
+          }
+        }
+      }
+      slot = next_event_slot;
+      continue;
+    }
+
+    // Event slot: consult the adversary, then settle senders and listeners.
     const bool jammed = adversary.jam(slot, history_view());
     if (jammed) ++result.jammed_slots;
 
-    std::uint32_t sender_count = 0;
+    const std::size_t group_end =
+        i + engine_kernels::count_keys_below(
+                keys + i, num_events - i, event_key::pack(slot + 1, false, 0));
+    const std::size_t senders_end =
+        i + engine_kernels::count_keys_below(
+                keys + i, group_end - i, event_key::pack(slot, true, 0));
+
+    const auto sender_count = static_cast<std::uint32_t>(senders_end - i);
     Payload single_payload = Payload::kNoise;
-    std::size_t j = i;
-    for (; j < events.size() && events[j].slot == slot && !events[j].is_listen;
-         ++j) {
-      ++sender_count;
-      single_payload = actions[events[j].node].payload;
-      if (faults != nullptr && faults->node_skewed(events[j].node)) {
-        single_payload = Payload::kNoise;
-      }
-      ++result.rep.obs[events[j].node].sends;
+    for (std::size_t j = i; j < senders_end; ++j) {
+      const NodeId u = event_key::node(keys[j]);
+      single_payload = static_cast<Payload>(ws.payloads[u]);
+      ++result.rep.obs[u].sends;
     }
-    for (; j < events.size() && events[j].slot == slot; ++j) {
-      const NodeId u = events[j].node;
+    for (std::size_t j = senders_end; j < group_end; ++j) {
+      const NodeId u = event_key::node(keys[j]);
       NodeObservation& o = result.rep.obs[u];
       ++o.listens;
       Reception heard = resolve(sender_count, single_payload, jammed);
@@ -174,15 +234,13 @@ SlotwiseResult run_repetition_slotwise(SlotCount num_slots,
       }
       record(o, heard, slot);
     }
-    i = j;
+    i = group_end;
 
     if (window > 0) {
-      history.push_back(SlotActivity{slot, sender_count, jammed});
-      if (bounded && history.size() >= 2 * static_cast<std::size_t>(window)) {
-        history.erase(history.begin(),
-                      history.end() - static_cast<std::ptrdiff_t>(window));
-      }
+      push_history(history, SlotActivity{slot, sender_count, jammed}, window,
+                   bounded);
     }
+    ++slot;
   }
 
   for (auto& o : result.rep.obs) {

@@ -127,6 +127,15 @@ class ScheduleAdversary final : public SlotAdversary {
   bool jam(SlotIndex slot, std::span<const SlotActivity>) override {
     return js_->is_jammed(slot);
   }
+  bool jam_run(SlotIndex begin, SlotIndex end, std::span<const SlotActivity>,
+               JamRunSink& sink) override {
+    // Stateless replay of the schedule; decline if the run alternates more
+    // than the sink can encode (the engine then drives jam() per slot).
+    for (SlotIndex s = begin; s < end; ++s) {
+      if (!sink.append(1, js_->is_jammed(s))) return false;
+    }
+    return true;
+  }
   SlotCount history_window() const override { return 0; }
 
  private:

@@ -1,0 +1,196 @@
+// Bit-equivalence of the dispatched geometric-skip kernels.
+//
+// The AVX2 skip kernel must produce the SAME doubles as the scalar
+// reference for every input — that is the whole digest-stability contract
+// of the SIMD path (common/simd.hpp).  These tests pin it on the kernels
+// directly and through the public samplers, including the edge
+// probabilities and the lane-boundary remainders where the speculative
+// block draw has to rewind the RNG.
+#include "rcb/rng/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "rcb/common/simd.hpp"
+#include "rcb/rng/rng.hpp"
+
+namespace rcb {
+namespace {
+
+/// Forces a simd mode for the duration of one test, then restores the
+/// default resolution so test order cannot leak modes across cases.
+class ScopedSimdMode {
+ public:
+  explicit ScopedSimdMode(simd::Mode mode) { simd::set_mode(mode); }
+  ~ScopedSimdMode() { simd::clear_mode_override(); }
+};
+
+bool same_bits(double a, double b) {
+  std::uint64_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, sizeof a);
+  std::memcpy(&ub, &b, sizeof b);
+  return ua == ub;
+}
+
+/// Probabilities spanning the digest-critical regimes: sparse protocol
+/// rates, near-certain, near-impossible, and denormal-adjacent values whose
+/// log1p(-p) underflows the normal range.
+const double kEdgeProbabilities[] = {
+    1e-9,
+    1.0 / 1024.0,          // p ~ 1/n, the protocols' operating point
+    1.0 / (1 << 20),
+    0.3,
+    0.5,
+    1.0 - 1e-12,           // skip is almost always zero
+    4.9406564584124654e-324,  // smallest denormal: inv_log1mp overflows
+    1e-300,
+};
+
+TEST(SkipKernelTest, Avx2MatchesScalarBitwiseOnRandomBlocks) {
+  if (!simd::avx2_available()) GTEST_SKIP() << "host lacks AVX2+FMA";
+  detail::SkipBlockFn avx2 = nullptr;
+  {
+    ScopedSimdMode guard(simd::Mode::kAvx2);
+    avx2 = detail::skip_block_fn();
+  }
+  ASSERT_NE(avx2, &detail::skip_block_scalar);
+
+  Rng rng(2024);
+  for (double p : kEdgeProbabilities) {
+    const double inv = 1.0 / std::log1p(-p);
+    for (int block = 0; block < 4096; ++block) {
+      std::uint64_t raw[4];
+      for (auto& r : raw) r = rng.next_u64();
+      double want[4], got[4];
+      detail::skip_block_scalar(raw, inv, want);
+      avx2(raw, inv, got);
+      for (int lane = 0; lane < 4; ++lane) {
+        ASSERT_TRUE(same_bits(want[lane], got[lane]))
+            << "p=" << p << " block=" << block << " lane=" << lane
+            << " raw=" << raw[lane] << " scalar=" << want[lane]
+            << " avx2=" << got[lane];
+      }
+    }
+  }
+}
+
+TEST(SkipKernelTest, Avx2MatchesScalarOnExtremeRawInputs) {
+  if (!simd::avx2_available()) GTEST_SKIP() << "host lacks AVX2+FMA";
+  detail::SkipBlockFn avx2 = nullptr;
+  {
+    ScopedSimdMode guard(simd::Mode::kAvx2);
+    avx2 = detail::skip_block_fn();
+  }
+  // Raw words whose top-53 bits sit at the ends of the uniform range: the
+  // all-zero word maps to u = 1 (log 0 is the smallest skip... largest),
+  // the all-one word to the smallest representable u.
+  const std::uint64_t extremes[] = {
+      0ull,
+      ~0ull,
+      1ull << 11,          // smallest nonzero top-53
+      (1ull << 11) - 1,    // discarded low bits only
+      0x8000000000000000ull,
+      0x7fffffffffffffffull,
+      0xdeadbeefcafef00dull,
+      42ull,
+  };
+  for (double p : kEdgeProbabilities) {
+    const double inv = 1.0 / std::log1p(-p);
+    for (std::uint64_t a : extremes) {
+      for (std::uint64_t b : extremes) {
+        const std::uint64_t raw[4] = {a, b, a ^ b, a + b};
+        double want[4], got[4];
+        detail::skip_block_scalar(raw, inv, want);
+        avx2(raw, inv, got);
+        for (int lane = 0; lane < 4; ++lane) {
+          ASSERT_TRUE(same_bits(want[lane], got[lane]))
+              << "p=" << p << " lane=" << lane << " raw=" << raw[lane];
+        }
+      }
+    }
+  }
+}
+
+/// Runs sample_bernoulli_slots under a forced mode and returns the emitted
+/// slots plus the next three RNG words (stream-position witness).
+struct SampledRun {
+  std::vector<SlotIndex> slots;
+  std::uint64_t tail[3];
+};
+
+SampledRun run_sampler(simd::Mode mode, SlotCount num_slots, double p,
+                       std::uint64_t seed) {
+  ScopedSimdMode guard(mode);
+  Rng rng(seed);
+  SampledRun r;
+  sample_bernoulli_slots(num_slots, p, rng, r.slots);
+  for (auto& t : r.tail) t = rng.next_u64();
+  return r;
+}
+
+TEST(SamplerEquivalenceTest, ScalarAndAvx2EmitIdenticalSlotSequences) {
+  if (!simd::avx2_available()) GTEST_SKIP() << "host lacks AVX2+FMA";
+  // Slot counts straddling the block size: remainders 0..3 against the
+  // 4-lane speculation, plus degenerate sizes.
+  const SlotCount slot_counts[] = {1, 2, 3, 4, 5, 7, 8, 1023, 1024, 1025,
+                                   (SlotCount{1} << 16) - 1};
+  const double probabilities[] = {0.0,   1e-6, 1.0 / 1024.0, 0.1, 0.5,
+                                  0.999, 1.0,  1e-300};
+  for (SlotCount n : slot_counts) {
+    for (double p : probabilities) {
+      for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+        const SampledRun s = run_sampler(simd::Mode::kScalar, n, p, seed);
+        const SampledRun v = run_sampler(simd::Mode::kAvx2, n, p, seed);
+        ASSERT_EQ(s.slots, v.slots) << "n=" << n << " p=" << p
+                                    << " seed=" << seed;
+        for (int i = 0; i < 3; ++i) {
+          ASSERT_EQ(s.tail[i], v.tail[i])
+              << "RNG stream diverged: n=" << n << " p=" << p
+              << " seed=" << seed;
+        }
+      }
+    }
+  }
+}
+
+TEST(SamplerEquivalenceTest, BlockSamplerMatchesStreamingSampler) {
+  // The block path (speculative draws + rewind) must be indistinguishable
+  // from draining the one-draw-at-a-time streaming sampler — same slots,
+  // same final stream position.  This holds in scalar mode on every host.
+  ScopedSimdMode guard(simd::Mode::kScalar);
+  const double probabilities[] = {1e-4, 1.0 / 512.0, 0.25, 0.9};
+  for (double p : probabilities) {
+    for (std::uint64_t seed = 100; seed < 140; ++seed) {
+      Rng stream_rng(seed);
+      std::vector<SlotIndex> want;
+      BernoulliSlotSampler sampler(4096, p, stream_rng);
+      for (SlotIndex s = sampler.next(); s != BernoulliSlotSampler::kEnd;
+           s = sampler.next()) {
+        want.push_back(s);
+      }
+      Rng block_rng(seed);
+      std::vector<SlotIndex> got;
+      sample_bernoulli_slots(4096, p, block_rng, got);
+      ASSERT_EQ(got, want) << "p=" << p << " seed=" << seed;
+      ASSERT_EQ(block_rng.next_u64(), stream_rng.next_u64())
+          << "stream position diverged: p=" << p << " seed=" << seed;
+    }
+  }
+}
+
+TEST(SamplerEquivalenceTest, SetModeAvx2OnUnsupportedHostIsRejected) {
+  if (simd::avx2_available()) {
+    // On a capable host the override must round-trip.
+    ScopedSimdMode guard(simd::Mode::kAvx2);
+    EXPECT_EQ(simd::active_mode(), simd::Mode::kAvx2);
+  } else {
+    EXPECT_EQ(simd::active_mode(), simd::Mode::kScalar);
+  }
+}
+
+}  // namespace
+}  // namespace rcb

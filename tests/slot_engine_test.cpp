@@ -219,6 +219,189 @@ TEST(SlotEngineEventTest, MatchesDenseReferenceOnDeterministicActions) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Bulk consultation (jam_run) contract.
+
+TEST(JamRunSinkTest, MergesAdjacentSameFlagSegments) {
+  JamRunSink sink;
+  EXPECT_TRUE(sink.append(3, true));
+  EXPECT_TRUE(sink.append(2, true));
+  EXPECT_TRUE(sink.append(1, false));
+  ASSERT_EQ(sink.segments().size(), 2u);
+  EXPECT_EQ(sink.segments()[0].length, 5u);
+  EXPECT_TRUE(sink.segments()[0].jammed);
+  EXPECT_EQ(sink.segments()[1].length, 1u);
+  EXPECT_FALSE(sink.segments()[1].jammed);
+  EXPECT_EQ(sink.total(), 6u);
+}
+
+TEST(JamRunSinkTest, ZeroLengthAppendIsANoOp) {
+  JamRunSink sink;
+  EXPECT_TRUE(sink.append(0, true));
+  EXPECT_EQ(sink.segments().size(), 0u);
+  EXPECT_EQ(sink.total(), 0u);
+}
+
+TEST(JamRunSinkTest, CapacityOverflowLeavesSinkUnchanged) {
+  JamRunSink sink;
+  for (std::size_t i = 0; i < JamRunSink::kMaxSegments; ++i) {
+    ASSERT_TRUE(sink.append(1, i % 2 == 0));
+  }
+  const SlotCount total = sink.total();
+  // A 65th alternation must fail without growing the sink; a same-flag
+  // append still merges into the last segment.
+  EXPECT_FALSE(sink.append(1, JamRunSink::kMaxSegments % 2 == 0));
+  EXPECT_EQ(sink.total(), total);
+  EXPECT_EQ(sink.segments().size(), JamRunSink::kMaxSegments);
+  EXPECT_TRUE(sink.append(4, JamRunSink::kMaxSegments % 2 != 0));
+  EXPECT_EQ(sink.total(), total + 4);
+  sink.reset();
+  EXPECT_EQ(sink.segments().size(), 0u);
+  EXPECT_EQ(sink.total(), 0u);
+}
+
+/// Jams slot s iff s % 3 == 0 — history-oblivious, so a bulk answer is a
+/// pure function of [begin, end).  `bulk` selects whether jam_run answers.
+class PeriodicJammer final : public SlotAdversary {
+ public:
+  explicit PeriodicJammer(bool bulk) : bulk_(bulk) {}
+  bool jam(SlotIndex slot, std::span<const SlotActivity>) override {
+    return slot % 3 == 0;
+  }
+  bool jam_run(SlotIndex begin, SlotIndex end, std::span<const SlotActivity>,
+               JamRunSink& sink) override {
+    if (!bulk_) return false;
+    ++bulk_calls_;
+    for (SlotIndex s = begin; s < end; ++s) {
+      if (!sink.append(1, s % 3 == 0)) return false;  // decline on overflow
+    }
+    return true;
+  }
+  SlotCount history_window() const override { return 0; }
+
+  bool bulk_;
+  int bulk_calls_ = 0;
+};
+
+/// Jams iff the previous slot carried a transmission (1-slot lookback),
+/// optionally answering jam_run with the run-aware closed form.
+class BulkReactive final : public SlotAdversary {
+ public:
+  explicit BulkReactive(bool bulk) : bulk_(bulk) {}
+  bool jam(SlotIndex, std::span<const SlotActivity> history) override {
+    return !history.empty() && history.back().senders > 0;
+  }
+  bool jam_run(SlotIndex begin, SlotIndex end,
+               std::span<const SlotActivity> history,
+               JamRunSink& sink) override {
+    if (!bulk_) return false;
+    ++bulk_calls_;
+    // Only the first run slot can see a transmission in its lookback.
+    const bool first = !history.empty() && history.back().senders > 0;
+    sink.append(1, first);
+    sink.append(end - begin - 1, false);
+    return true;
+  }
+  SlotCount history_window() const override { return 1; }
+
+  bool bulk_;
+  int bulk_calls_ = 0;
+};
+
+void expect_identical_runs(const SlotwiseResult& a, const SlotwiseResult& b) {
+  EXPECT_EQ(a.jammed_slots, b.jammed_slots);
+  EXPECT_EQ(a.event_count, b.event_count);
+  ASSERT_EQ(a.rep.obs.size(), b.rep.obs.size());
+  for (std::size_t u = 0; u < a.rep.obs.size(); ++u) {
+    EXPECT_EQ(a.rep.obs[u].sends, b.rep.obs[u].sends) << "node " << u;
+    EXPECT_EQ(a.rep.obs[u].listens, b.rep.obs[u].listens) << "node " << u;
+    EXPECT_EQ(a.rep.obs[u].messages, b.rep.obs[u].messages) << "node " << u;
+    EXPECT_EQ(a.rep.obs[u].nacks, b.rep.obs[u].nacks) << "node " << u;
+    EXPECT_EQ(a.rep.obs[u].noise, b.rep.obs[u].noise) << "node " << u;
+    EXPECT_EQ(a.rep.obs[u].clear, b.rep.obs[u].clear) << "node " << u;
+    EXPECT_EQ(a.rep.obs[u].first_message_slot, b.rep.obs[u].first_message_slot)
+        << "node " << u;
+  }
+}
+
+TEST(SlotEngineJamRunTest, BulkAnswerMatchesPerSlotPathExactly) {
+  // Same strategy with and without the jam_run fast path: every observable
+  // (per-node counters, jam count, event count, final RNG position) must
+  // coincide — jam_run is a pure optimization.
+  std::vector<NodeAction> actions = {NodeAction{0.01, Payload::kMessage, 0.0},
+                                     NodeAction{0.0, Payload::kNoise, 0.01}};
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    PeriodicJammer bulk(true), scalar(false);
+    Rng rng_bulk(seed), rng_scalar(seed);
+    const auto a = run_repetition_slotwise(2000, actions, bulk, rng_bulk);
+    const auto b = run_repetition_slotwise(2000, actions, scalar, rng_scalar);
+    expect_identical_runs(a, b);
+    EXPECT_EQ(rng_bulk.next_u64(), rng_scalar.next_u64()) << "seed " << seed;
+  }
+}
+
+TEST(SlotEngineJamRunTest, ReactiveBulkAnswerMatchesPerSlotPath) {
+  std::vector<NodeAction> actions = {NodeAction{0.005, Payload::kMessage, 0.0},
+                                     NodeAction{0.0, Payload::kNoise, 0.005}};
+  for (std::uint64_t seed = 20; seed <= 30; ++seed) {
+    BulkReactive bulk(true), scalar(false);
+    Rng rng_bulk(seed), rng_scalar(seed);
+    const auto a = run_repetition_slotwise(5000, actions, bulk, rng_bulk);
+    const auto b = run_repetition_slotwise(5000, actions, scalar, rng_scalar);
+    expect_identical_runs(a, b);
+    EXPECT_EQ(rng_bulk.next_u64(), rng_scalar.next_u64()) << "seed " << seed;
+    EXPECT_GT(bulk.bulk_calls_, 0) << "fast path never exercised";
+    EXPECT_EQ(scalar.bulk_calls_, 0);
+  }
+}
+
+TEST(SlotEngineJamRunTest, DecliningAdversaryStillRunsCorrectly) {
+  // PeriodicJammer's per-slot appends overflow the sink on runs longer than
+  // ~2 * kMaxSegments slots, forcing the mid-call decline path; with p this
+  // sparse both accepted and declined runs occur in one phase.
+  std::vector<NodeAction> actions = {NodeAction{0.002, Payload::kMessage, 0.0}};
+  PeriodicJammer bulk(true), scalar(false);
+  Rng rng_bulk(7), rng_scalar(7);
+  const auto a = run_repetition_slotwise(20000, actions, bulk, rng_bulk);
+  const auto b = run_repetition_slotwise(20000, actions, scalar, rng_scalar);
+  expect_identical_runs(a, b);
+  // slots 0, 3, 6, ... jammed regardless of which path decided them.
+  EXPECT_EQ(a.jammed_slots, (20000 + 2) / 3);
+}
+
+/// Answers jam_run (never jams) while the per-slot jam() audits that the
+/// engine materialized every bulk-decided slot into the history.
+class BulkHistoryAuditor final : public SlotAdversary {
+ public:
+  bool jam(SlotIndex slot, std::span<const SlotActivity> history) override {
+    complete_ = complete_ && history.size() == slot;
+    for (std::size_t k = 0; k < history.size(); ++k) {
+      ordered_ = ordered_ && history[k].slot == k && !history[k].jammed;
+    }
+    return false;
+  }
+  bool jam_run(SlotIndex begin, SlotIndex end, std::span<const SlotActivity>,
+               JamRunSink& sink) override {
+    ++bulk_calls_;
+    sink.append(end - begin, false);
+    return true;
+  }
+
+  bool complete_ = true;
+  bool ordered_ = true;
+  int bulk_calls_ = 0;
+};
+
+TEST(SlotEngineJamRunTest, UnboundedHistoryIsMaterializedAcrossBulkRuns) {
+  std::vector<NodeAction> actions = {NodeAction{0.01, Payload::kMessage, 0.0}};
+  BulkHistoryAuditor adv;
+  Rng rng(14);
+  run_repetition_slotwise(3000, actions, adv, rng);
+  EXPECT_GT(adv.bulk_calls_, 0);
+  EXPECT_TRUE(adv.complete_);
+  EXPECT_TRUE(adv.ordered_);
+}
+
 TEST(SlotEngineEventTest, ZeroSlotsIsANoOp) {
   std::vector<NodeAction> actions = {NodeAction{1.0, Payload::kMessage, 0.0}};
   PassiveAdversary adv;

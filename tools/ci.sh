@@ -6,6 +6,8 @@
 #   tools/ci.sh plain      # RelWithDebInfo only (+ quick bench + quick fuzz)
 #   tools/ci.sh sanitize   # ASan+UBSan only (no bench — numbers meaningless)
 #   tools/ci.sh tsan       # ThreadSanitizer, concurrency test binaries only
+#   tools/ci.sh perf       # native/AVX2 preset + engine crosscheck suite
+#                          # (skipped cleanly on hosts without avx2+fma)
 #   tools/ci.sh --full     # like "all" but with a larger fuzz sweep
 #
 # The fuzz stage first runs `rcb_fuzz --canary` (the harness self-check: a
@@ -14,11 +16,14 @@
 # violation fails CI and the minimized scenario + RCB_REPRO record paths
 # are printed for local replay with rcb_replay --verify.
 #
-# The bench step runs bench_m1_micro with a short --benchmark_min_time,
-# writes build/BENCH_m1.json, and runs tools/bench_compare against
-# bench/baselines/BENCH_m1_baseline.json in warn-only mode: perf drift is
-# printed on every run without flaking CI on machine noise.  Tighten by
-# dropping --warn_only once runners are dedicated.
+# The bench step runs bench_m1_micro with a short --benchmark_min_time and
+# bench_m2_engine_scaling (default grid), writes build/BENCH_m{1,2}.json,
+# and runs tools/bench_compare against the committed baselines in warn-only
+# mode: perf drift is printed on every run without flaking CI on machine
+# noise.  Tighten by dropping --warn_only once runners are dedicated.  One
+# number IS gated hard: the m2/speedup/event_vs_dense ratio is a structural
+# property of the engines (O(slots + events) vs O(slots * nodes)), not
+# machine noise, so it must stay >= 5x on any host.
 #
 # Exits non-zero on the first failing build or test run.
 set -euo pipefail
@@ -280,6 +285,21 @@ if [[ "$what" == "all" || "$what" == "plain" ]]; then
   "$repo/build/tools/bench_compare" \
     --baseline="$repo/bench/baselines/BENCH_m1_baseline.json" \
     --current="$repo/build/BENCH_m1.json" --threshold=0.5 --warn_only
+  echo "=== [plain] engine scaling bench ==="
+  "$repo/build/bench/bench_m2_engine_scaling" \
+    --out="$repo/build/BENCH_m2.json"
+  "$repo/build/tools/bench_compare" \
+    --baseline="$repo/bench/baselines/BENCH_m2_baseline.json" \
+    --current="$repo/build/BENCH_m2.json" --metric=slots_per_sec \
+    --threshold=0.5 --warn_only
+  speedup=$(grep -o '"m2/speedup/event_vs_dense"[^]]*' \
+      "$repo/build/BENCH_m2.json" |
+    grep -o '"slots_per_sec":[0-9.eE+-]*' | head -n1 | cut -d: -f2)
+  [[ -n "$speedup" ]] ||
+    { echo "bench: m2/speedup/event_vs_dense entry missing"; exit 1; }
+  awk -v s="$speedup" 'BEGIN { exit (s >= 5.0) ? 0 : 1 }' ||
+    { echo "bench: event-vs-dense speedup ${speedup}x below the 5x bar"; exit 1; }
+  echo "bench: event-vs-dense speedup ${speedup}x (bar: >= 5x)"
 fi
 
 if [[ "$what" == "all" || "$what" == "sanitize" ]]; then
@@ -287,6 +307,30 @@ if [[ "$what" == "all" || "$what" == "sanitize" ]]; then
   echo "=== [sanitize] fuzz: scenario oracles ==="
   fuzz_stage "$repo/build-sanitize/tools/rcb_fuzz" \
     "$repo/build-sanitize/fuzz-out"
+fi
+
+if [[ "$what" == "all" || "$what" == "perf" ]]; then
+  # The perf preset builds with -march=native and defaults the engines to
+  # the AVX2 kernels (RCB_NATIVE_BUILD).  Worth running only where the CPU
+  # actually has the instructions; elsewhere skip cleanly so "all" stays
+  # green on portable runners.  The suite is the digest-critical one: the
+  # event engines against the dense oracle, kernel bit-equivalence, arena
+  # reuse, and cross-seed determinism — all with the wide path active.
+  if grep -q avx2 /proc/cpuinfo 2>/dev/null &&
+     grep -q fma /proc/cpuinfo 2>/dev/null; then
+    echo "=== [perf] configure (native/AVX2) ==="
+    (cd "$repo" && cmake --preset perf)
+    echo "=== [perf] build engine crosscheck suite ==="
+    perf_tests=(engine_crosscheck_test sampling_simd_test arena_test
+                slot_engine_test sampling_test determinism_test)
+    cmake --build "$repo/build-perf" -j "$jobs" --target "${perf_tests[@]}"
+    echo "=== [perf] run engine crosscheck suite ==="
+    for t in "${perf_tests[@]}"; do
+      "$repo/build-perf/tests/$t"
+    done
+  else
+    echo "=== [perf] skipped: host CPU lacks avx2+fma ==="
+  fi
 fi
 
 if [[ "$what" == "all" || "$what" == "tsan" ]]; then
