@@ -12,17 +12,22 @@
 // Emits BENCH_m2.json (bench_util.hpp schema) for tools/bench_compare.
 // Default grid runs in tens of seconds; --full expands to n=4096 and
 // slots=2^22 for the event-driven engines.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "rcb/cli/flags.hpp"
 #include "rcb/rng/rng.hpp"
+#include "rcb/runtime/coordinator.hpp"
 #include "rcb/runtime/shard.hpp"
 #include "rcb/runtime/supervisor.hpp"
+#include "rcb/runtime/transport_socket.hpp"
 #include "rcb/sim/repetition_engine.hpp"
 #include "rcb/sim/slot_engine.hpp"
 
@@ -460,6 +465,78 @@ void run_bench(bool full, const std::string& out_path, std::uint64_t seed) {
         static_cast<unsigned long long>(n_trials), m.events_per_sec);
   }
 
+  // Worker dispatch overhead through the two coordinator transports: a
+  // sweep of trivially small shards (one cheap trial each) makes the
+  // per-shard dispatch cost the dominant term — fork/exec + pipe liveness
+  // for the local transport vs the TCP assign/complete/ack round-trips of
+  // the loopback socket control plane.  This bounds what moving a sweep
+  // from --transport=local to --transport=socket costs in pure plumbing.
+  {
+    const std::size_t n_shards = 8;
+    Scenario s;
+    s.protocol = "one_to_one";
+    s.adversary = "full_duel";
+    s.budget = 64;
+    s.trials = n_shards;  // one trial per shard
+    s.seed = seed;
+    ShardSpec spec;
+    spec.worker_threads = 1;
+    spec.heartbeat_interval_sec = 0.02;
+    spec.points = {s};
+    spec.shards = make_shard_plan({n_shards}, n_shards);
+    const std::string root =
+        (std::filesystem::temp_directory_path() / "rcb_bench_m2_dispatch")
+            .string();
+    auto port = std::make_shared<std::atomic<int>>(0);
+    const auto run_transport = [&](TransportKind kind) -> std::uint64_t {
+      std::filesystem::remove_all(root);
+      CoordinatorOptions opt;
+      opt.root = root;
+      opt.workers = 2;
+      opt.transport = kind;
+      opt.lease_timeout_sec = 5.0;
+      opt.worker_argv = [&root](std::size_t shard) {
+        return std::vector<std::string>{"/proc/self/exe",
+                                        "--rcb_dispatch_worker", root,
+                                        std::to_string(shard)};
+      };
+      opt.on_listen = [port](std::uint16_t p) { port->store(p); };
+      opt.attach_argv = [port](std::size_t) {
+        return std::vector<std::string>{
+            "/proc/self/exe", "--rcb_dispatch_attach",
+            "127.0.0.1:" + std::to_string(port->load())};
+      };
+      const CoordinatorResult r = run_shard_coordinator(spec, opt);
+      return r.ok ? static_cast<std::uint64_t>(spec.shards.size()) : 0;
+    };
+    const auto add_dispatch = [&](const char* name, const Measurement& m) {
+      bench::BenchEntry e;
+      e.name = std::string("m2/shard/transport_dispatch/") + name;
+      e.config = {{"shards", static_cast<double>(n_shards)}, {"workers", 2}};
+      e.wall_ms = m.wall_ms;
+      e.events_per_sec = m.events_per_sec;  // shard dispatches per second
+      report.add(std::move(e));
+      table.add_row({"shard", std::string("dispatch_") + name, Table::num(2),
+                     Table::num(n_shards), Table::num(m.reps),
+                     Table::num(m.wall_ms, 3), Table::num(0),
+                     Table::num(m.events_per_sec)});
+    };
+    const Measurement local = measure(
+        [&](int) { return run_transport(TransportKind::kLocalProcess); },
+        0.2, 4, 0);
+    add_dispatch("local", local);
+    const Measurement sock = measure(
+        [&](int) { return run_transport(TransportKind::kSocket); }, 0.2, 4,
+        0);
+    add_dispatch("socket", sock);
+    std::filesystem::remove_all(root);
+    std::printf(
+        "transport dispatch: local %.3f ms vs loopback socket %.3f ms for "
+        "%zu shards / 2 workers (%.2fx)\n",
+        local.wall_ms, sock.wall_ms, n_shards,
+        sock.wall_ms / local.wall_ms);
+  }
+
   table.print(std::cout);
   if (dense_at_accept > 0 && event_at_accept > 0) {
     // Machine-readable speedup ratio (dimensionless, carried in the
@@ -483,6 +560,18 @@ void run_bench(bool full, const std::string& out_path, std::uint64_t seed) {
 }  // namespace rcb
 
 int main(int argc, char** argv) {
+  // Internal worker re-entry modes: the transport-dispatch bench's
+  // coordinators spawn this binary as their own shard workers.
+  if (argc == 4 && std::string(argv[1]) == "--rcb_dispatch_worker") {
+    return rcb::run_shard_worker(argv[2],
+                                 static_cast<std::size_t>(std::atoi(argv[3])));
+  }
+  if (argc == 3 && std::string(argv[1]) == "--rcb_dispatch_attach") {
+    rcb::AttachWorkerOptions opt;
+    if (!rcb::parse_host_port(argv[2], opt.host, opt.port).empty()) return 2;
+    opt.give_up_sec = 20.0;
+    return rcb::run_attached_worker(opt);
+  }
   rcb::FlagSet flags(
       "bench_m2_engine_scaling: channel-engine throughput sweep; emits "
       "BENCH_m2.json for tools/bench_compare");

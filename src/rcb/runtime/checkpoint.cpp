@@ -14,6 +14,7 @@
 #include "rcb/cli/json.hpp"
 #include "rcb/cli/json_parse.hpp"
 #include "rcb/common/mathutil.hpp"
+#include "rcb/runtime/retry_io.hpp"
 
 namespace rcb {
 
@@ -44,7 +45,7 @@ bool read_file(const std::string& path, std::string& out) {
   if (f == nullptr) return false;
   char buf[1 << 16];
   std::size_t got;
-  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, got);
+  while ((got = retry_fread(f, buf, sizeof buf)) > 0) out.append(buf, got);
   const bool ok = std::ferror(f) == 0;
   std::fclose(f);
   return ok;
@@ -52,7 +53,7 @@ bool read_file(const std::string& path, std::string& out) {
 
 /// fsync a stdio stream (no-op on platforms without fileno/fsync).
 bool sync_stream(std::FILE* f) {
-  if (std::fflush(f) != 0) return false;
+  if (retry_fflush(f) != 0) return false;
 #ifndef _WIN32
   return ::fsync(fileno(f)) == 0;
 #else
@@ -219,8 +220,7 @@ std::string write_file_atomic(const std::string& path,
       return "cannot open '" + tmp_path + "': " + errno_string();
     }
     const bool wrote =
-        std::fwrite(content.data(), 1, content.size(), f) == content.size() &&
-        sync_stream(f);
+        retry_fwrite(f, content.data(), content.size()) && sync_stream(f);
     std::fclose(f);
     if (!wrote) return "cannot write '" + tmp_path + "': " + errno_string();
   }
@@ -506,8 +506,8 @@ std::string CheckpointWriter::append(const CheckpointRecord& rec) {
   if (const int err = injected_write_errno(frame.size()); err != 0) {
     return "journal append failed: " + std::string(std::strerror(err));
   }
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
-      std::fflush(file_) != 0) {
+  if (!retry_fwrite(file_, frame.data(), frame.size()) ||
+      retry_fflush(file_) != 0) {
     return "journal append failed: " + errno_string();
   }
   return "";
@@ -524,8 +524,8 @@ std::string CheckpointWriter::append_batch(
   if (const int err = injected_write_errno(frames.size()); err != 0) {
     return "journal append failed: " + std::string(std::strerror(err));
   }
-  if (std::fwrite(frames.data(), 1, frames.size(), file_) != frames.size() ||
-      std::fflush(file_) != 0) {
+  if (!retry_fwrite(file_, frames.data(), frames.size()) ||
+      retry_fflush(file_) != 0) {
     return "journal append failed: " + errno_string();
   }
   return "";

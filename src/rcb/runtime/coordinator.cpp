@@ -1,75 +1,35 @@
 #include "rcb/runtime/coordinator.hpp"
 
-#include <fcntl.h>
 #include <signal.h>
-#include <sys/wait.h>
 #include <unistd.h>
-#ifdef __linux__
-#include <sys/prctl.h>
-#endif
 
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
-#include <map>
 #include <mutex>
 #include <thread>
 
 #include "rcb/common/contracts.hpp"
+#include "rcb/runtime/transport_socket.hpp"
 
 namespace rcb {
-
-const char kShardLeaseFile[] = "lease";
 
 namespace {
 
 namespace fs = std::filesystem;
 using Clock = std::chrono::steady_clock;
 
-// ---------------------------------------------------------------------------
-// Lease files.
-//
-// A lease is a tiny file inside the shard dir that the owning worker
-// rewrites every ~100ms.  The coordinator does not read a timestamp out of
-// it — wall clocks lie across processes — it only looks at the file's
-// mtime, which the kernel stamps on every rewrite.  The content is the
-// owner's pid, which a *resuming* coordinator uses to put down an orphan
-// worker before handing the shard (and its journal file) to a new one.
-
-void write_lease_file(const std::string& path, pid_t pid) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return;  // heartbeat is advisory; the next beat retries
-  std::fprintf(f, "%ld\n", static_cast<long>(pid));
-  std::fclose(f);
-}
-
-pid_t read_lease_pid(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return -1;
-  long pid = -1;
-  const int got = std::fscanf(f, "%ld", &pid);
-  std::fclose(f);
-  return got == 1 ? static_cast<pid_t>(pid) : -1;
-}
-
-/// Seconds since the lease file's last rewrite; a huge value when the file
-/// is missing or unreadable (treated as maximally stale).
-double lease_age_sec(const std::string& path) {
-  std::error_code ec;
-  const fs::file_time_type mtime = fs::last_write_time(path, ec);
-  if (ec) return 1e18;
-  const auto age = fs::file_time_type::clock::now() - mtime;
-  return std::chrono::duration<double>(age).count();
-}
-
-/// Worker-side heartbeat: rewrites the lease every ~100ms on a dedicated
-/// thread so a worker stuck in a long trial still proves liveness.
+/// Worker-side heartbeat: rewrites the lease on a dedicated thread so a
+/// worker stuck in a long trial still proves liveness.
 class LeaseHeartbeat {
  public:
-  explicit LeaseHeartbeat(std::string path) : path_(std::move(path)) {
+  LeaseHeartbeat(std::string path, double interval_sec)
+      : path_(std::move(path)),
+        interval_(std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(
+                interval_sec > 0 ? interval_sec : 0.1))) {
     write_lease_file(path_, getpid());
     thread_ = std::thread([this] { loop(); });
   }
@@ -88,8 +48,7 @@ class LeaseHeartbeat {
   void loop() {
     std::unique_lock<std::mutex> lock(mutex_);
     while (!stop_) {
-      cv_.wait_for(lock, std::chrono::milliseconds(100),
-                   [this] { return stop_; });
+      cv_.wait_for(lock, interval_, [this] { return stop_; });
       if (stop_) break;
       lock.unlock();
       write_lease_file(path_, getpid());
@@ -98,93 +57,61 @@ class LeaseHeartbeat {
   }
 
   const std::string path_;
+  const Clock::duration interval_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
   std::thread thread_;
 };
 
-// ---------------------------------------------------------------------------
-// Coordinator internals.
-
-struct RunningWorker {
-  pid_t pid = -1;
-  int pipe_read = -1;  ///< EOF the instant every copy of the write end dies
-};
-
 enum class ShardRunState { kPending, kRunning, kDone };
 
 struct ShardTracker {
   ShardRunState state = ShardRunState::kPending;
-  std::uint32_t attempts = 0;           ///< spawns so far
-  Clock::time_point next_attempt{};     ///< backoff gate for the next spawn
+  std::uint32_t attempts = 0;        ///< assignments so far (retry budget)
+  std::uint32_t attempt_id = 0;      ///< checkpoint-dir attempt (socket)
+  Clock::time_point next_attempt{};  ///< backoff gate for the next assign
 };
 
-std::vector<std::string> default_worker_argv(const std::string& root,
-                                             std::size_t shard_id) {
-  return {"/proc/self/exe", "--shard_worker=" + root,
-          "--shard_id=" + std::to_string(shard_id)};
-}
-
-/// fork/execs one worker.  The argv is materialised *before* fork: the
-/// coordinator process may carry threads (gtest, pools), so the child must
-/// not allocate between fork and exec — it only calls async-signal-safe
-/// prctl/exec/_exit.
-std::string spawn_worker(const std::vector<std::string>& argv_strings,
-                         RunningWorker& out) {
-  if (argv_strings.empty()) return "worker argv is empty";
-  std::vector<char*> argv;
-  argv.reserve(argv_strings.size() + 1);
-  for (const std::string& a : argv_strings) {
-    argv.push_back(const_cast<char*>(a.c_str()));
-  }
-  argv.push_back(nullptr);
-
-  int fds[2];
-  if (pipe(fds) != 0) {
-    return std::string("pipe failed: ") + std::strerror(errno);
-  }
-  // Read end stays in the coordinator only; the write end is deliberately
-  // inherited across exec so the worker holds it open for its lifetime.
-  fcntl(fds[0], F_SETFD, FD_CLOEXEC);
-  fcntl(fds[0], F_SETFL, O_NONBLOCK);
-
-  const pid_t pid = fork();
-  if (pid < 0) {
-    const int err = errno;
-    close(fds[0]);
-    close(fds[1]);
-    return std::string("fork failed: ") + std::strerror(err);
-  }
-  if (pid == 0) {
-#ifdef __linux__
-    // Die with the coordinator: a SIGKILLed coordinator must not leave
-    // workers appending to journals a resumed coordinator is adopting.
-    prctl(PR_SET_PDEATHSIG, SIGKILL);
-    if (getppid() == 1) _exit(127);  // parent already gone
-#endif
-    execv(argv[0], argv.data());
-    _exit(127);
-  }
-  close(fds[1]);
-  out.pid = pid;
-  out.pipe_read = fds[0];
-  return "";
-}
-
-void kill_and_reap(std::map<std::size_t, RunningWorker>& running, int sig) {
-  for (auto& [shard, w] : running) {
-    kill(w.pid, sig);
-  }
-  for (auto& [shard, w] : running) {
-    int status = 0;
-    waitpid(w.pid, &status, 0);
-    close(w.pipe_read);
-  }
-  running.clear();
-}
-
 }  // namespace
+
+SweepResult run_shard_attempt(const ShardSpec& spec, std::size_t shard_id,
+                              const std::string& dir,
+                              const TrialRunner& runner) {
+  SweepResult res;
+  RCB_REQUIRE(shard_id < spec.shards.size());
+  const ShardAssignment& a = spec.shards[shard_id];
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    res.error = "cannot create " + dir + ": " + ec.message();
+    return res;
+  }
+
+  SweepPoint point;
+  point.scenario = spec.points[a.point];
+  point.checkpoint_dir = dir;
+  point.trial_begin = a.begin;
+  point.trial_end = a.end;
+
+  SupervisorOptions opt;
+  // Always resume: a replacement worker continues its predecessor's
+  // journal instead of redoing the shard.
+  opt.resume = true;
+  opt.trial_timeout_sec = spec.trial_timeout_sec;
+  opt.trial_slot_budget = spec.trial_slot_budget;
+  opt.max_retries = spec.max_retries;
+
+  const std::size_t threads =
+      spec.worker_threads > 0 ? static_cast<std::size_t>(spec.worker_threads)
+                              : ThreadPool::default_concurrency();
+  ThreadPool pool(threads);
+  const std::vector<SweepPoint> points{point};
+  std::vector<SweepResult> results =
+      runner ? run_supervised_sweep_points(points, opt, pool, runner)
+             : run_supervised_sweep_points(points, opt, pool);
+  return results[0];
+}
 
 int run_shard_worker(const std::string& root, std::size_t shard_id,
                      const TrialRunner& runner) {
@@ -199,7 +126,6 @@ int run_shard_worker(const std::string& root, std::size_t shard_id,
                  shard_id, spec.shards.size());
     return 2;
   }
-  const ShardAssignment& a = spec.shards[shard_id];
   const std::string dir = shard_dir(root, shard_id);
   std::error_code ec;
   fs::create_directories(dir, ec);
@@ -210,31 +136,10 @@ int run_shard_worker(const std::string& root, std::size_t shard_id,
   }
 
   install_sweep_signal_handlers();
-  LeaseHeartbeat heartbeat(dir + "/" + kShardLeaseFile);
+  LeaseHeartbeat heartbeat(dir + "/" + kShardLeaseFile,
+                           spec.heartbeat_interval_sec);
 
-  SweepPoint point;
-  point.scenario = spec.points[a.point];
-  point.checkpoint_dir = dir;
-  point.trial_begin = a.begin;
-  point.trial_end = a.end;
-
-  SupervisorOptions opt;
-  // Always resume: a replacement worker continues its predecessor's
-  // journal instead of redoing the shard from scratch.
-  opt.resume = true;
-  opt.trial_timeout_sec = spec.trial_timeout_sec;
-  opt.trial_slot_budget = spec.trial_slot_budget;
-  opt.max_retries = spec.max_retries;
-
-  const std::size_t threads =
-      spec.worker_threads > 0 ? static_cast<std::size_t>(spec.worker_threads)
-                              : ThreadPool::default_concurrency();
-  ThreadPool pool(threads);
-  const std::vector<SweepPoint> points{point};
-  std::vector<SweepResult> results =
-      runner ? run_supervised_sweep_points(points, opt, pool, runner)
-             : run_supervised_sweep_points(points, opt, pool);
-  const SweepResult& res = results[0];
+  const SweepResult res = run_shard_attempt(spec, shard_id, dir, runner);
   if (!res.ok) {
     std::fprintf(stderr, "shard worker %zu: %s\n", shard_id,
                  res.error.c_str());
@@ -250,7 +155,8 @@ int run_shard_worker(const std::string& root, std::size_t shard_id) {
 CoordinatorResult run_shard_coordinator(const ShardSpec& spec_in,
                                         const CoordinatorOptions& opt) {
   CoordinatorResult out;
-  if (opt.workers == 0) {
+  const bool socket = opt.transport == TransportKind::kSocket;
+  if (opt.workers == 0 && !(socket && !opt.spawn_workers)) {
     out.error = "coordinator needs at least one worker";
     return out;
   }
@@ -284,6 +190,16 @@ CoordinatorResult run_shard_coordinator(const ShardSpec& spec_in,
     }
   }
 
+  // The lease policy is validated against the spec's heartbeat, not a
+  // caller-supplied one: workers beat at the spec's rate, wherever they
+  // run.
+  if (const std::string err = validate_lease_config(
+          opt.lease_timeout_sec, spec.heartbeat_interval_sec);
+      !err.empty()) {
+    out.error = err;
+    return out;
+  }
+
   const std::size_t n = spec.shards.size();
   std::vector<ShardTracker> track(n);
   std::size_t done = 0;
@@ -297,10 +213,10 @@ CoordinatorResult run_shard_coordinator(const ShardSpec& spec_in,
       const std::string lease = shard_dir(opt.root, i) + "/" + kShardLeaseFile;
       if (opt.lease_timeout_sec > 0 &&
           lease_age_sec(lease) < opt.lease_timeout_sec) {
-        // A fresh lease after a coordinator crash means an orphan worker
-        // may still be appending to this journal; put it down before a
-        // replacement opens the same file (best effort — with PDEATHSIG
-        // the orphan normally died with the old coordinator).
+        // A fresh lease after a coordinator crash means an orphan local
+        // worker may still be appending to this journal; put it down
+        // before a replacement opens the same file (best effort — with
+        // PDEATHSIG the orphan normally died with the old coordinator).
         const pid_t orphan = read_lease_pid(lease);
         if (orphan > 1 && orphan != getpid()) kill(orphan, SIGKILL);
       }
@@ -313,10 +229,41 @@ CoordinatorResult run_shard_coordinator(const ShardSpec& spec_in,
         track[i].state = ShardRunState::kDone;
         ++done;
       }
+      // Socket attempts start past anything on disk: a partitioned worker
+      // of a previous coordinator may still be appending to try_<k>.
+      if (socket) track[i].attempt_id = next_shard_attempt(opt.root, i) - 1;
     }
   }
 
-  std::map<std::size_t, RunningWorker> running;
+  std::unique_ptr<WorkerTransport> transport;
+  if (socket) {
+    SocketTransportOptions topt;
+    topt.root = opt.root;
+    topt.listen_host = opt.listen_host;
+    topt.listen_port = opt.listen_port;
+    topt.lease_timeout_sec = opt.lease_timeout_sec;
+    topt.heartbeat_interval_sec = spec.heartbeat_interval_sec;
+    topt.spawn_workers = opt.spawn_workers ? opt.workers : 0;
+    topt.attach_argv = opt.attach_argv;
+    topt.on_worker_spawn = opt.on_worker_spawn;
+    topt.on_listen = opt.on_listen;
+    topt.net_faults = opt.net_faults;
+    transport = make_socket_transport(topt);
+  } else {
+    LocalTransportOptions topt;
+    topt.root = opt.root;
+    topt.workers = opt.workers;
+    topt.lease_timeout_sec = opt.lease_timeout_sec;
+    topt.worker_argv = opt.worker_argv;
+    topt.on_worker_spawn = opt.on_worker_spawn;
+    topt.net_faults = opt.net_faults;
+    transport = make_local_process_transport(topt);
+  }
+  if (const std::string err = transport->start(); !err.empty()) {
+    out.error = err;
+    return out;
+  }
+
   const auto backoff = [&opt](std::uint32_t attempts) {
     const double sec = opt.backoff_base_sec *
                        static_cast<double>(1u << std::min(attempts - 1, 10u));
@@ -325,83 +272,76 @@ CoordinatorResult run_shard_coordinator(const ShardSpec& spec_in,
   };
 
   const auto fail = [&](std::string error) {
-    kill_and_reap(running, SIGKILL);
+    transport->shutdown(false);
     out.error = std::move(error);
     out.shards_completed = done;
     return out;
   };
 
+  // Requeues `shard` after a failed attempt, enforcing the retry budget.
+  // Returns false when the budget is exhausted (caller fails the sweep).
+  const auto requeue = [&](std::size_t shard) {
+    ++out.worker_restarts;
+    track[shard].state = ShardRunState::kPending;
+    if (track[shard].attempts > opt.max_shard_retries) return false;
+    track[shard].next_attempt = Clock::now() + backoff(track[shard].attempts);
+    return true;
+  };
+
+  bool parked = false;
+  Clock::time_point fleet_empty_since = Clock::now();
+  std::vector<TransportEvent> events;
+
   while (done < n) {
     if (sweep_shutdown_requested()) {
-      // Graceful: forward SIGTERM so workers drain + fsync their journals,
-      // then report interrupted so the caller prints a resume hint.
-      kill_and_reap(running, SIGTERM);
+      // Graceful: workers drain + fsync their journals, then the result
+      // reports interrupted so the caller prints a resume hint.
+      transport->shutdown(true);
       out.interrupted = true;
       out.shards_completed = done;
       return out;
     }
 
-    // Reap: notice dead workers via waitpid, dead-but-unreaped ones via
-    // pipe EOF, and wedged-but-alive ones via a stale lease.
-    std::vector<std::size_t> running_shards;
-    running_shards.reserve(running.size());
-    for (const auto& [shard, w] : running) running_shards.push_back(shard);
-    for (const std::size_t shard : running_shards) {
-      RunningWorker w = running[shard];
-      int status = 0;
-      bool dead = false;
-      int exit_code = -1;
-      if (waitpid(w.pid, &status, WNOHANG) == w.pid) {
-        dead = true;
-        if (WIFEXITED(status)) exit_code = WEXITSTATUS(status);
-      } else {
-        char buf[16];
-        const ssize_t k = read(w.pipe_read, buf, sizeof buf);
-        if (k == 0) {  // every write end closed: the worker is gone
-          waitpid(w.pid, &status, 0);
-          dead = true;
-          if (WIFEXITED(status)) exit_code = WEXITSTATUS(status);
-        } else if (!dead && opt.lease_timeout_sec > 0) {
-          const std::string lease =
-              shard_dir(opt.root, shard) + "/" + kShardLeaseFile;
-          if (lease_age_sec(lease) > opt.lease_timeout_sec) {
-            kill(w.pid, SIGKILL);  // wedged: alive but heartbeat stopped
-            waitpid(w.pid, &status, 0);
-            dead = true;
-          }
-        }
+    events.clear();
+    transport->poll(events);
+    for (const TransportEvent& ev : events) {
+      const std::size_t shard = static_cast<std::size_t>(ev.shard);
+      if (shard >= n) continue;
+      if (track[shard].state != ShardRunState::kRunning) {
+        // Stale event (duplicate completion report after a resume, or a
+        // revocation racing a completion): the journal scan below already
+        // decided; re-deciding a done shard would double-count.
+        continue;
       }
-      if (!dead) continue;
-      close(w.pipe_read);
-      running.erase(shard);
-
+      // The journal, not the report or exit code, is the source of truth:
+      // a worker killed after its last append still completed its shard,
+      // and a completion *claim* without the journal to back it is noise.
       const ShardScan scan = scan_shard(opt.root, spec, shard);
       if (scan.state == ShardScanState::kCorrupt) {
         return fail(scan.error);
       }
       if (scan.state == ShardScanState::kComplete) {
-        // The journal, not the exit code, is the source of truth: a worker
-        // SIGTERMed after its last append still completed its shard.
         track[shard].state = ShardRunState::kDone;
         ++done;
         continue;
       }
-      if (exit_code == 130 && sweep_shutdown_requested()) {
+      if (ev.kind == TransportEvent::Kind::kShardExited &&
+          ev.exit_code == 130 && sweep_shutdown_requested()) {
         track[shard].state = ShardRunState::kPending;
         continue;  // shutdown path at the top of the loop takes over
       }
-      // Crashed / killed / failed with an incomplete journal: reassign
-      // with backoff, bounded so a deterministically-crashing shard fails
-      // the sweep instead of spinning forever.
-      ++out.worker_restarts;
-      track[shard].state = ShardRunState::kPending;
-      if (track[shard].attempts > opt.max_shard_retries) {
+      // Crashed / killed / revoked / failed with an incomplete journal:
+      // reassign with backoff, bounded so a deterministically-crashing
+      // shard fails the sweep instead of spinning forever.
+      if (!requeue(shard)) {
+        std::string detail = ev.detail.empty()
+                                 ? "last exit code " +
+                                       std::to_string(ev.exit_code)
+                                 : ev.detail;
         return fail("shard " + std::to_string(shard) + " failed after " +
-                    std::to_string(track[shard].attempts) +
-                    " attempts (last exit code " +
-                    std::to_string(exit_code) + ")");
+                    std::to_string(track[shard].attempts) + " attempts (" +
+                    detail + ")");
       }
-      track[shard].next_attempt = Clock::now() + backoff(track[shard].attempts);
     }
 
     if (opt.simulate_crash_after_shards > 0 &&
@@ -410,8 +350,8 @@ CoordinatorResult run_shard_coordinator(const ShardSpec& spec_in,
                   std::to_string(done) + " shards)");
     }
 
-    // Spawn replacements / next shards up to the worker budget.
-    while (running.size() < opt.workers) {
+    // Assign pending shards to available workers.
+    while (transport->can_assign()) {
       std::size_t next = n;
       const Clock::time_point now = Clock::now();
       for (std::size_t i = 0; i < n; ++i) {
@@ -422,27 +362,46 @@ CoordinatorResult run_shard_coordinator(const ShardSpec& spec_in,
         }
       }
       if (next == n) break;
-      const std::string dir = shard_dir(opt.root, next);
-      fs::create_directories(dir, ec);
-      const std::vector<std::string> argv =
-          opt.worker_argv ? opt.worker_argv(next)
-                          : default_worker_argv(opt.root, next);
-      RunningWorker w;
-      if (const std::string err = spawn_worker(argv, w); !err.empty()) {
-        return fail("cannot spawn worker for shard " + std::to_string(next) +
-                    ": " + err);
+      // Socket attempts journal into fresh try_<k> dirs (seeded with the
+      // best partial journal) so a partitioned previous holder can never
+      // share a file with the replacement; local attempts resume the base
+      // shard dir in place (attempt 0), since revocation there really
+      // kills the process.
+      const std::uint32_t attempt = socket ? ++track[next].attempt_id : 0;
+      if (const std::string err =
+              prepare_shard_attempt(opt.root, spec, next, attempt);
+          !err.empty()) {
+        return fail(err);
       }
-      // Seed the lease with the child's pid so the staleness clock starts
-      // at spawn and a resuming coordinator can find the orphan.
-      write_lease_file(dir + "/" + kShardLeaseFile, w.pid);
+      if (const std::string err = transport->assign(next, attempt);
+          !err.empty()) {
+        return fail("cannot assign shard " + std::to_string(next) + ": " +
+                    err);
+      }
       track[next].state = ShardRunState::kRunning;
       ++track[next].attempts;
-      running[next] = w;
-      if (opt.on_worker_spawn) opt.on_worker_spawn(next, w.pid);
+    }
+
+    // Graceful degradation: an empty socket fleet parks the sweep instead
+    // of failing it — work resumes the moment a worker (re-)attaches.
+    if (transport->fleet_size() == 0) {
+      if (!parked &&
+          std::chrono::duration<double>(Clock::now() - fleet_empty_since)
+                  .count() > 2.0) {
+        std::fprintf(stderr,
+                     "coordinator: worker fleet is empty; parking until a "
+                     "worker attaches\n");
+        parked = true;
+      }
+    } else {
+      parked = false;
+      fleet_empty_since = Clock::now();
     }
 
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
+
+  transport->shutdown(true);
 
   ShardMergeResult merged = merge_shard_journals(opt.root, spec);
   if (!merged.ok) {

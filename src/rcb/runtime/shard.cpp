@@ -2,28 +2,18 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <optional>
 #include <sstream>
 
 #include "rcb/cli/json.hpp"
 #include "rcb/cli/json_parse.hpp"
 #include "rcb/common/contracts.hpp"
+#include "rcb/runtime/retry_io.hpp"
 
 namespace rcb {
 namespace {
-
-std::string read_text_file(const std::string& path, std::string& out) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return "cannot open " + path;
-  out.clear();
-  char buf[4096];
-  std::size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
-  const bool bad = std::ferror(f) != 0;
-  std::fclose(f);
-  if (bad) return "read error on " + path;
-  return "";
-}
 
 /// Fetches a required non-negative integer member of the spec object.
 std::string get_u64(const JsonValue& obj, const char* key,
@@ -71,6 +61,9 @@ std::vector<ShardAssignment> make_shard_plan(
 std::string validate_shard_spec(const ShardSpec& spec) {
   if (spec.points.empty()) return "shard spec has no points";
   if (spec.shards.empty()) return "shard spec has no shards";
+  if (!(spec.heartbeat_interval_sec > 0)) {
+    return "shard spec: heartbeat interval must be positive";
+  }
   for (std::size_t p = 0; p < spec.points.size(); ++p) {
     if (const std::string err = validate_scenario(spec.points[p]);
         !err.empty()) {
@@ -145,6 +138,7 @@ std::string write_shard_spec(const std::string& root, const ShardSpec& spec) {
   w.key("trial_slot_budget")
       .value(static_cast<std::uint64_t>(spec.trial_slot_budget));
   w.key("max_retries").value(static_cast<std::uint64_t>(spec.max_retries));
+  w.key("heartbeat_sec").value(spec.heartbeat_interval_sec);
   // Scenarios travel as JSON *strings* (the canonical scenario codec output,
   // escaped by the writer), so the spec reuses the codec that the manifest
   // digests are keyed on instead of inventing a second scenario schema.
@@ -168,7 +162,7 @@ ShardSpecLoadResult load_shard_spec(const std::string& root) {
   ShardSpecLoadResult out;
   const std::string path = shard_spec_path(root);
   std::string text;
-  if (const std::string err = read_text_file(path, text); !err.empty()) {
+  if (const std::string err = read_file_fully(path, text); !err.empty()) {
     out.error = err;
     return out;
   }
@@ -209,6 +203,15 @@ ShardSpecLoadResult load_shard_spec(const std::string& root) {
     return out;
   }
   out.spec.trial_timeout_sec = timeout->as_number();
+  // Optional (specs written before the socket transport lack it); the
+  // default matches the historical hard-coded 100ms lease beat.
+  if (const JsonValue* hb = doc.find("heartbeat_sec"); hb != nullptr) {
+    if (!hb->is_number() || !(hb->as_number() > 0)) {
+      out.error = "shard spec: \"heartbeat_sec\" must be positive";
+      return out;
+    }
+    out.spec.heartbeat_interval_sec = hb->as_number();
+  }
 
   const JsonValue* points = doc.find("points");
   if (points == nullptr || !points->is_array()) {
@@ -262,13 +265,39 @@ ShardSpecLoadResult load_shard_spec(const std::string& root) {
   return out;
 }
 
-ShardScan scan_shard(const std::string& root, const ShardSpec& spec,
-                     std::size_t shard_id) {
-  RCB_REQUIRE(shard_id < spec.shards.size());
+std::string shard_attempt_dir(const std::string& root, std::size_t shard_id,
+                              std::uint32_t attempt) {
+  if (attempt == 0) return shard_dir(root, shard_id);
+  return shard_dir(root, shard_id) + "/try_" + std::to_string(attempt);
+}
+
+namespace {
+
+/// try_<k> attempt numbers present under the shard dir, unsorted.
+std::vector<std::uint32_t> list_shard_attempts(const std::string& root,
+                                               std::size_t shard_id) {
+  std::vector<std::uint32_t> out;
+  std::error_code ec;
+  for (const std::filesystem::directory_entry& entry :
+       std::filesystem::directory_iterator(shard_dir(root, shard_id), ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("try_", 0) != 0) continue;
+    char* end = nullptr;
+    const unsigned long k = std::strtoul(name.c_str() + 4, &end, 10);
+    if (end == nullptr || *end != '\0' || k == 0) continue;
+    out.push_back(static_cast<std::uint32_t>(k));
+  }
+  return out;
+}
+
+/// Classifies one candidate checkpoint dir of shard `shard_id` (the PR 6
+/// single-dir scan, verbatim).
+ShardScan scan_shard_candidate(const std::string& dir, const ShardSpec& spec,
+                               std::size_t shard_id) {
   const ShardAssignment& a = spec.shards[shard_id];
   ShardScan scan;
+  scan.dir = dir;
 
-  const std::string dir = shard_dir(root, shard_id);
   std::error_code ec;
   if (!std::filesystem::exists(
           std::filesystem::path(dir) / kCheckpointManifestFile, ec)) {
@@ -303,6 +332,127 @@ ShardScan scan_shard(const std::string& root, const ShardSpec& spec,
                    ? ShardScanState::kComplete
                    : ShardScanState::kPartial;
   return scan;
+}
+
+}  // namespace
+
+std::uint32_t next_shard_attempt(const std::string& root,
+                                 std::size_t shard_id) {
+  std::uint32_t max_seen = 0;
+  for (const std::uint32_t k : list_shard_attempts(root, shard_id)) {
+    max_seen = std::max(max_seen, k);
+  }
+  return max_seen + 1;
+}
+
+ShardScan scan_shard(const std::string& root, const ShardSpec& spec,
+                     std::size_t shard_id) {
+  RCB_REQUIRE(shard_id < spec.shards.size());
+
+  // Candidate order: the base dir, then attempts ascending — determinism
+  // matters because the first complete candidate is the one adopted.
+  std::vector<std::uint32_t> attempts = list_shard_attempts(root, shard_id);
+  std::sort(attempts.begin(), attempts.end());
+  std::vector<ShardScan> partial;
+  ShardScan complete;
+  bool have_complete = false;
+  std::uint64_t complete_digest = 0;
+
+  // Refusal (kCorrupt) short-circuits the candidate walk.
+  const auto consider =
+      [&](const std::string& dir) -> std::optional<ShardScan> {
+    ShardScan scan = scan_shard_candidate(dir, spec, shard_id);
+    switch (scan.state) {
+      case ShardScanState::kMissing:
+        return std::nullopt;
+      case ShardScanState::kCorrupt:
+        return scan;
+      case ShardScanState::kPartial:
+        partial.push_back(std::move(scan));
+        return std::nullopt;
+      case ShardScanState::kComplete: {
+        const std::uint64_t digest = aggregate_digest(scan.records);
+        if (!have_complete) {
+          complete = std::move(scan);
+          complete_digest = digest;
+          have_complete = true;
+        } else if (digest != complete_digest) {
+          // Two finished journals for identical assigned work that
+          // disagree: one of them fabricates results.  Refuse; never pick.
+          ShardScan divergent;
+          divergent.state = ShardScanState::kCorrupt;
+          divergent.error =
+              "shard " + std::to_string(shard_id) +
+              ": divergent duplicate completions (" + complete.dir +
+              " digest " + std::to_string(complete_digest) + " vs " +
+              scan.dir + " digest " + std::to_string(digest) +
+              "); refusing to choose";
+          return divergent;
+        }
+        // Identical digest: a duplicate completion after a partition —
+        // deduped, the extra candidate is simply ignored.
+        return std::nullopt;
+      }
+    }
+    return std::nullopt;
+  };
+
+  if (std::optional<ShardScan> refused = consider(shard_dir(root, shard_id))) {
+    return std::move(*refused);
+  }
+  for (const std::uint32_t k : attempts) {
+    if (std::optional<ShardScan> refused =
+            consider(shard_attempt_dir(root, shard_id, k))) {
+      return std::move(*refused);
+    }
+  }
+
+  if (have_complete) return complete;
+  if (!partial.empty()) {
+    // Resume basis: the candidate with the most journaled trials (earliest
+    // attempt on ties, for determinism — `partial` is in candidate order).
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < partial.size(); ++i) {
+      if (partial[i].records.size() > partial[best].records.size()) best = i;
+    }
+    return std::move(partial[best]);
+  }
+  ShardScan scan;
+  scan.state = ShardScanState::kMissing;
+  scan.dir = shard_dir(root, shard_id);
+  return scan;
+}
+
+std::string prepare_shard_attempt(const std::string& root,
+                                  const ShardSpec& spec, std::size_t shard_id,
+                                  std::uint32_t attempt) {
+  const std::string dir = shard_attempt_dir(root, shard_id, attempt);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return "cannot create " + dir + ": " + ec.message();
+  if (attempt == 0) return "";  // the base dir resumes in place
+
+  const ShardScan scan = scan_shard(root, spec, shard_id);
+  if (scan.state == ShardScanState::kCorrupt) return scan.error;
+  if (scan.state == ShardScanState::kMissing || scan.dir == dir ||
+      scan.records.empty()) {
+    return "";  // nothing to carry forward
+  }
+  // Byte-copy the predecessor's manifest + journal.  The source may still
+  // be appended to by a partitioned worker; a copy sheared mid-record is a
+  // truncated tail, which resume recovers from.
+  for (const char* name : {kCheckpointManifestFile, kCheckpointJournalFile}) {
+    const std::string src = scan.dir + "/" + name;
+    std::string bytes;
+    if (const std::string err = read_file_fully(src, bytes); !err.empty()) {
+      return "cannot seed attempt " + std::to_string(attempt) + ": " + err;
+    }
+    if (const std::string err = write_file_atomic(dir + "/" + name, bytes);
+        !err.empty()) {
+      return err;
+    }
+  }
+  return "";
 }
 
 ShardMergeResult merge_shard_journals(const std::string& root,

@@ -18,6 +18,25 @@
 //   <root>/shard_<i>/    a standard checkpoint dir (manifest.json +
 //                        journal.rcbj) owned by whichever worker process
 //                        currently holds shard i, plus its lease file
+//   <root>/shard_<i>/try_<k>/
+//                        per-assignment-attempt checkpoint dirs used by the
+//                        socket transport (runtime/transport_socket.hpp):
+//                        a partitioned worker that was revoked keeps
+//                        appending to its *own* attempt dir, so it can
+//                        never corrupt the replacement's journal.  The
+//                        local transport keeps journaling in shard_<i>/
+//                        itself (revocation there really kills the
+//                        process), which also keeps pre-socket sweep roots
+//                        resumable as-is.
+//
+// scan_shard considers every candidate (the base dir plus each try_<k>):
+// any corrupt candidate refuses the shard; multiple *complete* candidates
+// — two workers both finished the shard across a partition — must agree on
+// their aggregate digest, in which case one is adopted and the rest are
+// ignored (deduped, never merged twice); divergent complete candidates
+// refuse loudly, because a digest disagreement on identical assigned work
+// means one journal is fabricated.  Otherwise the partial candidate with
+// the most records is the resume basis.
 //
 // merge_shard_journals folds the per-shard journals back into per-point
 // results.  Because every trial is a pure function of (scenario, trial
@@ -68,6 +87,12 @@ struct ShardSpec {
   double trial_timeout_sec = 0.0;
   SlotCount trial_slot_budget = 0;
   std::uint32_t max_retries = 0;
+  /// Worker liveness beat period: the local transport's lease-file rewrite
+  /// cadence and the socket transport's status-frame cadence.  Part of the
+  /// spec (not a coordinator runtime knob) so every worker of a sweep —
+  /// including ones attached from other machines — beats at the same rate
+  /// the coordinator's lease timeout was validated against.
+  double heartbeat_interval_sec = 0.1;
   std::vector<Scenario> points;
   std::vector<ShardAssignment> shards;
 };
@@ -79,6 +104,29 @@ std::string validate_shard_spec(const ShardSpec& spec);
 
 /// Checkpoint dir of shard `shard_id` under `root`.
 std::string shard_dir(const std::string& root, std::size_t shard_id);
+
+/// Per-assignment-attempt checkpoint dir ("<shard dir>/try_<attempt>"),
+/// used by the socket transport; attempt 0 is the base shard dir itself.
+std::string shard_attempt_dir(const std::string& root, std::size_t shard_id,
+                              std::uint32_t attempt);
+
+/// First attempt number with no existing try_ dir (1 + the highest on
+/// disk).  A resumed coordinator starts here so a partitioned worker still
+/// appending to try_<k> can never share a journal with the replacement.
+std::uint32_t next_shard_attempt(const std::string& root,
+                                 std::size_t shard_id);
+
+/// Creates shard_attempt_dir(root, shard_id, attempt) and seeds it with a
+/// byte copy of the best resumable candidate's manifest + journal (if any),
+/// so the new attempt resumes its predecessor's progress instead of
+/// redoing the shard.  Copying (not renaming) is deliberate: the source
+/// may still be appended to by a partitioned worker, and a copy sheared
+/// mid-record is just a truncated tail — recoverable by the PR 3 taxonomy
+/// — while the source inode stays the old worker's own.  Returns "" or an
+/// error description.
+std::string prepare_shard_attempt(const std::string& root,
+                                  const ShardSpec& spec, std::size_t shard_id,
+                                  std::uint32_t attempt);
 
 /// Path of the shard spec file under `root` ("<root>/sweep.json").
 std::string shard_spec_path(const std::string& root);
@@ -107,15 +155,19 @@ enum class ShardScanState {
 struct ShardScan {
   ShardScanState state = ShardScanState::kMissing;
   std::string error;  ///< set for kCorrupt
+  std::string dir;    ///< adopted candidate dir (kComplete / kPartial)
   std::vector<CheckpointRecord> records;
 };
 
-/// Classifies shard `shard_id`'s checkpoint dir against the spec.  Corrupt
-/// means the PR 3 taxonomy refused the journal, the manifest scenario does
-/// not match the spec's point scenario, or a record lies outside the
-/// shard's assigned range (the journal belongs to a different shard
-/// assignment); a truncated tail alone is recoverable and scans as
-/// kPartial/kComplete.
+/// Classifies shard `shard_id`'s checkpoint dirs — the base dir plus every
+/// try_<k> attempt dir — against the spec.  Corrupt means the PR 3
+/// taxonomy refused a journal, a manifest scenario does not match the
+/// spec's point scenario, a record lies outside the shard's assigned range
+/// (the journal belongs to a different shard assignment), or two complete
+/// candidates disagree on their aggregate digest; a truncated tail alone
+/// is recoverable and scans as kPartial/kComplete.  Multiple complete
+/// candidates with identical digests dedupe to one (duplicate completions
+/// after a partition are adopted once, never merged twice).
 ShardScan scan_shard(const std::string& root, const ShardSpec& spec,
                      std::size_t shard_id);
 

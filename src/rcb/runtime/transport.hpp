@@ -1,0 +1,294 @@
+// Pluggable worker transports for the sharded sweep coordinator.
+//
+// The coordinator (runtime/coordinator.hpp) owns the *shard* state machine
+// — pending/running/done, bounded retries, backoff, merge — and delegates
+// the *worker* lifecycle to a WorkerTransport:
+//
+//   LocalProcessTransport   fork/exec workers on this machine, watched via
+//                           waitpid + pipe-EOF + lease-file mtime (the
+//                           original PR 6 path, extracted verbatim).
+//   SocketTransport         workers (the same binary, --attach=host:port)
+//                           connect to a TCP listener and speak the framed
+//                           control protocol below; liveness is TCP
+//                           heartbeats instead of lease files
+//                           (runtime/transport_socket.hpp).
+//
+// Control protocol (socket transport)
+//
+// Every message is one frame, reusing the RCBJ journal framing grammar:
+//
+//   RCBC <payload-bytes> <fnv1a-hex16> <payload-json>\n
+//
+// A frame that fails its checksum or deviates from the grammar poisons the
+// connection (the peer reconnects and state reconciles); a frame cut short
+// by a partition simply waits for more bytes.  Messages are *idempotent
+// status reconciliation*, not RPCs: workers retransmit their state with
+// every heartbeat tick, and the coordinator re-issues directives whenever
+// a worker's claimed state disagrees with its own — so any individual
+// message may be dropped, duplicated, delayed, or reordered without
+// violating safety, which is exactly what the fault plan below does on
+// purpose.
+//
+//   worker -> coordinator           coordinator -> worker
+//   ---------------------           ---------------------
+//   hello      (re)attach           assign    run (shard, attempt) at root
+//   heartbeat  idle liveness        ack       progress noted
+//   progress   running (shard,      abandon   your lease was revoked; stop
+//              attempt, bytes)                work on this shard, discard
+//   complete   (shard, attempt,     shutdown  sweep over; detach
+//              digest) — resent
+//              until acknowledged
+//   failed     (shard, attempt,
+//              error) — resent
+//
+// Deterministic control-plane fault hook
+//
+// NetFaultPlan draws a seeded, reproducible action per control message —
+// deliver, drop, delay, duplicate, reorder, or close — in the spirit of
+// the sim/faults device-fault layer.  Both transports consult it: the
+// socket transport applies it to every frame in both directions; the
+// local-process transport maps it onto its observation channel (drop/delay
+// suppress a death or lease observation for one poll round, close is a
+// SIGKILL).  The chaos tests prove the merged sweep digest is bit-identical
+// under any schedule of these faults.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rcb {
+
+// ---------------------------------------------------------------------------
+// Control messages.
+
+/// Sentinel for "no shard" in CtrlMessage::shard (idle heartbeats).
+inline constexpr std::uint64_t kNoShard = ~0ull;
+
+enum class CtrlType : std::uint8_t {
+  // worker -> coordinator
+  kHello,
+  kHeartbeat,
+  kProgress,
+  kComplete,
+  kFailed,
+  // coordinator -> worker
+  kAssign,
+  kAck,
+  kAbandon,
+  kShutdown,
+};
+
+const char* ctrl_type_name(CtrlType type);
+
+struct CtrlMessage {
+  CtrlType type = CtrlType::kHeartbeat;
+  std::uint64_t uid = 0;      ///< stable worker identity across reconnects
+  std::uint64_t pid = 0;      ///< worker pid (coordinator may SIGKILL it)
+  std::uint64_t shard = kNoShard;  ///< shard the message is about
+  std::uint64_t attempt = 0;
+  std::uint64_t value = 0;    ///< progress: journal bytes so far
+  std::uint64_t digest = 0;   ///< complete: the shard's aggregate digest
+  std::uint64_t heartbeat_ms = 0;  ///< assign: worker heartbeat period
+  std::string root;           ///< assign: sweep root path
+  std::string error;          ///< failed: one-line description
+};
+
+/// Encodes one message as a framed, checksummed line.
+std::string encode_ctrl_frame(const CtrlMessage& m);
+
+/// Incremental frame decoder over a TCP byte stream.
+class CtrlFrameDecoder {
+ public:
+  /// Appends raw bytes received from the peer.
+  void feed(const char* data, std::size_t n);
+
+  /// Decodes the next complete frame.  Returns +1 with `out` filled, 0 when
+  /// more bytes are needed, or -1 (with `error` set) when the stream is
+  /// corrupt — the connection must be dropped, never resynchronised.
+  int next(CtrlMessage& out, std::string& error);
+
+  std::size_t buffered() const { return buf_.size() - off_; }
+
+ private:
+  std::string buf_;
+  std::size_t off_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Deterministic control-plane fault injection.
+
+struct NetFaultConfig {
+  std::uint64_t seed = 0;  ///< 0 disables every fault
+  double drop_rate = 0.0;
+  double delay_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double reorder_rate = 0.0;
+  double close_rate = 0.0;
+  double delay_ms = 25.0;  ///< hold time for delayed messages
+
+  bool any_active() const;
+
+  /// Uniform chaos preset: every fault channel at `rate` except close at
+  /// rate/5 (a closed connection costs a reconnect round-trip, so it is
+  /// rarer, like crashes vs losses in sim/faults).
+  static NetFaultConfig chaos(std::uint64_t seed, double rate);
+};
+
+enum class NetFaultAction {
+  kDeliver,
+  kDrop,
+  kDelay,
+  kDuplicate,
+  kReorder,
+  kClose,
+};
+
+const char* net_fault_action_name(NetFaultAction a);
+
+/// Seeded fault decision stream: the k-th call for a given (seed, type)
+/// history always returns the same action, so a chaos run is reproducible
+/// in its *choices* (timing still varies; digest identity must hold for
+/// any schedule, and the chaos tests assert exactly that).
+class NetFaultPlan {
+ public:
+  NetFaultPlan() = default;
+  explicit NetFaultPlan(const NetFaultConfig& cfg) : cfg_(cfg) {}
+
+  bool active() const { return cfg_.any_active(); }
+  NetFaultAction next(CtrlType type);
+  double delay_ms() const { return cfg_.delay_ms; }
+
+ private:
+  NetFaultConfig cfg_;
+  std::uint64_t counter_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Lease policy validation (shared by the CLI tools and the coordinator).
+
+/// "" when (lease timeout, heartbeat interval) is a sane pair.  A lease
+/// timeout not comfortably above the heartbeat period would revoke healthy
+/// workers on a single delayed beat; anything <= 2x the heartbeat is
+/// rejected with a one-line error.  lease_timeout_sec == 0 (watchdog off)
+/// is always accepted.
+std::string validate_lease_config(double lease_timeout_sec,
+                                  double heartbeat_interval_sec);
+
+// ---------------------------------------------------------------------------
+// Transport abstraction.
+
+enum class TransportKind : std::uint8_t {
+  kLocalProcess,  ///< fork/exec on this machine (PR 6 behaviour)
+  kSocket,        ///< TCP-attached workers (runtime/transport_socket.hpp)
+};
+
+struct TransportEvent {
+  enum class Kind {
+    /// The holder of `shard` is gone: process exited / pipe EOF / lease
+    /// expired / connection revoked.  The coordinator rescans the shard's
+    /// journals to decide complete vs reassign.
+    kShardExited,
+    /// A completion report for (shard, attempt, digest) arrived (socket).
+    kShardComplete,
+    /// The worker reported a failure for (shard, attempt) (socket).
+    kShardFailed,
+  };
+  Kind kind = Kind::kShardExited;
+  std::uint64_t shard = 0;
+  std::uint64_t attempt = 0;
+  std::uint64_t digest = 0;
+  int exit_code = -1;  ///< local transport: worker exit code (-1 = signal)
+  std::string detail;
+};
+
+/// Worker-lifecycle backend for the coordinator.  Not thread-safe; the
+/// coordinator drives it from one thread.
+class WorkerTransport {
+ public:
+  virtual ~WorkerTransport() = default;
+
+  /// Brings the transport up (socket: bind + listen).  "" or error.
+  virtual std::string start() = 0;
+
+  /// True when a worker slot is available for assign() right now.
+  virtual bool can_assign() = 0;
+
+  /// Hands (shard, attempt) to a worker: local fork/execs one, socket
+  /// sends an assign frame to an idle attached worker.  "" or error.
+  virtual std::string assign(std::size_t shard, std::uint32_t attempt) = 0;
+
+  /// Pumps I/O / reaping / lease checks and reports what changed.
+  virtual void poll(std::vector<TransportEvent>& out) = 0;
+
+  /// SIGKILL-equivalent revocation of `shard`'s current holder: local
+  /// kills the process; socket closes the connection and remembers that a
+  /// returning holder must be told to abandon.
+  virtual void revoke(std::size_t shard) = 0;
+
+  /// Live workers right now (running + idle); 0 means the fleet is empty
+  /// and the coordinator parks until someone (re-)attaches.
+  virtual std::size_t fleet_size() const = 0;
+
+  /// Checkpoint directory attempt `attempt` of `shard` journals into.
+  virtual std::string attempt_dir(std::size_t shard,
+                                  std::uint32_t attempt) const = 0;
+
+  /// Stops every worker: graceful lets them drain (SIGTERM / shutdown
+  /// frame), otherwise SIGKILL.  Idempotent.
+  virtual void shutdown(bool graceful) = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Local fork/exec transport (the PR 6 path, extracted).
+
+struct LocalTransportOptions {
+  std::string root;
+  std::size_t workers = 1;
+  /// A worker whose lease file is older than this is wedged: SIGKILL +
+  /// reassign (0 disables the lease watchdog).
+  double lease_timeout_sec = 10.0;
+  /// Builds the argv for shard `shard_id`'s worker; argv[0] is the
+  /// executable.  Defaults to re-entering /proc/self/exe with the internal
+  /// --shard_worker flags.
+  std::function<std::vector<std::string>(std::size_t shard_id)> worker_argv;
+  /// Test hook, called with (shard_id, pid) after each spawn.
+  std::function<void(std::size_t shard_id, pid_t pid)> on_worker_spawn;
+  /// Deterministic control-plane faults mapped onto the observation
+  /// channel: drop/delay suppress one poll round's observation of a death
+  /// or stale lease, close SIGKILLs the observed worker.
+  NetFaultConfig net_faults;
+};
+
+/// Creates the fork/exec transport.  (Factory so the implementation stays
+/// private to the .cpp.)
+std::unique_ptr<WorkerTransport> make_local_process_transport(
+    const LocalTransportOptions& opt);
+
+/// fork/execs `argv_strings` with PR_SET_PDEATHSIG(SIGKILL) and a liveness
+/// pipe whose write end the child inherits across exec.  On success fills
+/// `pid` and `pipe_read` (read end, O_NONBLOCK | FD_CLOEXEC) and returns
+/// ""; the argv is materialised before fork so the child never allocates.
+/// Shared by both transports' spawners.
+std::string spawn_worker_process(const std::vector<std::string>& argv_strings,
+                                 pid_t& pid, int& pipe_read);
+
+/// Name of the lease file inside a shard dir (local transport; exposed for
+/// tests).
+extern const char kShardLeaseFile[];
+
+/// Lease-file primitives shared by the local transport, the worker-side
+/// heartbeat, and the coordinator's orphan adoption (exposed for tests).
+/// The coordinator never reads a timestamp out of the lease — wall clocks
+/// lie across processes — it watches the mtime, which the kernel stamps on
+/// every rewrite; the content is the owner's pid.
+void write_lease_file(const std::string& path, pid_t pid);
+pid_t read_lease_pid(const std::string& path);
+/// Seconds since the last rewrite; huge when missing (maximally stale).
+double lease_age_sec(const std::string& path);
+
+}  // namespace rcb

@@ -1,0 +1,111 @@
+// TCP worker transport: socket-attached sweep workers behind the framed
+// control protocol of runtime/transport.hpp.
+//
+// Topology: the coordinator binds a TCP listener; workers — the same
+// binary, re-entered via --attach=host:port — connect in and speak RCBC
+// control frames.  The socket carries *control only* (assignment, status,
+// acks); the data plane stays the shared-filesystem journals of
+// runtime/shard.hpp, one try_<attempt> checkpoint dir per assignment, so
+// the journal-completeness rules that make the local transport
+// crash-consistent apply unchanged to remote workers.
+//
+// Liveness and partitions.  Every worker beat (heartbeat_interval from the
+// shard spec) retransmits the worker's full state; the coordinator treats
+// silence from a shard's holder past the lease timeout as a partition and
+// revokes: the connection is dropped, the holder's pid is SIGKILLed when
+// it was self-spawned (same host), and the shard is reassigned under a
+// fresh attempt dir seeded with the best partial journal.  A revoked
+// worker that was merely partitioned keeps appending to its *own* attempt
+// dir — harmless — and is told to abandon the moment it reconnects and
+// reports the stale claim.  Duplicate completions (both the revoked and
+// the replacement worker finished) are resolved at scan time by digest
+// equality, adopted once, never merged twice; divergent digests refuse the
+// sweep loudly.
+//
+// Reconnection.  Workers reconnect with exponential backoff and keep their
+// uid, so a TCP reset costs nothing: the coordinator's shard bookkeeping
+// is keyed on uid, not connection, and state reconciles on the next beat
+// (a lost assign is re-sent when the worker reports idle; a lost ack is
+// healed by the worker retransmitting complete/failed until directed).
+// After a coordinator crash + resume, reconnecting workers with in-flight
+// claims are told to abandon — the resumed coordinator re-adopts journals
+// from disk, the only source of truth it trusts.
+//
+// Fleet.  With spawn_workers > 0 the transport forks its own --attach
+// workers (PR_SET_PDEATHSIG, respawned with backoff when they die); with 0
+// it waits for external attachments and the coordinator parks — warns and
+// idles rather than failing — whenever the fleet is empty.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rcb/runtime/supervisor.hpp"
+#include "rcb/runtime/transport.hpp"
+
+namespace rcb {
+
+/// Parses "host:port" (numeric IPv4 host).  Returns "" or a one-line
+/// error.  Port 0 is accepted (ephemeral; coordinator listeners only).
+std::string parse_host_port(const std::string& text, std::string& host,
+                            std::uint16_t& port);
+
+struct SocketTransportOptions {
+  std::string root;
+  std::string listen_host = "127.0.0.1";
+  std::uint16_t listen_port = 0;  ///< 0: ephemeral, reported via on_listen
+  /// Silence from a shard's holder past this long is a partition: revoke +
+  /// reassign (0 disables — only explicit revoke() reclaims shards).
+  double lease_timeout_sec = 10.0;
+  /// Worker status-beat period, forwarded in assign frames (normally the
+  /// shard spec's heartbeat_interval_sec).
+  double heartbeat_interval_sec = 0.1;
+  /// Self-spawned --attach worker processes to maintain (0: external
+  /// workers only).
+  std::size_t spawn_workers = 0;
+  /// First respawn of a dead self-spawned worker waits this long, doubling
+  /// per consecutive death.
+  double respawn_backoff_base_sec = 0.05;
+  /// argv for self-spawned worker `worker_index`; defaults to re-entering
+  /// /proc/self/exe with --attach=<host>:<port>.
+  std::function<std::vector<std::string>(std::size_t worker_index)>
+      attach_argv;
+  /// Test hook, called with (worker_index, pid) after each self-spawn.
+  std::function<void(std::size_t worker_index, pid_t pid)> on_worker_spawn;
+  /// Called once with the bound port (after an ephemeral bind resolves).
+  std::function<void(std::uint16_t port)> on_listen;
+  /// Deterministic control-plane faults, applied to every frame in both
+  /// directions (except shutdown, whose real signal is the close anyway).
+  NetFaultConfig net_faults;
+};
+
+std::unique_ptr<WorkerTransport> make_socket_transport(
+    const SocketTransportOptions& opt);
+
+struct AttachWorkerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Test-only trial runner override (empty: the real protocol runner).
+  TrialRunner runner;
+  /// Reconnect backoff: first retry after base, doubling to at most max.
+  double reconnect_base_sec = 0.05;
+  double reconnect_max_sec = 2.0;
+  /// Give up (exit 3) after this long without a coordinator (0: park and
+  /// retry forever — a worker outliving a crashed coordinator re-attaches
+  /// to the resumed one).
+  double give_up_sec = 0.0;
+};
+
+/// Worker-mode entry point (the target of --attach): connects to the
+/// coordinator with reconnect backoff, runs assigned shard attempts into
+/// their try_<k> dirs, retransmits completions until acknowledged, and
+/// abandons work when directed.  Blocks until a shutdown directive (exit
+/// 0), SIGINT/SIGTERM (130), or the give-up deadline (3).
+int run_attached_worker(const AttachWorkerOptions& opt);
+
+}  // namespace rcb

@@ -7,23 +7,28 @@
 //
 // This binary has a custom main: the coordinator re-enters the test
 // executable itself as the worker process via the --rcb_shard_worker
-// argv prefix, so the fork/exec path under test is the real one.
+// argv prefix (fork/exec transport) or --rcb_attach_worker (socket
+// transport), so both worker paths under test are the real ones.
 #include "rcb/runtime/coordinator.hpp"
 
 #include <gtest/gtest.h>
 #include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "rcb/runtime/shard.hpp"
 #include "rcb/runtime/supervisor.hpp"
+#include "rcb/runtime/transport_socket.hpp"
 
 namespace {
 std::string g_self_exe;  // argv[0]; workers re-exec this test binary
@@ -104,7 +109,43 @@ class CoordinatorTest : public ::testing::Test {
     return opt;
   }
 
+  /// Socket-transport options: the fleet is this test binary re-entered as
+  /// --rcb_attach_worker against the ephemeral port captured by on_listen
+  /// (attach_argv is only consulted after the listener is bound).  slow_ms
+  /// makes every trial take that long in the worker, so kill/wedge tests
+  /// can land their signal mid-shard deterministically.
+  CoordinatorOptions socket_options(std::size_t workers, int slow_ms = 0) {
+    CoordinatorOptions opt;
+    opt.root = root_;
+    opt.workers = workers;
+    opt.transport = TransportKind::kSocket;
+    opt.backoff_base_sec = 0.01;
+    opt.lease_timeout_sec = 0.4;
+    opt.on_listen = [p = port_](std::uint16_t port) {
+      p->store(port);
+    };
+    opt.attach_argv = [p = port_, slow_ms](std::size_t) {
+      std::vector<std::string> argv{
+          g_self_exe, "--rcb_attach_worker",
+          "127.0.0.1:" + std::to_string(p->load())};
+      if (slow_ms > 0) argv.push_back(std::to_string(slow_ms));
+      return argv;
+    };
+    return opt;
+  }
+
+  /// Spec tuned for socket tests: fast status beats keep the protocol (and
+  /// the lease clock) snappy.
+  static ShardSpec socket_spec(const std::vector<Scenario>& scenarios,
+                               std::size_t target_shards) {
+    ShardSpec spec = make_spec(scenarios, target_shards);
+    spec.heartbeat_interval_sec = 0.02;
+    return spec;
+  }
+
   std::string root_;
+  std::shared_ptr<std::atomic<int>> port_ =
+      std::make_shared<std::atomic<int>>(0);
 };
 
 // ---------------------------------------------------------------------------
@@ -357,6 +398,184 @@ TEST_F(CoordinatorTest, GracefulShutdownReportsInterruptedAndResumes) {
 }
 
 // ---------------------------------------------------------------------------
+// Socket transport end-to-end (workers attach over TCP; the control plane
+// is the framed RCBC protocol, the data plane stays the shared journals).
+
+TEST_F(CoordinatorTest, SocketMatchesSingleProcessDigestAcrossWorkerCounts) {
+  const std::vector<Scenario> scenarios{fast_scenario(81, 11),
+                                        fast_scenario(82, 5)};
+  const std::vector<std::uint64_t> reference = reference_digests(scenarios);
+
+  for (const std::size_t workers : {1u, 2u}) {
+    fs::remove_all(root_);
+    const CoordinatorResult res = run_shard_coordinator(
+        socket_spec(scenarios, workers * 2), socket_options(workers));
+    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_EQ(res.points.size(), scenarios.size());
+    for (std::size_t p = 0; p < scenarios.size(); ++p) {
+      EXPECT_EQ(res.points[p].aggregate_digest, reference[p])
+          << "workers=" << workers << " point=" << p;
+      EXPECT_EQ(res.points[p].records.size(), scenarios[p].trials);
+    }
+  }
+}
+
+TEST_F(CoordinatorTest, SocketDigestStableUnderControlPlaneChaos) {
+  const std::vector<Scenario> scenarios{fast_scenario(83, 10),
+                                        fast_scenario(84, 6)};
+  const std::vector<std::uint64_t> reference = reference_digests(scenarios);
+
+  CoordinatorOptions opt = socket_options(2);
+  opt.lease_timeout_sec = 1.0;
+  opt.net_faults = NetFaultConfig::chaos(31337, 0.1);
+  const CoordinatorResult res =
+      run_shard_coordinator(socket_spec(scenarios, 4), opt);
+  ASSERT_TRUE(res.ok) << res.error;
+  for (std::size_t p = 0; p < scenarios.size(); ++p) {
+    EXPECT_EQ(res.points[p].aggregate_digest, reference[p]) << "point " << p;
+    EXPECT_EQ(res.points[p].records.size(), scenarios[p].trials);
+  }
+}
+
+TEST_F(CoordinatorTest, SocketReassignsShardAfterWorkerSigkill) {
+  const std::vector<Scenario> scenarios{fast_scenario(85, 16)};
+  const std::uint64_t reference = reference_digests(scenarios)[0];
+
+  // 10ms per trial x 8-trial shards: the kill 100ms after the first spawn
+  // lands mid-shard, forcing lease expiry + reassignment (a killed socket
+  // worker's claim survives the TCP close until the lease runs out).
+  std::atomic<bool> killed{false};
+  std::thread killer;
+  CoordinatorOptions opt = socket_options(2, /*slow_ms=*/10);
+  opt.on_worker_spawn = [&](std::size_t, pid_t pid) {
+    if (killed.exchange(true)) return;
+    killer = std::thread([pid] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      kill(pid, SIGKILL);
+    });
+  };
+  const CoordinatorResult res =
+      run_shard_coordinator(socket_spec(scenarios, 2), opt);
+  if (killer.joinable()) killer.join();
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(killed.load());
+  EXPECT_GE(res.worker_restarts, 1u);
+  EXPECT_EQ(res.points[0].aggregate_digest, reference);
+  EXPECT_EQ(res.points[0].records.size(), scenarios[0].trials);
+}
+
+TEST_F(CoordinatorTest, SocketRevokesWedgedWorkerOnLeaseExpiry) {
+  const std::vector<Scenario> scenarios{fast_scenario(87, 12)};
+  const std::uint64_t reference = reference_digests(scenarios)[0];
+
+  // SIGSTOP freezes the worker mid-shard: heartbeats stop, the lease
+  // expires, and the coordinator revokes (SIGKILLing the frozen pid) and
+  // reassigns under a fresh attempt dir seeded with the partial journal.
+  std::atomic<bool> wedged{false};
+  std::thread wedger;
+  CoordinatorOptions opt = socket_options(1, /*slow_ms=*/10);
+  opt.on_worker_spawn = [&](std::size_t, pid_t pid) {
+    if (wedged.exchange(true)) return;
+    wedger = std::thread([pid] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      kill(pid, SIGSTOP);
+    });
+  };
+  const CoordinatorResult res =
+      run_shard_coordinator(socket_spec(scenarios, 2), opt);
+  if (wedger.joinable()) wedger.join();
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(wedged.load());
+  EXPECT_GE(res.worker_restarts, 1u);
+  EXPECT_EQ(res.points[0].aggregate_digest, reference);
+}
+
+TEST_F(CoordinatorTest, SocketResumesAfterCoordinatorCrash) {
+  const std::vector<Scenario> scenarios{fast_scenario(89, 12),
+                                        fast_scenario(90, 6)};
+  const std::vector<std::uint64_t> reference = reference_digests(scenarios);
+  const ShardSpec spec = socket_spec(scenarios, 4);
+
+  CoordinatorOptions crash = socket_options(2);
+  crash.simulate_crash_after_shards = 1;
+  const CoordinatorResult first = run_shard_coordinator(spec, crash);
+  ASSERT_FALSE(first.ok);
+  ASSERT_GE(first.shards_completed, 1u);
+
+  CoordinatorOptions resume = socket_options(2);
+  resume.resume = true;
+  const CoordinatorResult second = run_shard_coordinator(spec, resume);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_EQ(second.shards_completed, spec.shards.size());
+  for (std::size_t p = 0; p < scenarios.size(); ++p) {
+    EXPECT_EQ(second.points[p].aggregate_digest, reference[p]);
+  }
+}
+
+TEST_F(CoordinatorTest, SocketParksUntilExternalWorkerAttaches) {
+  const std::vector<Scenario> scenarios{fast_scenario(91, 8)};
+  const std::uint64_t reference = reference_digests(scenarios)[0];
+
+  // spawn_workers=false + workers=0: the coordinator owns no fleet and
+  // parks; an external worker attaching late picks up the whole sweep.
+  CoordinatorOptions opt = socket_options(0);
+  opt.spawn_workers = false;
+  std::atomic<pid_t> external{-1};
+  std::atomic<bool> reaped{false};
+  // PR_SET_PDEATHSIG fires when the spawning *thread* dies, not the
+  // process, so the attacher must outlive the worker it spawned — it parks
+  // until the main thread has reaped the worker.
+  std::thread attacher([this, &external, &reaped] {
+    while (port_->load() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    pid_t pid = -1;
+    int pipe_read = -1;
+    const std::string err = spawn_worker_process(
+        {g_self_exe, "--rcb_attach_worker",
+         "127.0.0.1:" + std::to_string(port_->load())},
+        pid, pipe_read);
+    EXPECT_EQ(err, "");
+    if (pipe_read >= 0) close(pipe_read);
+    external.store(pid);
+    while (!reaped.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  const CoordinatorResult res =
+      run_shard_coordinator(socket_spec(scenarios, 2), opt);
+  // The shutdown directive sent at sweep end makes the worker exit 0.
+  const pid_t pid = external.load();
+  int status = -1;
+  pid_t waited = -1;
+  if (pid > 0) {
+    if (!res.ok) kill(pid, SIGKILL);  // don't hang the test on a dead sweep
+    waited = waitpid(pid, &status, 0);
+  }
+  reaped.store(true);
+  attacher.join();
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.points[0].aggregate_digest, reference);
+  ASSERT_GT(pid, 0);
+  EXPECT_EQ(waited, pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "status " << status;
+}
+
+TEST_F(CoordinatorTest, RejectsLeaseTighterThanTwoHeartbeats) {
+  const std::vector<Scenario> scenarios{fast_scenario(93, 4)};
+  ShardSpec spec = make_spec(scenarios, 1);
+  spec.heartbeat_interval_sec = 0.1;
+  CoordinatorOptions opt = options(1);
+  opt.lease_timeout_sec = 0.15;  // <= 2x the heartbeat: one late beat kills
+  const CoordinatorResult res = run_shard_coordinator(spec, opt);
+  ASSERT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("must exceed 2x"), std::string::npos)
+      << res.error;
+}
+
+// ---------------------------------------------------------------------------
 // Merge edge cases.
 
 TEST_F(CoordinatorTest, EmptyShardMergesAsZeroTrials) {
@@ -426,6 +645,23 @@ int main(int argc, char** argv) {
   if (argc == 4 && std::string(argv[1]) == "--rcb_shard_worker") {
     return rcb::run_shard_worker(argv[2],
                                  static_cast<std::size_t>(std::atoi(argv[3])));
+  }
+  // Socket worker mode: "<exe> --rcb_attach_worker <host:port> [slow_ms]".
+  // slow_ms stretches each trial so chaos tests can land signals mid-shard.
+  if ((argc == 3 || argc == 4) &&
+      std::string(argv[1]) == "--rcb_attach_worker") {
+    rcb::AttachWorkerOptions opt;
+    if (!rcb::parse_host_port(argv[2], opt.host, opt.port).empty()) return 2;
+    opt.give_up_sec = 30.0;  // orphaned by a dead test: exit, don't linger
+    if (argc == 4) {
+      const int slow_ms = std::atoi(argv[3]);
+      opt.runner = [slow_ms](const rcb::Scenario& s, std::uint64_t trial,
+                             std::uint32_t) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(slow_ms));
+        return rcb::run_scenario_trial(s, trial);
+      };
+    }
+    return rcb::run_attached_worker(opt);
   }
   ::testing::InitGoogleTest(&argc, argv);
   return RUN_ALL_TESTS();

@@ -6,6 +6,7 @@
 #   tools/ci.sh plain      # RelWithDebInfo only (+ quick bench + quick fuzz)
 #   tools/ci.sh sanitize   # ASan+UBSan only (no bench — numbers meaningless)
 #   tools/ci.sh tsan       # ThreadSanitizer, concurrency test binaries only
+#   tools/ci.sh chaos_net  # socket-transport chaos only (needs build/)
 #   tools/ci.sh perf       # native/AVX2 preset + engine crosscheck suite
 #                          # (skipped cleanly on hosts without avx2+fma)
 #   tools/ci.sh --full     # like "all" but with a larger fuzz sweep
@@ -249,6 +250,88 @@ chaos_multiproc() {
   echo "chaos-mp: sharded digests bit-identical across worker counts, worker kills, and coordinator kill/resume"
 }
 
+# Chaos: the socket transport's partition-tolerant control plane, end to
+# end through rcb_sweep --transport=socket (TCP-attached workers speaking
+# framed RCBC control frames; the data plane stays the shard journals).
+#  1. Digest equality: a loopback-socket sweep with seeded control-plane
+#     fault injection (drop/delay/duplicate/reorder/close on every frame)
+#     must print per-point digests bit-identical to the in-process
+#     --threads=1 reference — at-least-once reconciliation absorbs any
+#     fault schedule.
+#  2. SIGKILL random attached workers mid-sweep under the same faults: the
+#     lease watchdog revokes, the shard restarts under a fresh try_ dir
+#     seeded with the partial journal, and the digests still match.
+#  3. SIGKILL the *coordinator*; re-run with --resume: completed shard
+#     attempts are adopted, in-flight ones restart, digests still match.
+chaos_net() {
+  local sweep="$repo/build/tools/rcb_sweep"
+  local work="$repo/build/chaos-net"
+  rm -rf "$work"; mkdir -p "$work"
+  local args=(--protocol=one_to_one --adversary=full_duel --sweep=budget
+              --values=128,256,512,1024,2048,4096 --trials=12
+              --seed=23 --fit=none --print_digests)
+  local net=(--transport=socket --net_fault_seed=777 --net_fault_rate=0.05
+             --lease_timeout=1500 --heartbeat_interval=25)
+
+  echo "--- chaos-net: in-process reference digests (--threads=1)"
+  "$sweep" "${args[@]}" --threads=1 >"$work/ref.out"
+  local ref; ref=$(grep '^# digest' "$work/ref.out")
+  [[ -n "$ref" ]] || { echo "chaos-net: no reference digests"; return 1; }
+
+  echo "--- chaos-net: loopback-socket sweep under seeded frame faults"
+  rm -rf "$work/sock"
+  "$sweep" "${args[@]}" "${net[@]}" --workers=2 --threads=1 \
+    --checkpoint_dir="$work/sock" >"$work/sock.out" 2>"$work/sock.err" ||
+    { echo "chaos-net: socket sweep failed"; cat "$work/sock.err"; return 1; }
+  diff <(grep '^# digest' "$work/sock.out") <(echo "$ref") >/dev/null ||
+    { echo "chaos-net: socket digests differ from --threads=1"; return 1; }
+
+  echo "--- chaos-net: SIGKILL random attached workers under faults"
+  rm -rf "$work/kill"
+  "$sweep" "${args[@]}" "${net[@]}" --workers=2 --threads=1 \
+    --checkpoint_dir="$work/kill" >"$work/kill.out" 2>"$work/kill.err" &
+  local pid=$! rounds=0 victims victim rc=0
+  while kill -0 "$pid" 2>/dev/null && (( rounds < 4 )); do
+    sleep 0.2
+    victims=$(pgrep -P "$pid" 2>/dev/null || true)
+    if [[ -n "$victims" ]]; then
+      victim=$(echo "$victims" | shuf -n1)
+      kill -KILL "$victim" 2>/dev/null || true
+      rounds=$((rounds + 1))
+    fi
+  done
+  wait "$pid" || rc=$?
+  [[ "$rc" -eq 0 ]] ||
+    { echo "chaos-net: sweep with killed workers exited $rc"
+      cat "$work/kill.err"; return 1; }
+  diff <(grep '^# digest' "$work/kill.out") <(echo "$ref") >/dev/null ||
+    { echo "chaos-net: digests differ after worker kills"; return 1; }
+
+  echo "--- chaos-net: SIGKILL the coordinator, then --resume"
+  rm -rf "$work/co"
+  "$sweep" "${args[@]}" "${net[@]}" --workers=2 --threads=1 \
+    --checkpoint_dir="$work/co" >"$work/co.out" 2>"$work/co.err" &
+  pid=$!
+  # Strike once the per-attempt shard journals have flushed a few records
+  # (socket attempts journal into shard_<i>/try_<k>/).
+  local bytes
+  for _ in $(seq 1 400); do
+    bytes=$(find "$work/co" -path '*/try_*/journal.rcbj' -exec cat {} + \
+              2>/dev/null | wc -c)
+    if (( bytes > 1500 )); then break; fi
+    sleep 0.02
+  done
+  kill -KILL "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  "$sweep" "${args[@]}" "${net[@]}" --workers=2 --threads=1 \
+    --resume="$work/co" >"$work/co_resumed.out" 2>"$work/co_resumed.err" ||
+    { echo "chaos-net: resumed socket sweep failed"
+      cat "$work/co_resumed.err"; return 1; }
+  diff <(grep '^# digest' "$work/co_resumed.out") <(echo "$ref") >/dev/null ||
+    { echo "chaos-net: coordinator kill/resume digests differ"; return 1; }
+  echo "chaos-net: socket digests bit-identical under frame faults, worker kills, and coordinator kill/resume"
+}
+
 # Fuzz stage: canary self-check, then a fixed-seed scenario sweep.  Oracle
 # violations land minimized in $fuzz_out and fail the stage; the rcb_fuzz
 # output names the exact files to replay.
@@ -277,6 +360,8 @@ if [[ "$what" == "all" || "$what" == "plain" ]]; then
   chaos_sweep_scheduler
   echo "=== [plain] chaos: multi-process sharded sweep fault tolerance ==="
   chaos_multiproc
+  echo "=== [plain] chaos: socket transport partition tolerance ==="
+  chaos_net
   echo "=== [plain] fuzz: scenario oracles ==="
   fuzz_stage "$repo/build/tools/rcb_fuzz" "$repo/build/fuzz-out"
   echo "=== [plain] quick bench ==="
@@ -333,6 +418,11 @@ if [[ "$what" == "all" || "$what" == "perf" ]]; then
   fi
 fi
 
+if [[ "$what" == "chaos_net" ]]; then
+  echo "=== [chaos_net] socket transport partition tolerance ==="
+  chaos_net
+fi
+
 if [[ "$what" == "all" || "$what" == "tsan" ]]; then
   # TSan instruments only what it needs: the concurrency-bearing binaries
   # (pool, supervisor/scheduler, async journal).  A full test run under
@@ -341,12 +431,14 @@ if [[ "$what" == "all" || "$what" == "tsan" ]]; then
   cmake -B "$repo/build-tsan" -S "$repo" -DRCB_TSAN=ON
   echo "=== [tsan] build ==="
   cmake --build "$repo/build-tsan" -j "$jobs" \
-    --target thread_pool_test supervisor_test checkpoint_test coordinator_test
+    --target thread_pool_test supervisor_test checkpoint_test \
+             coordinator_test transport_test
   echo "=== [tsan] run concurrency tests ==="
   "$repo/build-tsan/tests/thread_pool_test"
   "$repo/build-tsan/tests/supervisor_test"
   "$repo/build-tsan/tests/checkpoint_test"
   "$repo/build-tsan/tests/coordinator_test"
+  "$repo/build-tsan/tests/transport_test"
 fi
 
 echo "CI OK"

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "rcb/cli/flags.hpp"
+#include "rcb/runtime/transport_socket.hpp"
 #include "rcb/stats/regression.hpp"
 #include "rcb/stats/table.hpp"
 #include "sim_runner.hpp"
@@ -91,6 +92,33 @@ int run_tool(int argc, const char* const* argv) {
                    "at this path (spawned by the --workers coordinator)");
   flags.add_int("shard_id", 0, "internal: shard index for --shard_worker",
                 0);
+  flags.add_string("transport", "local",
+                   "worker transport for --workers: local (fork/exec on "
+                   "this machine) | socket (TCP control plane; workers "
+                   "attach with --attach)");
+  flags.add_string("attach", "",
+                   "run as a socket-attached sweep worker: connect to the "
+                   "coordinator at host:port, run assigned shards, "
+                   "reconnect with backoff if the coordinator restarts");
+  flags.add_string("listen", "127.0.0.1:0",
+                   "--transport=socket listener address (numeric IPv4; "
+                   "port 0 = ephemeral, printed to stderr)");
+  flags.add_int("lease_timeout", 10000,
+                "revoke and reassign a worker's shard after this many ms "
+                "of silence (0 = no watchdog; must exceed 2x "
+                "--heartbeat_interval)",
+                0, 3600000);
+  flags.add_int("heartbeat_interval", 100,
+                "worker heartbeat period in ms (lease files on local "
+                "transport, status frames on socket)",
+                1, 60000);
+  flags.add_int("net_fault_seed", 0,
+                "seed for deterministic control-plane fault injection "
+                "(0 = off; chaos harness only)",
+                0);
+  flags.add_double("net_fault_rate", 0.02,
+                   "per-frame fault probability when --net_fault_seed is "
+                   "set (drop/delay/duplicate/reorder, close at rate/5)");
   flags.add_bool("print_digests", false,
                  "print '# digest point_<i> <hex16>' per point (chaos "
                  "harness: digests are bit-identical across thread counts "
@@ -104,6 +132,23 @@ int run_tool(int argc, const char* const* argv) {
       !worker_root.empty()) {
     return run_shard_worker(worker_root,
                             static_cast<std::size_t>(flags.get_int("shard_id")));
+  }
+
+  // Socket worker mode: attach to a remote coordinator and serve shard
+  // assignments until told to shut down (every other flag is ignored; the
+  // coordinator's on-disk shard spec is authoritative).
+  if (const std::string attach = flags.get_string("attach"); !attach.empty()) {
+    AttachWorkerOptions aopt;
+    if (const std::string err = parse_host_port(attach, aopt.host, aopt.port);
+        !err.empty()) {
+      std::fprintf(stderr, "--attach: %s\n", err.c_str());
+      return 1;
+    }
+    if (aopt.port == 0) {
+      std::fprintf(stderr, "--attach: port 0 is not a coordinator address\n");
+      return 1;
+    }
+    return run_attached_worker(aopt);
   }
 
   tools::SimConfig base;
@@ -182,8 +227,9 @@ int run_tool(int argc, const char* const* argv) {
   }
 
   const auto workers = static_cast<std::size_t>(flags.get_int("workers"));
+  const std::string transport_name = flags.get_string("transport");
   std::vector<tools::SimAggregate> aggs;
-  if (workers > 0) {
+  if (workers > 0 || transport_name == "socket") {
     // Multi-process mode: shard the (point, trial) space across worker
     // processes with crash detection + reassignment; the merged per-point
     // digests are bit-identical to the in-process path below.
@@ -193,9 +239,45 @@ int run_tool(int argc, const char* const* argv) {
                    "journals need a sweep root)\n");
       return 1;
     }
+    tools::ShardedTransportOptions topt;
+    topt.lease_timeout_sec = flags.get_int("lease_timeout") / 1000.0;
+    topt.heartbeat_interval_sec = flags.get_int("heartbeat_interval") / 1000.0;
+    if (const std::string err = validate_lease_config(
+            topt.lease_timeout_sec, topt.heartbeat_interval_sec);
+        !err.empty()) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 1;
+    }
+    if (transport_name == "socket") {
+      topt.transport = TransportKind::kSocket;
+      if (const std::string err =
+              parse_host_port(flags.get_string("listen"), topt.listen_host,
+                              topt.listen_port);
+          !err.empty()) {
+        std::fprintf(stderr, "--listen: %s\n", err.c_str());
+        return 1;
+      }
+      // --workers=0 with the socket transport means "external fleet": park
+      // until workers attach with --attach instead of forking our own.
+      topt.spawn_workers = workers > 0;
+      topt.on_listen = [](std::uint16_t port) {
+        std::fprintf(stderr, "# listening on port %u (attach workers with "
+                     "--attach=<host>:%u)\n", port, port);
+      };
+    } else if (transport_name != "local") {
+      std::fprintf(stderr, "unknown --transport '%s' (local | socket)\n",
+                   transport_name.c_str());
+      return 1;
+    }
+    if (const auto seed =
+            static_cast<std::uint64_t>(flags.get_int("net_fault_seed"));
+        seed != 0) {
+      topt.net_faults =
+          NetFaultConfig::chaos(seed, flags.get_double("net_fault_rate"));
+    }
     tools::ShardedSweepOutcome sharded = tools::run_sweep_sharded(
         cfgs, sup_base, sup_base.checkpoint_dir, workers,
-        static_cast<int>(flags.get_int("threads")));
+        static_cast<int>(flags.get_int("threads")), topt);
     if (sharded.interrupted) {
       std::fprintf(stderr,
                    "interrupted with %zu shards complete; resume with "

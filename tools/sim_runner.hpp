@@ -177,6 +177,24 @@ inline std::vector<SimAggregate> run_sweep_points(
   return aggs;
 }
 
+/// Transport and control-plane knobs for run_sweep_sharded; the defaults
+/// reproduce the original local fork/exec behaviour.
+struct ShardedTransportOptions {
+  TransportKind transport = TransportKind::kLocalProcess;
+  /// Socket only: listener address (port 0 = ephemeral, printed on bind).
+  std::string listen_host = "127.0.0.1";
+  std::uint16_t listen_port = 0;
+  /// Socket only: fork our own --attach fleet; false parks until external
+  /// workers attach.
+  bool spawn_workers = true;
+  double lease_timeout_sec = 10.0;
+  double heartbeat_interval_sec = 0.1;
+  /// Seeded control-plane chaos (tests/CI; 0 seed = off).
+  NetFaultConfig net_faults;
+  /// Forwarded to CoordinatorOptions::on_listen.
+  std::function<void(std::uint16_t port)> on_listen;
+};
+
 /// Result of a multi-process sharded sweep (rcb_sweep --workers=N).
 struct ShardedSweepOutcome {
   bool ok = false;
@@ -196,11 +214,10 @@ struct ShardedSweepOutcome {
 /// `root` holds sweep.json and the shard_<i>/ checkpoint dirs;
 /// `worker_threads` is the per-worker pool size (<= 0: one worker's fair
 /// share of the affinity mask).  sup.resume re-adopts an existing root.
-inline ShardedSweepOutcome run_sweep_sharded(const std::vector<SimConfig>& cfgs,
-                                             const SupervisorOptions& sup,
-                                             const std::string& root,
-                                             std::size_t workers,
-                                             int worker_threads) {
+inline ShardedSweepOutcome run_sweep_sharded(
+    const std::vector<SimConfig>& cfgs, const SupervisorOptions& sup,
+    const std::string& root, std::size_t workers, int worker_threads,
+    const ShardedTransportOptions& transport = {}) {
   ShardSpec spec;
   if (worker_threads <= 0) {
     const std::size_t share =
@@ -211,18 +228,27 @@ inline ShardedSweepOutcome run_sweep_sharded(const std::vector<SimConfig>& cfgs,
   spec.trial_timeout_sec = sup.trial_timeout_sec;
   spec.trial_slot_budget = sup.trial_slot_budget;
   spec.max_retries = sup.max_retries;
+  spec.heartbeat_interval_sec = transport.heartbeat_interval_sec;
   spec.points = cfgs;
   std::vector<std::uint64_t> trials_per_point;
   trials_per_point.reserve(cfgs.size());
   for (const SimConfig& cfg : cfgs) trials_per_point.push_back(cfg.trials);
   // More shards than workers: losing a worker then only forfeits a fraction
   // of its trials, and stragglers rebalance across the survivors.
-  spec.shards = make_shard_plan(trials_per_point, workers * 4);
+  spec.shards = make_shard_plan(trials_per_point,
+                                std::max<std::size_t>(workers, 1) * 4);
 
   CoordinatorOptions copt;
   copt.root = root;
   copt.workers = workers;
   copt.resume = sup.resume;
+  copt.transport = transport.transport;
+  copt.listen_host = transport.listen_host;
+  copt.listen_port = transport.listen_port;
+  copt.spawn_workers = transport.spawn_workers;
+  copt.lease_timeout_sec = transport.lease_timeout_sec;
+  copt.net_faults = transport.net_faults;
+  copt.on_listen = transport.on_listen;
   const CoordinatorResult res = run_shard_coordinator(spec, copt);
 
   ShardedSweepOutcome out;
