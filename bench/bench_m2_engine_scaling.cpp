@@ -28,6 +28,10 @@
 #include "rcb/runtime/shard.hpp"
 #include "rcb/runtime/supervisor.hpp"
 #include "rcb/runtime/transport_socket.hpp"
+#include "rcb/adversary/budget.hpp"
+#include "rcb/adversary/mc_strategies.hpp"
+#include "rcb/sim/channel_plan.hpp"
+#include "rcb/sim/mc_slot_engine.hpp"
 #include "rcb/sim/repetition_engine.hpp"
 #include "rcb/sim/slot_engine.hpp"
 
@@ -222,6 +226,50 @@ void run_bench(bool full, const std::string& out_path, std::uint64_t seed) {
           }
         }
       }
+    }
+  }
+
+  // Multi-channel engine scaling at the acceptance cell: the mc event path
+  // with random hop sequences and a sweeping jammer, for C = 1/2/4.  The
+  // per-slot work is (adversary consult + per-channel group resolution), so
+  // throughput should be near-flat in C under sparse activity; C=1 doubles
+  // as a live measurement of the degeneration path's overhead vs the
+  // single-channel slotwise_event rows above.
+  {
+    const auto actions = sparse_actions(accept_n, accept_slots);
+    for (const std::uint32_t c : {1u, 2u, 4u}) {
+      std::vector<ChannelHop> hops(accept_n);
+      Rng hop_rng = Rng::stream(seed, 9000 + c);
+      for (std::uint32_t u = 0; u < accept_n; ++u) {
+        hops[u] =
+            ChannelHop{static_cast<std::uint32_t>(hop_rng.uniform_u64(c)),
+                       static_cast<std::uint32_t>(hop_rng.uniform_u64(c))};
+      }
+      const ChannelPlan plan{c, {hops.data(), hops.size()}};
+      const auto m = measure(
+          [&](int rep) {
+            Rng rng = Rng::stream(seed, 9100 + c * 100 +
+                                            static_cast<std::uint64_t>(rep));
+            McSweepJammer adversary(Budget(accept_slots / 2), 64);
+            const auto r = run_repetition_slotwise_mc(accept_slots, actions,
+                                                      plan, adversary, rng);
+            return r.event_count;
+          },
+          0.2, 1000, accept_slots);
+      bench::BenchEntry e;
+      e.name = "m2/channels/scaling";
+      e.config = {{"n", static_cast<double>(accept_n)},
+                  {"slots", static_cast<double>(accept_slots)},
+                  {"channels", static_cast<double>(c)}};
+      e.wall_ms = m.wall_ms;
+      e.slots_per_sec = m.slots_per_sec;
+      e.events_per_sec = m.events_per_sec;
+      report.add(std::move(e));
+      table.add_row({"mc_event", "C=" + std::to_string(c),
+                     Table::num(accept_n), Table::num(accept_slots),
+                     Table::num(m.reps), Table::num(m.wall_ms, 3),
+                     Table::num(m.slots_per_sec),
+                     Table::num(m.events_per_sec)});
     }
   }
 

@@ -1,0 +1,91 @@
+#include "rcb/adversary/mc_strategies.hpp"
+
+#include <utility>
+
+#include "rcb/common/contracts.hpp"
+
+namespace rcb {
+
+std::uint64_t McNoJam::jam_mask(SlotIndex, std::uint32_t,
+                                std::span<const McSlotActivity>) {
+  return 0;
+}
+
+McUniformSplitJammer::McUniformSplitJammer(Budget budget, double rate, Rng rng)
+    : budget_(budget), rate_(rate), rng_(rng) {
+  RCB_REQUIRE(rate >= 0.0 && rate <= 1.0);
+}
+
+std::uint64_t McUniformSplitJammer::jam_mask(
+    SlotIndex, std::uint32_t num_channels,
+    std::span<const McSlotActivity>) {
+  // One Bernoulli per channel per slot, budget exhaustion or not, so the
+  // decision stream does not depend on when the budget ran dry.
+  std::uint64_t mask = 0;
+  for (std::uint32_t c = 0; c < num_channels; ++c) {
+    if (rng_.bernoulli(rate_) && budget_.take(1) == 1) {
+      mask |= std::uint64_t{1} << c;
+    }
+  }
+  return mask;
+}
+
+McFocusJammer::McFocusJammer(Budget budget, double rate, std::uint32_t target,
+                             Rng rng)
+    : budget_(budget), rate_(rate), target_(target), rng_(rng) {
+  RCB_REQUIRE(rate >= 0.0 && rate <= 1.0);
+}
+
+std::uint64_t McFocusJammer::jam_mask(SlotIndex, std::uint32_t num_channels,
+                                      std::span<const McSlotActivity>) {
+  const double p = rate_ * static_cast<double>(num_channels);
+  if (!rng_.bernoulli(p < 1.0 ? p : 1.0)) return 0;
+  if (budget_.take(1) != 1) return 0;
+  return std::uint64_t{1} << (target_ % num_channels);
+}
+
+McSweepJammer::McSweepJammer(Budget budget, SlotCount dwell)
+    : budget_(budget), dwell_(dwell) {
+  RCB_REQUIRE(dwell >= 1);
+}
+
+std::uint64_t McSweepJammer::jam_mask(SlotIndex slot,
+                                      std::uint32_t num_channels,
+                                      std::span<const McSlotActivity>) {
+  if (budget_.take(1) != 1) return 0;
+  const std::uint64_t ch = (slot / dwell_) % num_channels;
+  return std::uint64_t{1} << ch;
+}
+
+McScheduleAdversary::McScheduleAdversary(std::vector<JamSchedule> per_channel)
+    : per_channel_(std::move(per_channel)) {
+  RCB_REQUIRE(per_channel_.size() <= kMaxChannels);
+}
+
+std::uint64_t McScheduleAdversary::jam_mask(
+    SlotIndex slot, std::uint32_t num_channels,
+    std::span<const McSlotActivity>) {
+  std::uint64_t mask = 0;
+  const std::uint32_t n =
+      num_channels < per_channel_.size()
+          ? num_channels
+          : static_cast<std::uint32_t>(per_channel_.size());
+  for (std::uint32_t c = 0; c < n; ++c) {
+    if (per_channel_[c].is_jammed(slot)) mask |= std::uint64_t{1} << c;
+  }
+  return mask;
+}
+
+std::uint64_t McFromSlotAdversary::jam_mask(
+    SlotIndex slot, std::uint32_t,
+    std::span<const McSlotActivity> history) {
+  scratch_.clear();
+  scratch_.reserve(history.size());
+  for (const McSlotActivity& rec : history) {
+    scratch_.push_back(SlotActivity{rec.slot, rec.senders,
+                                    (rec.jam_mask & 1) != 0});
+  }
+  return inner_.jam(slot, scratch_) ? 1 : 0;
+}
+
+}  // namespace rcb

@@ -133,4 +133,42 @@ class SlotAdversary {
   virtual SlotCount history_window() const { return kUnboundedHistory; }
 };
 
+/// Multi-channel analogue of SlotActivity: the per-channel physical trace
+/// of one elapsed slot, as 64-bit channel masks (bit c = channel c).
+/// Listening stays passive and invisible, exactly as in the single-channel
+/// model.
+struct McSlotActivity {
+  SlotIndex slot = 0;
+  /// Channels that carried at least one transmission.
+  std::uint64_t sender_channels = 0;
+  /// Channels the adversary jammed (its own decision, echoed back).
+  std::uint64_t jam_mask = 0;
+  /// Total transmitting nodes across all channels.
+  std::uint32_t senders = 0;
+};
+
+/// Adversary interface for the multi-channel slotwise engine
+/// (sim/mc_slot_engine.hpp).  The jamming budget splits across channels:
+/// each jammed (slot, channel) pair costs one budget unit, so jamming k
+/// channels of one slot costs k — the Chen–Zheng accounting.
+class McSlotAdversary {
+ public:
+  /// history_window() value meaning "materialize every elapsed slot".
+  static constexpr SlotCount kUnboundedHistory = UINT64_MAX;
+
+  virtual ~McSlotAdversary() = default;
+
+  /// Called once per slot in order.  Bit c of the returned mask jams
+  /// channel c of `slot`.  Bits at or above `num_channels` are ignored by
+  /// the engines (strategies must not spend budget on them); every
+  /// remaining set bit is charged as one budget unit in the per-channel
+  /// accounting.  The history contract mirrors SlotAdversary::jam.
+  virtual std::uint64_t jam_mask(SlotIndex slot, std::uint32_t num_channels,
+                                 std::span<const McSlotActivity> history) = 0;
+
+  /// Upper bound on how many trailing history records jam_mask() inspects;
+  /// same contract as SlotAdversary::history_window.
+  virtual SlotCount history_window() const { return kUnboundedHistory; }
+};
+
 }  // namespace rcb

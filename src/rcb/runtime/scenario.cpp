@@ -7,6 +7,7 @@
 #include <sstream>
 #include <vector>
 
+#include "rcb/adversary/mc_strategies.hpp"
 #include "rcb/adversary/spoofing.hpp"
 #include "rcb/cli/json.hpp"
 #include "rcb/cli/json_parse.hpp"
@@ -15,6 +16,7 @@
 #include "rcb/protocols/broadcast_n.hpp"
 #include "rcb/protocols/combined.hpp"
 #include "rcb/protocols/ksy.hpp"
+#include "rcb/protocols/mc_broadcast.hpp"
 #include "rcb/protocols/naive_broadcast.hpp"
 #include "rcb/protocols/one_to_one.hpp"
 #include "rcb/protocols/sqrt_broadcast.hpp"
@@ -77,6 +79,12 @@ std::string scenario_to_json(const Scenario& s) {
   w.key("max_epoch_extra").value(static_cast<std::uint64_t>(s.max_epoch_extra));
   w.key("timeout_slots").value(static_cast<std::uint64_t>(s.timeout_slots));
   w.key("battery").value(static_cast<std::uint64_t>(s.battery));
+  // Emitted only when non-default: every pre-multi-channel scenario keeps
+  // its canonical JSON byte-for-byte, so scenario digests (checkpoint
+  // manifests, committed repro records) survive the channels field.
+  if (s.channels != 1) {
+    w.key("channels").value(static_cast<std::uint64_t>(s.channels));
+  }
   w.key("faults").begin_object();
   const FaultConfig& f = s.faults;
   w.key("seed").value(f.seed);
@@ -187,6 +195,7 @@ ScenarioParseResult scenario_from_json(std::string_view text) {
           s.max_epoch_extra);
   d.get_u(d.take("timeout_slots", seen), "timeout_slots", s.timeout_slots);
   d.get_u(d.take("battery", seen), "battery", s.battery);
+  d.get_u(d.take("channels", seen), "channels", s.channels);
 
   if (const JsonValue* fv = d.take("faults", seen); fv != nullptr && d.ok) {
     if (!fv->is_object()) {
@@ -286,6 +295,28 @@ std::unique_ptr<DuelAdversary> make_duel_adversary(const Scenario& s) {
   return nullptr;
 }
 
+std::unique_ptr<McSlotAdversary> make_mc_adversary(const Scenario& s,
+                                                   std::uint64_t trial) {
+  // Private adversary stream, salted away from the trial's protocol stream.
+  constexpr std::uint64_t kMcAdversarySalt = 0x6d634a616d212121ull;
+  const auto rng = Rng::stream(s.seed ^ kMcAdversarySalt, trial);
+  if (s.adversary == "none") return std::make_unique<McNoJam>();
+  if (s.adversary == "mc_uniform") {
+    return std::make_unique<McUniformSplitJammer>(Budget(s.budget), s.rate,
+                                                  rng);
+  }
+  if (s.adversary == "mc_focus") {
+    return std::make_unique<McFocusJammer>(Budget(s.budget), s.rate, 0, rng);
+  }
+  if (s.adversary == "mc_sweep") {
+    // Dwell scales with q: q ~ 0 hops every slot, q ~ 1 parks for 64 slots.
+    const auto dwell =
+        static_cast<SlotCount>(1.0 + s.q * 63.0);
+    return std::make_unique<McSweepJammer>(Budget(s.budget), dwell);
+  }
+  return nullptr;
+}
+
 std::string validate_scenario(const Scenario& s) {
   if (s.is_broadcast()) {
     if (!make_broadcast_adversary(s)) {
@@ -296,8 +327,18 @@ std::string validate_scenario(const Scenario& s) {
     if (!make_duel_adversary(s)) {
       return "unknown 1-to-1 adversary '" + s.adversary + "'";
     }
+  } else if (s.is_multichannel()) {
+    if (!make_mc_adversary(s)) {
+      return "unknown multi-channel adversary '" + s.adversary + "'";
+    }
+    if (s.n < 1) return "n must be >= 1";
   } else {
     return "unknown protocol '" + s.protocol + "'";
+  }
+  if (s.channels < 1) return "channels must be >= 1";
+  if (s.channels > kMaxChannels) return "channels must be <= 64";
+  if (s.channels > 1 && !s.is_multichannel()) {
+    return "channels > 1 requires protocol mc_broadcast";
   }
   if (!(s.eps > 0.0 && s.eps < 1.0)) return "eps must be in (0, 1)";
   if (s.trials < 1) return "trials must be >= 1";
@@ -348,16 +389,24 @@ TrialOutcome run_scenario_trial(const Scenario& s, std::uint64_t trial) {
 
   TrialOutcome out;
   Digest dig;
-  if (s.is_broadcast()) {
-    auto adv = make_broadcast_adversary(s);
+  if (s.is_broadcast() || s.is_multichannel()) {
     BroadcastNResult r;
-    if (s.protocol == "sqrt") {
+    if (s.is_multichannel()) {
+      auto adv = make_mc_adversary(s, trial);
+      OneToOneParams params = OneToOneParams::sim(s.eps);
+      if (s.max_epoch_extra > 0) {
+        params.max_epoch = params.first_epoch() + s.max_epoch_extra;
+      }
+      r = run_mc_broadcast(s.n, s.channels, params, *adv, rng, fp);
+    } else if (s.protocol == "sqrt") {
+      auto adv = make_broadcast_adversary(s);
       OneToOneParams params = OneToOneParams::sim(s.eps);
       if (s.max_epoch_extra > 0) {
         params.max_epoch = params.first_epoch() + s.max_epoch_extra;
       }
       r = run_sqrt_broadcast(s.n, params, *adv, rng, fp);
     } else {
+      auto adv = make_broadcast_adversary(s);
       BroadcastNParams params = BroadcastNParams::sim();
       if (s.max_epoch_extra > 0) {
         params.max_epoch = params.first_epoch + s.max_epoch_extra;

@@ -24,6 +24,7 @@
 #include <memory>
 #include <string>
 
+#include "rcb/adversary/slot_adversary.hpp"
 #include "rcb/adversary/strategies.hpp"
 #include "rcb/adversary/two_uniform.hpp"
 #include "rcb/common/types.hpp"
@@ -33,7 +34,7 @@ namespace rcb {
 
 /// Complete description of one Monte-Carlo experiment.
 struct Scenario {
-  std::string protocol = "one_to_one";  ///< one_to_one|ksy|combined|broadcast|naive|sqrt
+  std::string protocol = "one_to_one";  ///< one_to_one|ksy|combined|broadcast|naive|sqrt|mc_broadcast
   std::string adversary = "none";
   Cost budget = 16384;       ///< adversary budget T
   double q = 0.6;            ///< blocker jam intensity
@@ -47,6 +48,10 @@ struct Scenario {
   /// Per-node battery capacity in slot-units (broadcast/naive protocols
   /// only; 0 = unlimited).  Maps to BroadcastNParams::node_energy_budget.
   Cost battery = 0;
+  /// Channel count C of the multi-channel slot model (mc_broadcast only;
+  /// 1..64).  Serialised only when != 1, so single-channel scenarios keep
+  /// their pre-multi-channel canonical JSON and digest.
+  std::uint32_t channels = 1;
   FaultConfig faults;                 ///< fault-injection model (defaults off)
 
   bool is_broadcast() const {
@@ -56,6 +61,7 @@ struct Scenario {
     return protocol == "one_to_one" || protocol == "ksy" ||
            protocol == "combined";
   }
+  bool is_multichannel() const { return protocol == "mc_broadcast"; }
 };
 
 /// Serialises a scenario as a single-line JSON object (stable key order).
@@ -86,6 +92,11 @@ std::string validate_scenario(const Scenario& s);
 std::unique_ptr<RepetitionAdversary> make_broadcast_adversary(
     const Scenario& s);
 std::unique_ptr<DuelAdversary> make_duel_adversary(const Scenario& s);
+/// Multi-channel adversary factory (none|mc_uniform|mc_focus|mc_sweep).
+/// Randomized strategies seed their private Rng from (s.seed, trial) so a
+/// trial replays deterministically.
+std::unique_ptr<McSlotAdversary> make_mc_adversary(const Scenario& s,
+                                                   std::uint64_t trial = 0);
 
 /// Everything observable about one trial, plus a digest certifying it.
 struct TrialOutcome {

@@ -13,6 +13,7 @@
 #include "rcb/adversary/slot_adversary.hpp"
 #include "rcb/common/types.hpp"
 #include "rcb/rng/sampling.hpp"
+#include "rcb/sim/channel_plan.hpp"
 #include "rcb/sim/engine_workspace.hpp"
 #include "rcb/sim/faults.hpp"
 #include "rcb/sim/repetition_engine.hpp"
@@ -34,17 +35,24 @@ void fill_history_records(SlotActivity* dst, SlotIndex first_slot,
 /// a crashed node's events are dropped after sampling, so the Rng stream is
 /// consumed identically with and without an active FaultPlan.  Draw-for-draw
 /// identical to the pre-SoA per-node generators in both engines.
+/// `channels` (optional) stamps each event with the node's hop-sequence
+/// channel; null packs channel 0 everywhere — whether a slot is an event
+/// slot is independent of the channel choice, so the Rng stream is also
+/// identical with and without a channel plan.
 inline void presample_node_events(NodeId u, const NodeAction& action,
                                   SlotCount num_slots, Rng& rng,
                                   EngineWorkspace& ws, FaultPlan* faults,
-                                  detail::SkipBlockFn skip_block) {
+                                  detail::SkipBlockFn skip_block,
+                                  const ChannelPlan* channels = nullptr) {
   auto& send_slots = ws.send_slots;
   send_slots.clear();
   for_each_bernoulli_slot(num_slots, action.send_prob, rng, skip_block,
                           [&](SlotIndex s) { send_slots.push_back(s); });
   for (SlotIndex s : send_slots) {
     if (faults != nullptr && faults->node_down(u, s)) continue;
-    ws.events.push_back(event_key::pack(s, false, u));
+    const std::uint32_t ch =
+        channels != nullptr ? channels->channel_of(u, s) : 0;
+    ws.events.push_back(event_key::pack(s, ch, false, u));
   }
 
   std::size_t si = 0;  // cursor into send_slots
@@ -55,7 +63,9 @@ inline void presample_node_events(NodeId u, const NodeAction& action,
           return;  // busy sending
         }
         if (faults != nullptr && faults->node_down(u, s)) return;
-        ws.events.push_back(event_key::pack(s, true, u));
+        const std::uint32_t ch =
+            channels != nullptr ? channels->channel_of(u, s) : 0;
+        ws.events.push_back(event_key::pack(s, ch, true, u));
       });
 }
 

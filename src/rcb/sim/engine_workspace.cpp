@@ -7,6 +7,7 @@ void EngineWorkspace::begin_trial() {
   events.detach();
   send_slots.detach();
   history.detach();
+  mc_history.detach();
   payloads.detach();
 }
 

@@ -27,28 +27,42 @@ namespace rcb {
 
 /// Packed send/listen event key, the engines' hot schedule representation:
 ///
-///     bits 63..24   slot
+///     bits 63..30   slot
+///     bits 29..24   channel
 ///     bit  23       is_listen
 ///     bits 22..0    node
 ///
 /// Sorting packed keys as plain u64s reproduces the engines' event order
-/// exactly: by slot, senders before listeners, then by node.
+/// exactly: by slot, then by channel, senders before listeners, then by
+/// node.  Single-channel phases pack channel 0 everywhere, so their sort
+/// order (and hence the engines' event order) is unchanged from the
+/// pre-multi-channel layout.
 namespace event_key {
 
 inline constexpr int kNodeBits = 23;
-inline constexpr int kSlotShift = kNodeBits + 1;
+inline constexpr int kChannelBits = 6;
+inline constexpr int kChannelShift = kNodeBits + 1;
+inline constexpr int kSlotShift = kChannelShift + kChannelBits;
 inline constexpr std::uint64_t kListenBit = std::uint64_t{1} << kNodeBits;
 inline constexpr std::uint64_t kNodeMask = kListenBit - 1;
+inline constexpr std::uint64_t kChannelMask =
+    (std::uint64_t{1} << kChannelBits) - 1;
 /// Largest node count / slot count the packing admits (engines RCB_REQUIRE
 /// these; both are far beyond any simulated configuration).
 inline constexpr std::uint64_t kMaxNodes = kListenBit;
 inline constexpr std::uint64_t kMaxSlots = std::uint64_t{1}
                                            << (64 - kSlotShift);
 
-inline std::uint64_t pack(SlotIndex slot, bool is_listen, NodeId node) {
-  return (slot << kSlotShift) | (is_listen ? kListenBit : 0) | node;
+inline std::uint64_t pack(SlotIndex slot, std::uint32_t channel,
+                          bool is_listen, NodeId node) {
+  return (slot << kSlotShift) |
+         (static_cast<std::uint64_t>(channel) << kChannelShift) |
+         (is_listen ? kListenBit : 0) | node;
 }
 inline SlotIndex slot(std::uint64_t key) { return key >> kSlotShift; }
+inline std::uint32_t channel(std::uint64_t key) {
+  return static_cast<std::uint32_t>((key >> kChannelShift) & kChannelMask);
+}
 inline bool is_listen(std::uint64_t key) { return (key & kListenBit) != 0; }
 inline NodeId node(std::uint64_t key) {
   return static_cast<NodeId>(key & kNodeMask);
@@ -65,6 +79,8 @@ struct EngineWorkspace {
   ArenaVector<SlotIndex> send_slots{arena};
   /// Materialized adversary history (slotwise engine).
   ArenaVector<SlotActivity> history{arena};
+  /// Materialized adversary history (multi-channel slotwise engine).
+  ArenaVector<McSlotActivity> mc_history{arena};
   /// Per-node effective payload for the phase, skew already applied
   /// (parallel array indexed by node).
   ArenaVector<std::uint8_t> payloads{arena};

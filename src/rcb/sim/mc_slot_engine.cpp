@@ -1,0 +1,302 @@
+#include "rcb/sim/mc_slot_engine.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <vector>
+
+#include "rcb/common/contracts.hpp"
+#include "rcb/rng/sampling.hpp"
+#include "rcb/runtime/cancel.hpp"
+#include "rcb/sim/engine_kernels.hpp"
+#include "rcb/sim/engine_workspace.hpp"
+
+namespace rcb {
+namespace {
+
+// Identical to the single-channel resolve(): reception on one channel of
+// one slot, given that channel's sender count, single-sender payload and
+// jam bit.
+Reception resolve(std::uint32_t sender_count, Payload single_payload,
+                  bool jammed) {
+  if (jammed) return Reception::kNoise;
+  if (sender_count == 0) return Reception::kClear;
+  if (sender_count > 1) return Reception::kNoise;
+  switch (single_payload) {
+    case Payload::kMessage:
+      return Reception::kMessage;
+    case Payload::kNack:
+      return Reception::kNack;
+    case Payload::kNoise:
+      return Reception::kNoise;
+  }
+  return Reception::kNoise;
+}
+
+void record(NodeObservation& o, Reception heard, SlotIndex slot) {
+  switch (heard) {
+    case Reception::kClear:
+      ++o.clear;
+      break;
+    case Reception::kMessage:
+      ++o.messages;
+      if (o.first_message_slot == kNoSlot) {
+        o.first_message_slot = slot;
+        o.listens_until_first_message = o.listens;
+      }
+      break;
+    case Reception::kNack:
+      ++o.nacks;
+      break;
+    case Reception::kNoise:
+      ++o.noise;
+      break;
+  }
+}
+
+// Bounded-window compaction, same policy as the single-channel engine.
+void push_history(ArenaVector<McSlotActivity>& history,
+                  const McSlotActivity& rec, SlotCount window, bool bounded) {
+  history.push_back(rec);
+  if (bounded && history.size() >= 2 * static_cast<std::size_t>(window)) {
+    history.erase_prefix(history.size() - static_cast<std::size_t>(window));
+  }
+}
+
+}  // namespace
+
+McSlotwiseResult run_repetition_slotwise_mc(
+    SlotCount num_slots, std::span<const NodeAction> actions,
+    const ChannelPlan& channels, McSlotAdversary& adversary, Rng& rng,
+    const CcaModel& cca, FaultPlan* faults) {
+  poll_cancellation(num_slots);
+  RCB_REQUIRE(channels.num_channels >= 1 &&
+              channels.num_channels <= kMaxChannels);
+  RCB_REQUIRE(channels.hops.empty() || channels.hops.size() >= actions.size());
+  RCB_REQUIRE(actions.size() <= event_key::kMaxNodes);
+  RCB_REQUIRE(num_slots <= event_key::kMaxSlots);
+  if (faults != nullptr && !faults->active()) faults = nullptr;
+  if (faults != nullptr) {
+    faults->begin_phase(static_cast<std::uint32_t>(actions.size()), num_slots);
+  }
+  const std::uint64_t valid = channels.valid_mask();
+
+  McSlotwiseResult result;
+  result.rep.obs.resize(actions.size());
+
+  // Presample: identical draw order to the single-channel event engine —
+  // the channel plan only stamps channel bits into the packed keys, it
+  // never touches the Rng stream.
+  EngineWorkspace& ws = engine_workspace();
+  const detail::SkipBlockFn skip_block = detail::skip_block_fn();
+  ws.events.clear();
+  double expected_rate = 0.0;
+  for (const NodeAction& a : actions) {
+    expected_rate += a.send_prob + a.listen_prob;
+  }
+  ws.events.reserve(static_cast<std::size_t>(
+                        expected_rate * static_cast<double>(num_slots)) +
+                    16);
+  for (NodeId u = 0; u < actions.size(); ++u) {
+    engine_kernels::presample_node_events(u, actions[u], num_slots, rng, ws,
+                                          faults, skip_block, &channels);
+  }
+  std::sort(ws.events.begin(), ws.events.end());
+  result.event_count = ws.events.size();
+
+  ws.payloads.clear();
+  ws.payloads.reserve(actions.size());
+  for (NodeId u = 0; u < actions.size(); ++u) {
+    Payload p = actions[u].payload;
+    if (faults != nullptr && faults->node_skewed(u)) p = Payload::kNoise;
+    ws.payloads.push_back(static_cast<std::uint8_t>(p));
+  }
+
+  const SlotCount window = adversary.history_window();
+  const bool bounded =
+      window != McSlotAdversary::kUnboundedHistory && window < num_slots;
+  ArenaVector<McSlotActivity>& history = ws.mc_history;
+  history.clear();
+  if (!bounded && window > 0) history.reserve(num_slots);
+
+  const auto history_view = [&]() -> std::span<const McSlotActivity> {
+    if (!bounded) return history.view();
+    const std::size_t keep =
+        std::min<std::size_t>(history.size(), static_cast<std::size_t>(window));
+    return {history.data() + (history.size() - keep), keep};
+  };
+
+  const std::uint64_t* keys = ws.events.data();
+  const std::size_t num_events = ws.events.size();
+
+  // Budget-splitting strategies decide per slot (they may be randomized or
+  // stateful in the split), so there is no multi-channel analogue of the
+  // jam_run() bulk path: every slot — eventful or not — is one jam_mask()
+  // consultation, and the event-driven win is skipping the per-node work.
+  std::size_t i = 0;  // cursor into the sorted keys
+  for (SlotIndex slot = 0; slot < num_slots; ++slot) {
+    const std::uint64_t mask =
+        adversary.jam_mask(slot, channels.num_channels, history_view()) & valid;
+    result.jam_charges += std::popcount(mask);
+    if (mask != 0) ++result.jammed_slots;
+
+    std::uint64_t sender_channels = 0;
+    std::uint32_t senders_total = 0;
+    if (i < num_events && event_key::slot(keys[i]) == slot) {
+      const std::size_t slot_end =
+          i + engine_kernels::count_keys_below(
+                  keys + i, num_events - i,
+                  event_key::pack(slot + 1, 0, false, 0));
+      // Per-channel groups: keys sort by (slot, channel, is_listen, node),
+      // so each channel's senders and listeners are contiguous.
+      while (i < slot_end) {
+        const std::uint32_t ch = event_key::channel(keys[i]);
+        // ch + 1 == kMaxChannels would overflow the 6-bit channel field of
+        // pack() (the stray bit ORs into the slot bits instead of carrying),
+        // so the top channel's group is bounded by the slot group directly.
+        const std::size_t ch_end =
+            ch + 1 < kMaxChannels
+                ? i + engine_kernels::count_keys_below(
+                          keys + i, slot_end - i,
+                          event_key::pack(slot, ch + 1, false, 0))
+                : slot_end;
+        const std::size_t senders_end =
+            i + engine_kernels::count_keys_below(
+                    keys + i, ch_end - i, event_key::pack(slot, ch, true, 0));
+
+        const auto sender_count = static_cast<std::uint32_t>(senders_end - i);
+        Payload single_payload = Payload::kNoise;
+        for (std::size_t j = i; j < senders_end; ++j) {
+          const NodeId u = event_key::node(keys[j]);
+          single_payload = static_cast<Payload>(ws.payloads[u]);
+          ++result.rep.obs[u].sends;
+        }
+        if (sender_count > 0) {
+          sender_channels |= std::uint64_t{1} << ch;
+          senders_total += sender_count;
+        }
+        const bool jammed = ((mask >> ch) & 1) != 0;
+        for (std::size_t j = senders_end; j < ch_end; ++j) {
+          const NodeId u = event_key::node(keys[j]);
+          NodeObservation& o = result.rep.obs[u];
+          ++o.listens;
+          Reception heard = resolve(sender_count, single_payload, jammed);
+          if (!cca.perfect()) heard = cca.apply(heard, rng);
+          if (faults != nullptr) {
+            if (faults->node_skewed(u) && (heard == Reception::kMessage ||
+                                           heard == Reception::kNack)) {
+              heard = Reception::kNoise;
+            }
+            heard = faults->degrade(heard, slot, rng);
+          }
+          record(o, heard, slot);
+        }
+        i = ch_end;
+      }
+    }
+
+    if (window > 0) {
+      push_history(history,
+                   McSlotActivity{slot, sender_channels, mask, senders_total},
+                   window, bounded);
+    }
+  }
+
+  for (auto& o : result.rep.obs) {
+    if (o.first_message_slot == kNoSlot) {
+      o.listens_until_first_message = o.listens;
+    }
+  }
+  return result;
+}
+
+McSlotwiseResult run_repetition_slotwise_mc_dense(
+    SlotCount num_slots, std::span<const NodeAction> actions,
+    const ChannelPlan& channels, McSlotAdversary& adversary, Rng& rng,
+    const CcaModel& cca, FaultPlan* faults) {
+  poll_cancellation(num_slots);
+  RCB_REQUIRE(channels.num_channels >= 1 &&
+              channels.num_channels <= kMaxChannels);
+  RCB_REQUIRE(channels.hops.empty() || channels.hops.size() >= actions.size());
+  if (faults != nullptr && !faults->active()) faults = nullptr;
+  if (faults != nullptr) {
+    faults->begin_phase(static_cast<std::uint32_t>(actions.size()), num_slots);
+  }
+  const std::uint64_t valid = channels.valid_mask();
+
+  McSlotwiseResult result;
+  result.rep.obs.resize(actions.size());
+
+  std::vector<McSlotActivity> history;
+  history.reserve(num_slots);
+  std::vector<NodeId> listeners;
+  listeners.reserve(actions.size());
+  std::array<std::uint32_t, kMaxChannels> count{};
+  std::array<Payload, kMaxChannels> payload{};
+
+  for (SlotIndex slot = 0; slot < num_slots; ++slot) {
+    const std::uint64_t mask =
+        adversary.jam_mask(slot, channels.num_channels, history) & valid;
+    result.jam_charges += std::popcount(mask);
+    if (mask != 0) ++result.jammed_slots;
+
+    std::uint64_t sender_channels = 0;
+    std::uint32_t senders_total = 0;
+    listeners.clear();
+    // Dense reference: two Bernoullis per node per slot, in node order —
+    // the same draw order as the single-channel dense engine, so C=1 with
+    // the equivalent adversary is draw-for-draw identical.
+    for (NodeId u = 0; u < actions.size(); ++u) {
+      const NodeAction& a = actions[u];
+      NodeObservation& o = result.rep.obs[u];
+      if (faults != nullptr && faults->node_down(u, slot)) continue;
+      if (rng.bernoulli(a.send_prob)) {
+        ++o.sends;
+        ++result.event_count;
+        const std::uint32_t ch = channels.channel_of(u, slot);
+        if ((sender_channels >> ch & 1) == 0) count[ch] = 0;
+        sender_channels |= std::uint64_t{1} << ch;
+        ++count[ch];
+        ++senders_total;
+        payload[ch] = a.payload;
+        if (faults != nullptr && faults->node_skewed(u)) {
+          payload[ch] = Payload::kNoise;
+        }
+      } else if (rng.bernoulli(a.listen_prob)) {
+        ++o.listens;
+        ++result.event_count;
+        listeners.push_back(u);
+      }
+    }
+
+    for (NodeId u : listeners) {
+      NodeObservation& o = result.rep.obs[u];
+      const std::uint32_t ch = channels.channel_of(u, slot);
+      const std::uint32_t sender_count =
+          (sender_channels >> ch & 1) != 0 ? count[ch] : 0;
+      Reception heard =
+          resolve(sender_count, payload[ch], ((mask >> ch) & 1) != 0);
+      if (!cca.perfect()) heard = cca.apply(heard, rng);
+      if (faults != nullptr) {
+        if (faults->node_skewed(u) && (heard == Reception::kMessage ||
+                                       heard == Reception::kNack)) {
+          heard = Reception::kNoise;
+        }
+        heard = faults->degrade(heard, slot, rng);
+      }
+      record(o, heard, slot);
+    }
+
+    history.push_back(
+        McSlotActivity{slot, sender_channels, mask, senders_total});
+  }
+
+  for (auto& o : result.rep.obs) {
+    if (o.first_message_slot == kNoSlot) {
+      o.listens_until_first_message = o.listens;
+    }
+  }
+  return result;
+}
+
+}  // namespace rcb

@@ -1,0 +1,68 @@
+// Multi-channel slotwise engines: C parallel channels, per-(slot, channel)
+// winner resolution, and an adversary that splits its budget across
+// channels (adversary/slot_adversary.hpp, McSlotAdversary).
+//
+// Model.  Each slot, every node occupies exactly one channel, given by its
+// deterministic hop sequence (sim/channel_plan.hpp); sends and listens land
+// on that channel only.  Reception on channel c of a slot follows the
+// single-channel rules applied to c alone: jammed (bit c of the adversary's
+// mask) => noise; two or more senders => collision noise; exactly one
+// sender => its payload; none => clear.  The adversary is consulted once
+// per slot, in order, and returns a 64-bit jam mask; each jammed
+// (slot, channel) pair is charged one budget unit, so concentrating on one
+// channel costs 1 per slot while flooding all C channels costs C — the
+// Chen–Zheng budget-split accounting.
+//
+// C=1 degeneration contract (load-bearing; enforced by tests and the fuzz
+// differential oracle): with num_channels == 1, both engines here are
+// draw-for-draw and byte-for-byte identical to their single-channel
+// counterparts in slot_engine.hpp driven by the equivalent SlotAdversary —
+// same Rng consumption, same event order, same observations, same history
+// semantics.  The event path reuses the exact presample + sorted-key sweep
+// of run_repetition_slotwise (channel bits pack as 0, preserving key
+// order), and the dense path mirrors run_repetition_slotwise_dense's
+// per-node-per-slot draw order.
+//
+// Like the single-channel pair, the two implementations share per-slot
+// marginals but consume the Rng stream in different orders; on
+// randomness-free action profiles (all probabilities 0 or 1, perfect CCA,
+// no faults) they are exactly equal, which is what the multi-channel
+// crosscheck oracle pins.
+#pragma once
+
+#include <span>
+
+#include "rcb/adversary/slot_adversary.hpp"
+#include "rcb/common/types.hpp"
+#include "rcb/rng/rng.hpp"
+#include "rcb/sim/channel_plan.hpp"
+#include "rcb/sim/repetition_engine.hpp"
+
+namespace rcb {
+
+/// Result of a multi-channel slotwise phase.
+struct McSlotwiseResult {
+  RepetitionResult rep;
+  /// Total jammed (slot, channel) pairs — the adversary's budget spend for
+  /// the phase under the per-channel accounting.
+  Cost jam_charges = 0;
+  /// Slots with at least one jammed channel.
+  SlotCount jammed_slots = 0;
+  /// Send + listen events the sweep actually touched (bench observability).
+  std::uint64_t event_count = 0;
+};
+
+/// Event-driven multi-channel phase (the production path).
+McSlotwiseResult run_repetition_slotwise_mc(
+    SlotCount num_slots, std::span<const NodeAction> actions,
+    const ChannelPlan& channels, McSlotAdversary& adversary, Rng& rng,
+    const CcaModel& cca = CcaModel{}, FaultPlan* faults = nullptr);
+
+/// Reference implementation: dense O(num_slots * num_nodes) loop, the
+/// semantic oracle the crosscheck tests pin the event path against.
+McSlotwiseResult run_repetition_slotwise_mc_dense(
+    SlotCount num_slots, std::span<const NodeAction> actions,
+    const ChannelPlan& channels, McSlotAdversary& adversary, Rng& rng,
+    const CcaModel& cca = CcaModel{}, FaultPlan* faults = nullptr);
+
+}  // namespace rcb

@@ -89,10 +89,10 @@ RepetitionResult run_repetition_luniform(
     const SlotIndex slot = event_key::slot(keys[i]);
     const std::size_t group_end =
         i + engine_kernels::count_keys_below(
-                keys + i, num_events - i, event_key::pack(slot + 1, false, 0));
+                keys + i, num_events - i, event_key::pack(slot + 1, 0, false, 0));
     const std::size_t senders_end =
         i + engine_kernels::count_keys_below(
-                keys + i, group_end - i, event_key::pack(slot, true, 0));
+                keys + i, group_end - i, event_key::pack(slot, 0, true, 0));
 
     const auto sender_count = static_cast<std::uint32_t>(senders_end - i);
     Payload single_payload = Payload::kNoise;

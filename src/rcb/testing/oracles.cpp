@@ -5,10 +5,13 @@
 #include <sstream>
 #include <vector>
 
+#include "rcb/adversary/mc_strategies.hpp"
 #include "rcb/common/mathutil.hpp"
 #include "rcb/protocols/one_to_one.hpp"
 #include "rcb/rng/rng.hpp"
+#include "rcb/sim/channel_plan.hpp"
 #include "rcb/sim/jam_schedule.hpp"
+#include "rcb/sim/mc_slot_engine.hpp"
 #include "rcb/sim/slot_engine.hpp"
 #include "rcb/stats/rank_test.hpp"
 
@@ -78,7 +81,7 @@ void check_outcomes(const Scenario& s, const OracleOptions& opt, Report& rep) {
                         << a.adversary_cost << " of budget " << s.budget;
       rep.commit();
     }
-    if (s.is_broadcast()) {
+    if (s.is_broadcast() || s.is_multichannel()) {
       if (a.dead_count + a.crashed_count > s.n) {
         rep.add("ledger") << "trial " << t << " dead+crashed "
                           << a.dead_count + a.crashed_count << " exceeds n="
@@ -148,6 +151,15 @@ struct EngineProfile {
   JamSchedule jam = JamSchedule::none();
   CcaModel cca;
   bool randomness_free = false;
+  /// Multi-channel extension (channels > 1 only for mc scenarios): hop
+  /// sequences for every node plus one committed jam schedule per channel.
+  std::uint32_t channels = 1;
+  std::vector<ChannelHop> hops;
+  std::vector<JamSchedule> mc_jam;
+
+  ChannelPlan plan() const {
+    return ChannelPlan{channels, {hops.data(), hops.size()}};
+  }
 };
 
 /// Derives the engine workload from the scenario: node count from the
@@ -158,8 +170,9 @@ struct EngineProfile {
 EngineProfile derive_profile(const Scenario& s) {
   EngineProfile prof;
   Rng rng = Rng::stream(s.seed ^ kProfileSalt, 1);
-  const std::size_t nodes =
-      s.is_broadcast() ? 2 + static_cast<std::size_t>(s.n) % 4 : 3;
+  const std::size_t nodes = s.is_broadcast() || s.is_multichannel()
+                                ? 2 + static_cast<std::size_t>(s.n) % 4
+                                : 3;
   prof.randomness_free = s.seed % 4 == 0;
   for (std::size_t u = 0; u < nodes; ++u) {
     NodeAction a;
@@ -176,6 +189,21 @@ EngineProfile derive_profile(const Scenario& s) {
   prof.jam = JamSchedule::blocking_fraction(prof.slots, s.q);
   if (!prof.randomness_free) {
     prof.cca = CcaModel{s.faults.cca_false_busy, s.faults.cca_missed_detection};
+  }
+  // Multi-channel workload: per-node hop sequences and one committed
+  // schedule per channel (fractions fan out from s.q so channels differ).
+  prof.channels = s.is_multichannel() ? s.channels : 1;
+  if (prof.channels > 1) {
+    for (std::size_t u = 0; u < nodes; ++u) {
+      prof.hops.push_back(ChannelHop{
+          static_cast<std::uint32_t>(rng.uniform_u64(prof.channels)),
+          static_cast<std::uint32_t>(rng.uniform_u64(prof.channels))});
+    }
+    for (std::uint32_t c = 0; c < prof.channels; ++c) {
+      const double qc = s.q * static_cast<double>(c + 1) /
+                        static_cast<double>(prof.channels);
+      prof.mc_jam.push_back(JamSchedule::blocking_fraction(prof.slots, qc));
+    }
   }
   return prof;
 }
@@ -214,6 +242,54 @@ void check_conservation(const char* engine, const EngineProfile& prof,
   }
 }
 
+/// Multi-channel conservation: the engine's per-(slot, channel) charges
+/// must equal the committed schedules' totals, and node observations obey
+/// the same per-slot bounds as in the single-channel engines.
+void check_mc_conservation(const char* engine, const EngineProfile& prof,
+                           const McSlotwiseResult& r, Report& rep) {
+  Cost want_charges = 0;
+  SlotCount want_jammed_slots = 0;
+  for (const JamSchedule& js : prof.mc_jam) {
+    want_charges += js.jammed_count();
+  }
+  for (SlotIndex slot = 0; slot < prof.slots; ++slot) {
+    for (const JamSchedule& js : prof.mc_jam) {
+      if (js.is_jammed(slot)) {
+        ++want_jammed_slots;
+        break;
+      }
+    }
+  }
+  if (r.jam_charges != want_charges) {
+    rep.add("mc_ledger") << engine << " mc engine charged " << r.jam_charges
+                         << " (slot, channel) pairs; the committed schedules "
+                         << "have " << want_charges;
+    rep.commit();
+  }
+  if (r.jammed_slots != want_jammed_slots) {
+    rep.add("mc_ledger") << engine << " mc engine counted " << r.jammed_slots
+                         << " jammed slots; the committed schedules cover "
+                         << want_jammed_slots;
+    rep.commit();
+  }
+  for (std::size_t u = 0; u < r.rep.obs.size(); ++u) {
+    const NodeObservation& o = r.rep.obs[u];
+    const bool ok = o.sends + o.listens <= prof.slots &&
+                    o.heard_total() == o.listens &&
+                    o.listens_until_first_message <= o.listens &&
+                    (o.first_message_slot == kNoSlot ||
+                     o.first_message_slot < prof.slots);
+    if (!ok) {
+      rep.add("mc_ledger") << engine << " mc engine node " << u
+                           << " violates observation conservation (sends="
+                           << o.sends << " listens=" << o.listens
+                           << " heard=" << o.heard_total() << " slots="
+                           << prof.slots << ")";
+      rep.commit();
+    }
+  }
+}
+
 void check_engines(const Scenario& s, const OracleOptions& opt, double alpha,
                    Report& rep) {
   const EngineProfile prof = derive_profile(s);
@@ -230,8 +306,36 @@ void check_engines(const Scenario& s, const OracleOptions& opt, double alpha,
                  : run_repetition_slotwise(prof.slots, prof.actions, adv, rng,
                                            prof.cca, fp);
   };
+  const auto run_mc_engine = [&](bool dense, std::uint64_t stream) {
+    FaultPlan faults(fault_cfg);
+    FaultPlan* fp = faults.active() ? &faults : nullptr;
+    McScheduleAdversary adv(prof.mc_jam);
+    Rng rng = Rng::stream(s.seed ^ kProfileSalt, stream);
+    const ChannelPlan plan = prof.plan();
+    return dense ? run_repetition_slotwise_mc_dense(prof.slots, prof.actions,
+                                                    plan, adv, rng, prof.cca,
+                                                    fp)
+                 : run_repetition_slotwise_mc(prof.slots, prof.actions, plan,
+                                              adv, rng, prof.cca, fp);
+  };
+  const bool mc = prof.channels > 1;
 
   if (prof.randomness_free) {
+    if (mc) {
+      const McSlotwiseResult ev = run_mc_engine(false, 2);
+      const McSlotwiseResult dn = run_mc_engine(true, 3);
+      check_mc_conservation("event", prof, ev, rep);
+      check_mc_conservation("dense", prof, dn, rep);
+      for (std::size_t u = 0; u < prof.actions.size(); ++u) {
+        if (!obs_equal(ev.rep.obs[u], dn.rep.obs[u])) {
+          rep.add("mc_crosscheck")
+              << "randomness-free profile: node " << u
+              << " differs between the mc event and mc dense engines";
+          rep.commit();
+        }
+      }
+      return;
+    }
     const SlotwiseResult ev = run_engine(false, 2);
     const SlotwiseResult dn = run_engine(true, 3);
     check_conservation("event", prof, ev, rep);
@@ -249,16 +353,32 @@ void check_engines(const Scenario& s, const OracleOptions& opt, double alpha,
 
   // Statistical mode: per-run energy and reception totals from each
   // engine; identical per-slot marginals imply identical distributions.
+  // The same gate covers the multi-channel engine pair (same two
+  // comparisons, so the Bonferroni count is unchanged).
   std::vector<double> energy[2], heard[2];
   for (std::size_t k = 0; k < opt.crosscheck_trials; ++k) {
     for (int dense = 0; dense < 2; ++dense) {
-      const SlotwiseResult r =
-          run_engine(dense == 1, 10 + 2 * k + static_cast<std::uint64_t>(dense));
-      if (k == 0) {
-        check_conservation(dense == 1 ? "dense" : "event", prof, r, rep);
+      const std::uint64_t stream =
+          10 + 2 * k + static_cast<std::uint64_t>(dense);
+      const RepetitionResult* rep_result = nullptr;
+      SlotwiseResult sc;
+      McSlotwiseResult mcr;
+      if (mc) {
+        mcr = run_mc_engine(dense == 1, stream);
+        if (k == 0) {
+          check_mc_conservation(dense == 1 ? "dense" : "event", prof, mcr,
+                                rep);
+        }
+        rep_result = &mcr.rep;
+      } else {
+        sc = run_engine(dense == 1, stream);
+        if (k == 0) {
+          check_conservation(dense == 1 ? "dense" : "event", prof, sc, rep);
+        }
+        rep_result = &sc.rep;
       }
       double e = 0.0, h = 0.0;
-      for (const NodeObservation& o : r.rep.obs) {
+      for (const NodeObservation& o : rep_result->obs) {
         e += static_cast<double>(o.sends + o.listens);
         h += static_cast<double>(o.messages + o.nacks + o.noise);
       }
@@ -267,15 +387,75 @@ void check_engines(const Scenario& s, const OracleOptions& opt, double alpha,
     }
   }
   if (rank_gate_rejects(energy[0], energy[1], alpha)) {
-    rep.add("crosscheck") << "per-run energy totals differ between engines "
-                          << "(Mann-Whitney at alpha=" << alpha << ")";
+    rep.add(mc ? "mc_crosscheck" : "crosscheck")
+        << "per-run energy totals differ between engines "
+        << "(Mann-Whitney at alpha=" << alpha << ")";
     rep.commit();
   }
   if (rank_gate_rejects(heard[0], heard[1], alpha)) {
-    rep.add("crosscheck") << "per-run reception totals differ between "
-                          << "engines (Mann-Whitney at alpha=" << alpha << ")";
+    rep.add(mc ? "mc_crosscheck" : "crosscheck")
+        << "per-run reception totals differ between "
+        << "engines (Mann-Whitney at alpha=" << alpha << ")";
     rep.commit();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle: C=1 differential degeneration.  For *every* scenario — faults,
+// CCA drift and all — the multi-channel engines at num_channels == 1 must
+// reproduce the single-channel engines draw-for-draw: same Rng stream in,
+// byte-identical observations and jam accounting out.  This is exact (no
+// statistics) because the mc engines are constructed to mirror the
+// single-channel consultation and draw order when C == 1.
+
+void check_degeneration(const Scenario& s, Report& rep) {
+  const EngineProfile prof = derive_profile(s);
+  const FaultConfig& fault_cfg = s.faults;
+  const ChannelPlan single{1, {}};
+
+  const auto run_pair = [&](bool dense, std::uint64_t stream) {
+    FaultPlan faults_sc(fault_cfg);
+    FaultPlan* fp_sc = faults_sc.active() ? &faults_sc : nullptr;
+    ScheduleAdversary adv_sc(prof.jam);
+    Rng rng_sc = Rng::stream(s.seed ^ kProfileSalt, stream);
+    const SlotwiseResult sc =
+        dense ? run_repetition_slotwise_dense(prof.slots, prof.actions,
+                                              adv_sc, rng_sc, prof.cca, fp_sc)
+              : run_repetition_slotwise(prof.slots, prof.actions, adv_sc,
+                                        rng_sc, prof.cca, fp_sc);
+
+    FaultPlan faults_mc(fault_cfg);
+    FaultPlan* fp_mc = faults_mc.active() ? &faults_mc : nullptr;
+    ScheduleAdversary inner(prof.jam);
+    McFromSlotAdversary adv_mc(inner);
+    Rng rng_mc = Rng::stream(s.seed ^ kProfileSalt, stream);
+    const McSlotwiseResult mc =
+        dense ? run_repetition_slotwise_mc_dense(prof.slots, prof.actions,
+                                                 single, adv_mc, rng_mc,
+                                                 prof.cca, fp_mc)
+              : run_repetition_slotwise_mc(prof.slots, prof.actions, single,
+                                           adv_mc, rng_mc, prof.cca, fp_mc);
+
+    const char* kind = dense ? "dense" : "event";
+    if (mc.jam_charges != sc.jammed_slots ||
+        mc.jammed_slots != sc.jammed_slots) {
+      rep.add("degeneration")
+          << kind << " mc engine at C=1 charged " << mc.jam_charges << "/"
+          << mc.jammed_slots << " vs single-channel " << sc.jammed_slots;
+      rep.commit();
+    }
+    for (std::size_t u = 0; u < prof.actions.size(); ++u) {
+      if (!obs_equal(sc.rep.obs[u], mc.rep.obs[u])) {
+        rep.add("degeneration")
+            << kind << " mc engine at C=1: node " << u
+            << " observations differ from the single-channel engine";
+        rep.commit();
+      }
+    }
+  };
+
+  run_pair(false, 4);
+  run_pair(true, 5);
 }
 
 // ---------------------------------------------------------------------------
@@ -355,6 +535,7 @@ std::vector<Violation> check_scenario(const Scenario& s,
 
   check_outcomes(s, opt, rep);
   check_engines(s, opt, alpha, rep);
+  check_degeneration(s, rep);
   check_eps_monotonicity(s, rep);
   if (budget_mono) check_budget_monotonicity(s, opt, alpha, rep);
   return rep.violations;

@@ -7,6 +7,7 @@
 #include "rcb/common/contracts.hpp"
 #include "rcb/common/mathutil.hpp"
 #include "rcb/rng/rng.hpp"
+#include "rcb/sim/channel_plan.hpp"
 
 namespace rcb {
 namespace {
@@ -22,6 +23,7 @@ const char* const kBroadcastAdvs[] = {"none", "suffix", "fraction", "random",
 const char* const kDuelAdvs[] = {"none",       "send_phase", "nack_phase",
                                  "full_duel",  "both_views", "sym_random",
                                  "spoof"};
+const char* const kMcAdvs[] = {"none", "mc_uniform", "mc_focus", "mc_sweep"};
 
 /// Log-uniform budget in [0, max]: pick a magnitude first so small and
 /// huge budgets are equally likely (uniform sampling would almost never
@@ -91,6 +93,27 @@ Scenario generate_scenario(std::uint64_t seed, std::uint64_t index,
     s.faults.cca_false_busy = 0.2 * rng.uniform_double();
     s.faults.cca_missed_detection = 0.2 * rng.uniform_double();
     s.faults.cca_ramp_slots = rng.uniform_u64(1u << 12);
+  }
+  // Multi-channel axis, decided last so the single-channel draw sequence
+  // above is untouched.  Channels are weighted toward C in {1, 2, 4} — the
+  // degeneration boundary, the smallest genuine split, and the acceptance
+  // cell — with a thin tail over the full 1..64 range.
+  if (opt.allow_multichannel && rng.bernoulli(0.25)) {
+    s.protocol = "mc_broadcast";
+    s.adversary = kMcAdvs[rng.uniform_u64(std::size(kMcAdvs))];
+    s.n = 1 + static_cast<std::uint32_t>(rng.uniform_u64(opt.max_n));
+    const double w = rng.uniform_double();
+    if (w < 0.25) {
+      s.channels = 1;
+    } else if (w < 0.55) {
+      s.channels = 2;
+    } else if (w < 0.80) {
+      s.channels = 4;
+    } else {
+      s.channels = 1 + static_cast<std::uint32_t>(rng.uniform_u64(kMaxChannels));
+    }
+    s.battery = 0;        // broadcast/naive-only knob
+    s.timeout_slots = 0;  // duel-only knob
   }
   RCB_ASSERT(validate_scenario(s).empty());
   return s;

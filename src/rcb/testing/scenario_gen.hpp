@@ -32,6 +32,9 @@ struct ScenarioGenOptions {
   bool allow_faults = true;
   bool allow_cca = true;
   bool allow_battery = true;
+  /// Multi-channel axis: a fraction of cases become mc_broadcast scenarios
+  /// with a channels draw weighted toward C in {1, 2, 4}.
+  bool allow_multichannel = true;
 };
 
 /// Deterministically samples scenario `index` of fuzz stream `seed`.

@@ -33,13 +33,25 @@ bool halve_trials(Scenario& s) {
   return true;
 }
 bool drop_nodes(Scenario& s) {
-  if (!s.is_broadcast() || s.n <= 2) return false;
+  if ((!s.is_broadcast() && !s.is_multichannel()) || s.n <= 2) return false;
   s.n = 2;
   return true;
 }
 bool halve_nodes(Scenario& s) {
-  if (!s.is_broadcast() || s.n <= 2) return false;
+  if ((!s.is_broadcast() && !s.is_multichannel()) || s.n <= 2) return false;
   s.n /= 2;
+  return true;
+}
+bool drop_channels(Scenario& s) {
+  // C=1 is the degeneration boundary: an mc failure that survives this
+  // rewrite is a single-channel bug wearing multi-channel clothes.
+  if (s.channels <= 1) return false;
+  s.channels = 1;
+  return true;
+}
+bool halve_channels(Scenario& s) {
+  if (s.channels <= 1) return false;
+  s.channels /= 2;
   return true;
 }
 bool zero_budget(Scenario& s) {
@@ -102,17 +114,19 @@ bool drop_epoch_extra(Scenario& s) {
 // Aggressive rewrites first: a successful "trials=1" saves every later
 // candidate evaluation more time than "trials/=2" would.
 constexpr Transform kTransforms[] = {
-    drop_trials,   drop_nodes,    zero_budget,     null_adversary,
-    disable_faults, disable_cca,  disable_battery, drop_timeout,
-    drop_epoch_extra, zero_jam_knobs, halve_trials, halve_nodes,
-    halve_budget,
+    drop_trials,   drop_nodes,    drop_channels,   zero_budget,
+    null_adversary, disable_faults, disable_cca,   disable_battery,
+    drop_timeout,  drop_epoch_extra, zero_jam_knobs, halve_trials,
+    halve_nodes,   halve_channels, halve_budget,
 };
 
 }  // namespace
 
 std::uint64_t scenario_size(const Scenario& s) {
-  const std::uint64_t fleet = s.is_broadcast() ? s.n : 2;
+  const std::uint64_t fleet =
+      s.is_broadcast() || s.is_multichannel() ? s.n : 2;
   std::uint64_t size = static_cast<std::uint64_t>(s.trials) * fleet;
+  size += s.channels - 1;
   size += s.budget == 0 ? 0 : ceil_log2(s.budget + 1);
   size += s.adversary == "none" ? 0 : 2;
   size += faults_enabled(s.faults) ? 8 : 0;

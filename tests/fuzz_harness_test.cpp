@@ -61,14 +61,53 @@ TEST(ScenarioGenTest, CoversTheScenarioSpace) {
     if (s.adversary == "spoof") {
       EXPECT_GT(s.timeout_slots, 0u) << "index " << i;
     }
+    // channels > 1 is an mc_broadcast-only knob.
+    if (s.channels > 1) {
+      EXPECT_EQ(s.protocol, "mc_broadcast") << "index " << i;
+    }
   }
-  EXPECT_EQ(protocols.size(), 6u);  // every protocol
-  EXPECT_GE(adversaries.size(), 10u);
+  EXPECT_EQ(protocols.size(), 7u);  // every protocol, mc_broadcast included
+  EXPECT_GE(adversaries.size(), 12u);
   EXPECT_TRUE(faults_on);
   EXPECT_TRUE(faults_off);
   EXPECT_TRUE(cca_on);
   EXPECT_TRUE(battery_on);
   EXPECT_TRUE(timeout_on);
+}
+
+// Satellite: the multi-channel axis must land where its weights say — a
+// material fraction of mc cases at the degeneration boundary C=1, the
+// bulk at the small splits C=2/4, and a nonempty tail over 1..64.  All
+// four mc adversaries must appear, and single-channel draws must be
+// unaffected (mc scenarios disable the battery/timeout-only knobs).
+TEST(ScenarioGenTest, MultichannelAxisDistribution) {
+  std::size_t mc = 0, c1 = 0, c2 = 0, c4 = 0, tail = 0;
+  std::set<std::string> mc_advs;
+  for (std::uint64_t i = 0; i < 600; ++i) {
+    const Scenario s = generate_scenario(29, i);
+    if (!s.is_multichannel()) {
+      EXPECT_EQ(s.channels, 1u) << "index " << i;
+      continue;
+    }
+    ++mc;
+    mc_advs.insert(s.adversary);
+    EXPECT_GE(s.channels, 1u) << "index " << i;
+    EXPECT_LE(s.channels, 64u) << "index " << i;
+    EXPECT_EQ(s.battery, 0u) << "index " << i;
+    EXPECT_EQ(s.timeout_slots, 0u) << "index " << i;
+    if (s.channels == 1) ++c1;
+    if (s.channels == 2) ++c2;
+    if (s.channels == 4) ++c4;
+    if (s.channels > 4) ++tail;
+  }
+  // ~25% of 600 cases; generous bounds so RNG drift never flakes this.
+  EXPECT_GE(mc, 90u);
+  EXPECT_LE(mc, 240u);
+  EXPECT_GE(c1, mc / 8);
+  EXPECT_GE(c2, mc / 8);
+  EXPECT_GE(c4, mc / 10);
+  EXPECT_GE(tail, 1u);
+  EXPECT_EQ(mc_advs.size(), 4u);  // none|mc_uniform|mc_focus|mc_sweep
 }
 
 // Satellite: scenario JSON round-trip as a property test over the
@@ -88,6 +127,54 @@ TEST(ScenarioRoundTripProperty, ParseEmitParseIsByteIdentical) {
     ASSERT_TRUE(p2.ok);
     EXPECT_EQ(scenario_to_json(p2.scenario), j2) << "index " << i;
   }
+}
+
+// Satellite: the channels field round-trips through the codec, and C=1 is
+// never serialised — every pre-multi-channel scenario keeps its canonical
+// JSON (and therefore its digest, which repro records are keyed on).
+TEST(ScenarioRoundTripProperty, ChannelsFieldRoundTrips) {
+  for (const std::uint32_t c : {1u, 2u, 4u, 7u, 64u}) {
+    Scenario s;
+    s.protocol = "mc_broadcast";
+    s.adversary = "mc_uniform";
+    s.n = 8;
+    s.trials = 2;
+    s.channels = c;
+    ASSERT_EQ(validate_scenario(s), "") << "channels=" << c;
+    const std::string j1 = scenario_to_json(s);
+    if (c == 1) {
+      EXPECT_EQ(j1.find("\"channels\""), std::string::npos) << j1;
+    } else {
+      EXPECT_NE(j1.find("\"channels\":" + std::to_string(c)),
+                std::string::npos)
+          << j1;
+    }
+    const ScenarioParseResult p = scenario_from_json(j1);
+    ASSERT_TRUE(p.ok) << p.error;
+    EXPECT_EQ(p.scenario.channels, c);
+    EXPECT_EQ(scenario_to_json(p.scenario), j1);
+    EXPECT_EQ(scenario_digest(p.scenario), scenario_digest(s));
+  }
+}
+
+// channels=0 (and other invalid combinations) must be rejected with a
+// one-line diagnostic, not silently clamped.
+TEST(ScenarioValidationTest, RejectsInvalidChannels) {
+  Scenario s;
+  s.protocol = "mc_broadcast";
+  s.adversary = "mc_sweep";
+  s.channels = 0;
+  EXPECT_EQ(validate_scenario(s), "channels must be >= 1");
+  s.channels = 65;
+  EXPECT_EQ(validate_scenario(s), "channels must be <= 64");
+  s.channels = 2;
+  s.protocol = "broadcast";
+  s.adversary = "suffix";
+  EXPECT_EQ(validate_scenario(s),
+            "channels > 1 requires protocol mc_broadcast");
+  s.protocol = "mc_broadcast";
+  s.adversary = "suffix";  // single-channel adversary on the mc protocol
+  EXPECT_NE(validate_scenario(s), "");
 }
 
 TEST(OracleTest, GeneratedScenariosPass) {

@@ -1,0 +1,318 @@
+// Tests for the multi-channel slotwise engines (sim/mc_slot_engine.hpp):
+// the C=1 bit-exact degeneration against the single-channel engines, the
+// event-vs-dense mc crosscheck, per-channel budget accounting, and the
+// multi-channel edge cases (C > n, everyone on one channel, a jammer
+// spending its budget on an empty channel).
+#include "rcb/sim/mc_slot_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rcb/adversary/budget.hpp"
+#include "rcb/adversary/mc_strategies.hpp"
+#include "rcb/rng/rng.hpp"
+#include "rcb/sim/channel_plan.hpp"
+#include "rcb/sim/jam_schedule.hpp"
+#include "rcb/sim/slot_engine.hpp"
+
+namespace rcb {
+namespace {
+
+/// Replays a fixed schedule (deterministic, with a bulk jam_run path).
+class FixedSchedule final : public SlotAdversary {
+ public:
+  explicit FixedSchedule(const JamSchedule& js) : js_(&js) {}
+  bool jam(SlotIndex slot, std::span<const SlotActivity>) override {
+    return js_->is_jammed(slot);
+  }
+  bool jam_run(SlotIndex begin, SlotIndex end, std::span<const SlotActivity>,
+               JamRunSink& sink) override {
+    for (SlotIndex s = begin; s < end; ++s) {
+      if (!sink.append(1, js_->is_jammed(s))) return false;
+    }
+    return true;
+  }
+  SlotCount history_window() const override { return 0; }
+
+ private:
+  const JamSchedule* js_;
+};
+
+/// Reactive with a 1-slot lookback — exercises the history translation in
+/// McFromSlotAdversary (the mc engines must feed it the same per-slot
+/// records the single-channel engines would).
+class Reactive final : public SlotAdversary {
+ public:
+  bool jam(SlotIndex, std::span<const SlotActivity> history) override {
+    return !history.empty() && history.back().senders > 0;
+  }
+  SlotCount history_window() const override { return 1; }
+};
+
+bool obs_equal(const NodeObservation& a, const NodeObservation& b) {
+  return a.sends == b.sends && a.listens == b.listens && a.clear == b.clear &&
+         a.messages == b.messages && a.nacks == b.nacks &&
+         a.noise == b.noise && a.first_message_slot == b.first_message_slot &&
+         a.listens_until_first_message == b.listens_until_first_message;
+}
+
+std::vector<NodeAction> mixed_actions() {
+  return {NodeAction{0.4, Payload::kMessage, 0.0},
+          NodeAction{0.1, Payload::kNoise, 0.7},
+          NodeAction{0.0, Payload::kNoise, 0.9},
+          NodeAction{0.2, Payload::kNack, 0.3}};
+}
+
+// ---------------------------------------------------------------------------
+// C=1 degeneration: byte-identical to the single-channel engines on the
+// same Rng stream — including under CCA drift, faults, and a reactive
+// (history-consuming) adversary.
+
+void expect_c1_degenerates(const CcaModel& cca, bool with_faults,
+                           bool reactive, std::uint64_t seed) {
+  const SlotCount slots = 512;
+  const auto actions = mixed_actions();
+  const JamSchedule jam = JamSchedule::blocking_fraction(slots, 0.4);
+  FaultConfig fcfg;
+  if (with_faults) {
+    fcfg.seed = 99;
+    fcfg.crash_rate = 0.001;
+    fcfg.restart_rate = 0.01;
+    fcfg.loss_rate = 0.2;
+    fcfg.corruption_rate = 0.1;
+    fcfg.clock_skew_rate = 0.1;
+  }
+  const ChannelPlan single{1, {}};
+
+  for (const bool dense : {false, true}) {
+    FaultPlan faults_sc(fcfg);
+    FaultPlan* fp_sc = faults_sc.active() ? &faults_sc : nullptr;
+    FixedSchedule sched_sc(jam);
+    Reactive react_sc;
+    SlotAdversary& adv_sc =
+        reactive ? static_cast<SlotAdversary&>(react_sc) : sched_sc;
+    Rng rng_sc = Rng::stream(seed, 1);
+    const SlotwiseResult sc =
+        dense ? run_repetition_slotwise_dense(slots, actions, adv_sc, rng_sc,
+                                              cca, fp_sc)
+              : run_repetition_slotwise(slots, actions, adv_sc, rng_sc, cca,
+                                        fp_sc);
+
+    FaultPlan faults_mc(fcfg);
+    FaultPlan* fp_mc = faults_mc.active() ? &faults_mc : nullptr;
+    FixedSchedule sched_mc(jam);
+    Reactive react_mc;
+    SlotAdversary& inner =
+        reactive ? static_cast<SlotAdversary&>(react_mc) : sched_mc;
+    McFromSlotAdversary adv_mc(inner);
+    Rng rng_mc = Rng::stream(seed, 1);
+    const McSlotwiseResult mc =
+        dense ? run_repetition_slotwise_mc_dense(slots, actions, single,
+                                                 adv_mc, rng_mc, cca, fp_mc)
+              : run_repetition_slotwise_mc(slots, actions, single, adv_mc,
+                                           rng_mc, cca, fp_mc);
+
+    EXPECT_EQ(mc.jammed_slots, sc.jammed_slots) << "dense=" << dense;
+    EXPECT_EQ(mc.jam_charges, static_cast<Cost>(sc.jammed_slots))
+        << "dense=" << dense;
+    ASSERT_EQ(mc.rep.obs.size(), sc.rep.obs.size());
+    for (std::size_t u = 0; u < actions.size(); ++u) {
+      EXPECT_TRUE(obs_equal(sc.rep.obs[u], mc.rep.obs[u]))
+          << "dense=" << dense << " node " << u;
+    }
+  }
+}
+
+TEST(McDegenerationTest, C1MatchesSingleChannelExactly) {
+  expect_c1_degenerates(CcaModel{}, false, false, 101);
+}
+
+TEST(McDegenerationTest, C1MatchesUnderCcaDrift) {
+  expect_c1_degenerates(CcaModel{0.1, 0.05}, false, false, 202);
+}
+
+TEST(McDegenerationTest, C1MatchesUnderFaults) {
+  expect_c1_degenerates(CcaModel{0.05, 0.05}, true, false, 303);
+}
+
+TEST(McDegenerationTest, C1MatchesWithReactiveAdversaryHistory) {
+  expect_c1_degenerates(CcaModel{}, false, true, 404);
+}
+
+// ---------------------------------------------------------------------------
+// Event vs dense mc crosscheck: exact on a randomness-free profile.
+
+TEST(McEngineTest, EventMatchesDenseOnRandomnessFreeProfile) {
+  const SlotCount slots = 256;
+  const std::uint32_t C = 4;
+  // All probabilities 0/1: both engines resolve the same deterministic
+  // per-(slot, channel) groups regardless of their Rng consumption order.
+  std::vector<NodeAction> actions = {NodeAction{1.0, Payload::kMessage, 0.0},
+                                     NodeAction{0.0, Payload::kNoise, 1.0},
+                                     NodeAction{1.0, Payload::kNack, 0.0},
+                                     NodeAction{0.0, Payload::kNoise, 1.0},
+                                     NodeAction{0.0, Payload::kNoise, 1.0}};
+  std::vector<ChannelHop> hops = {{0, 1}, {0, 1}, {2, 0}, {2, 0}, {3, 2}};
+  const ChannelPlan plan{C, {hops.data(), hops.size()}};
+  std::vector<JamSchedule> per_channel;
+  for (std::uint32_t c = 0; c < C; ++c) {
+    per_channel.push_back(
+        JamSchedule::blocking_fraction(slots, 0.2 * static_cast<double>(c)));
+  }
+
+  McScheduleAdversary adv_ev(per_channel), adv_dn(per_channel);
+  Rng rng_ev = Rng::stream(7, 1), rng_dn = Rng::stream(7, 2);
+  const McSlotwiseResult ev =
+      run_repetition_slotwise_mc(slots, actions, plan, adv_ev, rng_ev);
+  const McSlotwiseResult dn =
+      run_repetition_slotwise_mc_dense(slots, actions, plan, adv_dn, rng_dn);
+
+  EXPECT_EQ(ev.jam_charges, dn.jam_charges);
+  EXPECT_EQ(ev.jammed_slots, dn.jammed_slots);
+  for (std::size_t u = 0; u < actions.size(); ++u) {
+    EXPECT_TRUE(obs_equal(ev.rep.obs[u], dn.rep.obs[u])) << "node " << u;
+  }
+  // Conservation against the committed schedules.
+  Cost want = 0;
+  for (const JamSchedule& js : per_channel) want += js.jammed_count();
+  EXPECT_EQ(ev.jam_charges, want);
+}
+
+// Channel isolation: a listener hears only its own channel.  Node 1 shares
+// the sender's fixed channel and hears every message; node 2 sits on a
+// different channel and hears only clear air.
+TEST(McEngineTest, ReceptionIsPerChannel) {
+  const SlotCount slots = 128;
+  std::vector<NodeAction> actions = {NodeAction{1.0, Payload::kMessage, 0.0},
+                                     NodeAction{0.0, Payload::kNoise, 1.0},
+                                     NodeAction{0.0, Payload::kNoise, 1.0}};
+  std::vector<ChannelHop> hops = {{2, 0}, {2, 0}, {5, 0}};
+  const ChannelPlan plan{8, {hops.data(), hops.size()}};
+  McNoJam adv;
+  Rng rng = Rng::stream(11, 0);
+  const McSlotwiseResult r =
+      run_repetition_slotwise_mc(slots, actions, plan, adv, rng);
+  EXPECT_EQ(r.rep.obs[1].messages, slots);
+  EXPECT_EQ(r.rep.obs[2].messages, 0u);
+  EXPECT_EQ(r.rep.obs[2].clear, slots);
+  EXPECT_EQ(r.jam_charges, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases.
+
+TEST(McEngineTest, MoreChannelsThanNodes) {
+  // C=64 with 2 nodes: hops land somewhere in [0, 64); the engines must
+  // accept the full channel range and the budget accounting must hold.
+  const SlotCount slots = 200;
+  std::vector<NodeAction> actions = {NodeAction{1.0, Payload::kMessage, 0.0},
+                                     NodeAction{0.0, Payload::kNoise, 1.0}};
+  std::vector<ChannelHop> hops = {{63, 0}, {63, 0}};
+  const ChannelPlan plan{64, {hops.data(), hops.size()}};
+  McSweepJammer adv(Budget(100), 1);
+  Rng rng = Rng::stream(13, 0);
+  const McSlotwiseResult r =
+      run_repetition_slotwise_mc(slots, actions, plan, adv, rng);
+  // The sweep dwells 1 slot per channel: it hits channel 63 every 64 slots
+  // until the budget runs dry at slot 100.
+  EXPECT_EQ(r.jam_charges, 100u);
+  EXPECT_EQ(r.jammed_slots, 100u);
+  // Channel 63 is jammed on slots 63 (within budget); the listener hears
+  // noise there and messages elsewhere.
+  EXPECT_GT(r.rep.obs[1].messages, 0u);
+  EXPECT_GT(r.rep.obs[1].noise, 0u);
+  EXPECT_EQ(r.rep.obs[1].messages + r.rep.obs[1].noise, slots);
+}
+
+TEST(McEngineTest, FocusJammerOnTheOccupiedChannelBlocksEverything) {
+  const SlotCount slots = 128;
+  std::vector<NodeAction> actions = {NodeAction{1.0, Payload::kMessage, 0.0},
+                                     NodeAction{0.0, Payload::kNoise, 1.0},
+                                     NodeAction{0.0, Payload::kNoise, 1.0}};
+  // Everyone parks on channel 3 of 4.
+  std::vector<ChannelHop> hops = {{3, 0}, {3, 0}, {3, 0}};
+  const ChannelPlan plan{4, {hops.data(), hops.size()}};
+  McFocusJammer adv(Budget::unlimited(), 1.0, 3, Rng::stream(17, 0));
+  Rng rng = Rng::stream(17, 1);
+  const McSlotwiseResult r =
+      run_repetition_slotwise_mc(slots, actions, plan, adv, rng);
+  EXPECT_EQ(r.rep.obs[1].messages, 0u);
+  EXPECT_EQ(r.rep.obs[1].noise, slots);
+  EXPECT_EQ(r.rep.obs[2].noise, slots);
+  EXPECT_EQ(r.jam_charges, slots);  // 1 unit per slot, single channel
+  EXPECT_EQ(r.jammed_slots, slots);
+}
+
+TEST(McEngineTest, BudgetSpentOnAnEmptyChannelIsWasted) {
+  const SlotCount slots = 128;
+  std::vector<NodeAction> actions = {NodeAction{1.0, Payload::kMessage, 0.0},
+                                     NodeAction{0.0, Payload::kNoise, 1.0}};
+  std::vector<ChannelHop> hops = {{0, 0}, {0, 0}};
+  const ChannelPlan plan{4, {hops.data(), hops.size()}};
+  // Focus on channel 2 — nobody is there; the budget drains (exhaustion on
+  // an empty channel) while delivery proceeds untouched on channel 0.
+  McFocusJammer adv(Budget(50), 1.0, 2, Rng::stream(19, 0));
+  Rng rng = Rng::stream(19, 1);
+  const McSlotwiseResult r =
+      run_repetition_slotwise_mc(slots, actions, plan, adv, rng);
+  EXPECT_EQ(r.jam_charges, 50u);  // exhausted exactly
+  EXPECT_EQ(adv.budget().spent(), 50u);
+  EXPECT_TRUE(adv.budget().exhausted());
+  EXPECT_EQ(r.rep.obs[1].messages, slots);
+  EXPECT_EQ(r.rep.obs[1].noise, 0u);
+}
+
+// Per-channel charge accounting: whatever a randomized budget-split
+// strategy reports as spent is exactly what the engine charged — on both
+// engines, across channel counts.
+TEST(McEngineTest, EngineChargesEqualStrategySpend) {
+  const SlotCount slots = 300;
+  const auto actions = mixed_actions();
+  for (const std::uint32_t C : {1u, 2u, 4u, 8u}) {
+    std::vector<ChannelHop> hops;
+    Rng hop_rng = Rng::stream(23, C);
+    for (std::size_t u = 0; u < actions.size(); ++u) {
+      hops.push_back(
+          ChannelHop{static_cast<std::uint32_t>(hop_rng.uniform_u64(C)),
+                     static_cast<std::uint32_t>(hop_rng.uniform_u64(C))});
+    }
+    const ChannelPlan plan{C, {hops.data(), hops.size()}};
+    for (const bool dense : {false, true}) {
+      McUniformSplitJammer adv(Budget(400), 0.5, Rng::stream(29, C));
+      Rng rng = Rng::stream(31, C + (dense ? 100 : 0));
+      const McSlotwiseResult r =
+          dense ? run_repetition_slotwise_mc_dense(slots, actions, plan, adv,
+                                                   rng)
+                : run_repetition_slotwise_mc(slots, actions, plan, adv, rng);
+      EXPECT_EQ(r.jam_charges, adv.budget().spent())
+          << "C=" << C << " dense=" << dense;
+      EXPECT_LE(r.jam_charges, 400u) << "C=" << C << " dense=" << dense;
+      EXPECT_LE(r.jammed_slots, slots);
+    }
+  }
+}
+
+// The two mc engines are draw-for-draw deterministic: same stream, same
+// result, independently of everything else in the process.
+TEST(McEngineTest, DeterministicAcrossRuns) {
+  const SlotCount slots = 256;
+  const auto actions = mixed_actions();
+  std::vector<ChannelHop> hops = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  const ChannelPlan plan{4, {hops.data(), hops.size()}};
+  const auto run_once = [&]() {
+    McUniformSplitJammer adv(Budget(500), 0.3, Rng::stream(37, 0));
+    Rng rng = Rng::stream(41, 0);
+    return run_repetition_slotwise_mc(slots, actions, plan, adv, rng);
+  };
+  const McSlotwiseResult a = run_once();
+  const McSlotwiseResult b = run_once();
+  EXPECT_EQ(a.jam_charges, b.jam_charges);
+  EXPECT_EQ(a.event_count, b.event_count);
+  for (std::size_t u = 0; u < actions.size(); ++u) {
+    EXPECT_TRUE(obs_equal(a.rep.obs[u], b.rep.obs[u])) << "node " << u;
+  }
+}
+
+}  // namespace
+}  // namespace rcb

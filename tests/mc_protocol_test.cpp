@@ -1,0 +1,159 @@
+// Tests for the multi-channel broadcast protocol (protocols/mc_broadcast.hpp)
+// and its scenario/runtime plumbing: termination and delivery without
+// jamming, determinism, budget accounting against the mc adversaries, the
+// C=1 structural degeneration, and the make_mc_adversary factory.
+#include "rcb/protocols/mc_broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rcb/adversary/budget.hpp"
+#include "rcb/adversary/mc_strategies.hpp"
+#include "rcb/rng/rng.hpp"
+#include "rcb/runtime/scenario.hpp"
+
+namespace rcb {
+namespace {
+
+OneToOneParams test_params() {
+  OneToOneParams p = OneToOneParams::sim(0.05);
+  p.max_epoch = p.first_epoch() + 3;
+  return p;
+}
+
+TEST(McBroadcastTest, InformsEveryoneWithoutJamming) {
+  for (const std::uint32_t C : {1u, 2u, 4u}) {
+    McNoJam adv;
+    Rng rng = Rng::stream(5, C);
+    const BroadcastNResult r =
+        run_mc_broadcast(8, C, test_params(), adv, rng);
+    EXPECT_EQ(r.n, 8u);
+    EXPECT_TRUE(r.all_informed) << "C=" << C;
+    EXPECT_EQ(r.informed_count, 8u) << "C=" << C;
+    EXPECT_EQ(r.adversary_cost, 0u) << "C=" << C;
+    EXPECT_GT(r.latency, 0u) << "C=" << C;
+    EXPECT_GT(r.informed_latency, 0u) << "C=" << C;
+  }
+}
+
+TEST(McBroadcastTest, SingleNodeTerminatesImmediatelyInformed) {
+  McNoJam adv;
+  Rng rng = Rng::stream(7, 0);
+  const BroadcastNResult r = run_mc_broadcast(1, 4, test_params(), adv, rng);
+  EXPECT_TRUE(r.all_informed);
+  EXPECT_EQ(r.informed_count, 1u);
+}
+
+TEST(McBroadcastTest, DeterministicForFixedStream) {
+  const auto run_once = [&]() {
+    McUniformSplitJammer adv(Budget(2048), 0.4, Rng::stream(11, 7));
+    Rng rng = Rng::stream(13, 7);
+    return run_mc_broadcast(6, 4, test_params(), adv, rng);
+  };
+  const BroadcastNResult a = run_once();
+  const BroadcastNResult b = run_once();
+  EXPECT_EQ(a.all_informed, b.all_informed);
+  EXPECT_EQ(a.informed_count, b.informed_count);
+  EXPECT_EQ(a.max_cost, b.max_cost);
+  EXPECT_EQ(a.mean_cost, b.mean_cost);
+  EXPECT_EQ(a.adversary_cost, b.adversary_cost);
+  EXPECT_EQ(a.latency, b.latency);
+  EXPECT_EQ(a.final_epoch, b.final_epoch);
+}
+
+TEST(McBroadcastTest, AdversaryCostIsBudgetBounded) {
+  // The uniform split at rate 1.0 wants C units every slot; the reported
+  // adversary_cost must saturate at the budget, never exceed it.
+  const Cost budget = 512;
+  McUniformSplitJammer adv(Budget(budget), 1.0, Rng::stream(17, 1));
+  Rng rng = Rng::stream(19, 1);
+  const BroadcastNResult r = run_mc_broadcast(6, 4, test_params(), adv, rng);
+  EXPECT_LE(r.adversary_cost, budget);
+  EXPECT_EQ(r.adversary_cost, adv.budget().spent());
+  EXPECT_TRUE(adv.budget().exhausted());
+}
+
+// A focused jammer with the same expected spend as the uniform split can
+// block at most the one channel it bets on; with C=4 and random hopping
+// the protocol must still inform everyone in most runs while a C=1 run
+// under the same per-slot pressure is fully blocked until exhaustion.
+TEST(McBroadcastTest, HoppingDilutesAFocusedJammer) {
+  int informed_c4 = 0;
+  const int runs = 8;
+  for (int k = 0; k < runs; ++k) {
+    McFocusJammer adv(Budget::unlimited(), 0.25, 0,
+                      Rng::stream(23, static_cast<std::uint64_t>(k)));
+    Rng rng = Rng::stream(29, static_cast<std::uint64_t>(k));
+    const BroadcastNResult r = run_mc_broadcast(6, 4, test_params(), adv, rng);
+    informed_c4 += r.all_informed ? 1 : 0;
+  }
+  // 1/C of the traffic blocked on average: delivery should usually work.
+  EXPECT_GE(informed_c4, runs / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario plumbing.
+
+TEST(McScenarioTest, FactoryMakesEveryAdversary) {
+  Scenario s;
+  s.protocol = "mc_broadcast";
+  s.n = 8;
+  s.channels = 4;
+  for (const char* name : {"none", "mc_uniform", "mc_focus", "mc_sweep"}) {
+    s.adversary = name;
+    EXPECT_EQ(validate_scenario(s), "") << name;
+    const std::unique_ptr<McSlotAdversary> adv = make_mc_adversary(s, 0);
+    ASSERT_NE(adv, nullptr) << name;
+  }
+  s.adversary = "no_such_strategy";
+  EXPECT_EQ(make_mc_adversary(s, 0), nullptr);
+  EXPECT_NE(validate_scenario(s), "");
+}
+
+TEST(McScenarioTest, TrialsRunAndReplayBitIdentically) {
+  Scenario s;
+  s.protocol = "mc_broadcast";
+  s.adversary = "mc_uniform";
+  s.n = 6;
+  s.channels = 4;
+  s.budget = 1024;
+  s.rate = 0.4;
+  s.eps = 0.05;
+  s.trials = 4;
+  s.seed = 43;
+  s.max_epoch_extra = 2;
+  ASSERT_EQ(validate_scenario(s), "");
+  for (std::uint64_t t = 0; t < s.trials; ++t) {
+    const TrialOutcome a = run_scenario_trial(s, t);
+    const TrialOutcome b = run_scenario_trial(s, t);
+    EXPECT_EQ(a.digest, b.digest) << "trial " << t;
+    EXPECT_LE(a.adversary_cost, static_cast<double>(s.budget));
+    EXPECT_FALSE(a.aborted);
+  }
+  // Different trials take different trajectories (independent streams).
+  EXPECT_NE(run_scenario_trial(s, 0).digest, run_scenario_trial(s, 1).digest);
+}
+
+TEST(McScenarioTest, C1ScenarioDigestIsChannelsIndependent) {
+  // channels=1 must behave (and serialise) exactly as if the field did not
+  // exist: the scenario digest and the trial digests cannot depend on it.
+  Scenario s;
+  s.protocol = "mc_broadcast";
+  s.adversary = "mc_sweep";
+  s.n = 5;
+  s.channels = 1;
+  s.budget = 512;
+  s.q = 0.5;
+  s.trials = 2;
+  s.seed = 47;
+  s.max_epoch_extra = 2;
+  ASSERT_EQ(validate_scenario(s), "");
+  const TrialOutcome a = run_scenario_trial(s, 0);
+  const TrialOutcome b = run_scenario_trial(s, 0);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(scenario_to_json(s).find("\"channels\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rcb

@@ -36,11 +36,12 @@ int run_tool(int argc, const char* const* argv) {
       "rcb_sim: Monte-Carlo simulator for resource-competitive broadcast "
       "(SPAA'14 reproduction)");
   flags.add_string("protocol", "one_to_one",
-                   "one_to_one | ksy | combined | broadcast | naive | sqrt");
+                   "one_to_one | ksy | combined | broadcast | naive | sqrt | "
+                   "mc_broadcast");
   flags.add_string("adversary", "none",
                    "1-to-1: none|send_phase|nack_phase|full_duel|both_views|"
                    "sym_random|spoof; broadcast: none|suffix|fraction|random|"
-                   "burst");
+                   "burst; mc_broadcast: none|mc_uniform|mc_focus|mc_sweep");
   flags.add_int("budget", 16384, "adversary energy budget (slot-units)", 0);
   flags.add_double("q", 0.6, "blocking fraction for suffix-style adversaries");
   flags.add_double("rate", 0.3, "per-slot rate for random jammers");
@@ -58,6 +59,11 @@ int run_tool(int argc, const char* const* argv) {
   flags.add_int("battery", 0,
                 "per-node battery capacity in slot-units (broadcast/naive "
                 "protocols; 0 = unlimited)");
+  flags.add_int("channels", 1,
+                "channel count C of the multi-channel slot model "
+                "(mc_broadcast protocol; C=1 degenerates to the "
+                "single-channel engines bit-for-bit)",
+                1, 64);
   flags.add_int("fault_seed", 0, "seed for the fault-injection RNG streams");
   flags.add_double("crash_rate", 0.0, "per-slot P(an up node crashes)");
   flags.add_double("restart_rate", 0.0,
@@ -183,6 +189,7 @@ int run_tool(int argc, const char* const* argv) {
   cfg.max_epoch_extra = extra;
   cfg.timeout_slots = static_cast<SlotCount>(flags.get_int("timeout"));
   cfg.battery = static_cast<Cost>(flags.get_int("battery"));
+  cfg.channels = static_cast<std::uint32_t>(flags.get_int("channels"));
   cfg.faults.seed = static_cast<std::uint64_t>(flags.get_int("fault_seed"));
   cfg.faults.crash_rate = flags.get_double("crash_rate");
   cfg.faults.restart_rate = flags.get_double("restart_rate");

@@ -40,7 +40,8 @@ std::vector<std::string> split_csv(const std::string& text) {
 int run_tool(int argc, const char* const* argv) {
   FlagSet flags("rcb_sweep: 1-D parameter sweeps with power-law fits");
   flags.add_string("protocol", "one_to_one",
-                   "one_to_one | ksy | combined | broadcast | naive | sqrt");
+                   "one_to_one | ksy | combined | broadcast | naive | sqrt | "
+                   "mc_broadcast");
   flags.add_string("adversary", "none", "see rcb_sim --help");
   flags.add_int("budget", 16384, "adversary energy budget", 0);
   flags.add_double("q", 0.6, "blocking fraction");
@@ -50,8 +51,11 @@ int run_tool(int argc, const char* const* argv) {
   flags.add_int("trials", 50, "Monte-Carlo trials per sweep point", 1);
   flags.add_int("seed", 1, "master seed", 0);
   flags.add_int("max_epoch_extra", 0, "epoch cap offset (0 = default)", 0);
+  flags.add_int("channels", 1,
+                "channel count C (mc_broadcast protocol only)", 1, 64);
   flags.add_string("sweep", "budget",
-                   "flag to sweep: budget | q | rate | n | eps | trials");
+                   "flag to sweep: budget | q | rate | n | eps | trials | "
+                   "channels");
   flags.add_string("values", "4096,16384,65536",
                    "comma-separated sweep values");
   flags.add_string("metric", "max_cost",
@@ -163,6 +167,7 @@ int run_tool(int argc, const char* const* argv) {
   base.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   base.max_epoch_extra =
       static_cast<std::uint32_t>(flags.get_int("max_epoch_extra"));
+  base.channels = static_cast<std::uint32_t>(flags.get_int("channels"));
 
   const std::string sweep = flags.get_string("sweep");
   const std::string metric = flags.get_string("metric");
@@ -218,6 +223,8 @@ int run_tool(int argc, const char* const* argv) {
       cfg.eps = x;
     } else if (sweep == "trials") {
       cfg.trials = static_cast<std::size_t>(x);
+    } else if (sweep == "channels") {
+      cfg.channels = static_cast<std::uint32_t>(x);
     } else {
       std::fprintf(stderr, "unknown sweep flag '%s'\n", sweep.c_str());
       return 1;
