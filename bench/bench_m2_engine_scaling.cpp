@@ -230,14 +230,17 @@ void run_bench(bool full, const std::string& out_path, std::uint64_t seed) {
   }
 
   // Multi-channel engine scaling at the acceptance cell: the mc event path
-  // with random hop sequences and a sweeping jammer, for C = 1/2/4.  The
-  // per-slot work is (adversary consult + per-channel group resolution), so
-  // throughput should be near-flat in C under sparse activity; C=1 doubles
-  // as a live measurement of the degeneration path's overhead vs the
-  // single-channel slotwise_event rows above.
+  // with random hop sequences and a sweeping jammer, for C = 1/2/4/64.
+  // Eventless runs are answered in bulk via jam_run_masks, so throughput
+  // should be near-flat in C under sparse activity (C=64 pins the full-mask
+  // group-resolution bound); C=1 doubles as a live measurement of the
+  // degeneration path's overhead vs the single-channel slotwise_event rows
+  // above.  The mc event-vs-dense speedup at C=1 is emitted as
+  // m2/channels/speedup for the bench_compare hard gate.
   {
     const auto actions = sparse_actions(accept_n, accept_slots);
-    for (const std::uint32_t c : {1u, 2u, 4u}) {
+    double mc_event_at_accept = 0;
+    for (const std::uint32_t c : {1u, 2u, 4u, 64u}) {
       std::vector<ChannelHop> hops(accept_n);
       Rng hop_rng = Rng::stream(seed, 9000 + c);
       for (std::uint32_t u = 0; u < accept_n; ++u) {
@@ -270,6 +273,58 @@ void run_bench(bool full, const std::string& out_path, std::uint64_t seed) {
                      Table::num(m.reps), Table::num(m.wall_ms, 3),
                      Table::num(m.slots_per_sec),
                      Table::num(m.events_per_sec)});
+      if (c == 1) mc_event_at_accept = m.slots_per_sec;
+    }
+    // mc event vs mc dense at the acceptance cell (C=1, same jammer and
+    // streams).  The dense reference costs O(slots * nodes) — one ~2^30-work
+    // rep is plenty for a ratio gate.
+    {
+      const std::uint32_t c = 1;
+      std::vector<ChannelHop> hops(accept_n);
+      Rng hop_rng = Rng::stream(seed, 9000 + c);
+      for (std::uint32_t u = 0; u < accept_n; ++u) {
+        hops[u] =
+            ChannelHop{static_cast<std::uint32_t>(hop_rng.uniform_u64(c)),
+                       static_cast<std::uint32_t>(hop_rng.uniform_u64(c))};
+      }
+      const ChannelPlan plan{c, {hops.data(), hops.size()}};
+      const auto m = measure(
+          [&](int rep) {
+            Rng rng = Rng::stream(seed, 9100 + c * 100 +
+                                            static_cast<std::uint64_t>(rep));
+            McSweepJammer adversary(Budget(accept_slots / 2), 64);
+            const auto r = run_repetition_slotwise_mc_dense(
+                accept_slots, actions, plan, adversary, rng);
+            return r.event_count;
+          },
+          0.1, 2, accept_slots);
+      bench::BenchEntry e;
+      e.name = "m2/channels/dense";
+      e.config = {{"n", static_cast<double>(accept_n)},
+                  {"slots", static_cast<double>(accept_slots)},
+                  {"channels", static_cast<double>(c)}};
+      e.wall_ms = m.wall_ms;
+      e.slots_per_sec = m.slots_per_sec;
+      e.events_per_sec = m.events_per_sec;
+      report.add(std::move(e));
+      table.add_row({"mc_dense", "C=" + std::to_string(c),
+                     Table::num(accept_n), Table::num(accept_slots),
+                     Table::num(m.reps), Table::num(m.wall_ms, 3),
+                     Table::num(m.slots_per_sec),
+                     Table::num(m.events_per_sec)});
+      if (m.slots_per_sec > 0 && mc_event_at_accept > 0) {
+        bench::BenchEntry ratio;
+        ratio.name = "m2/channels/speedup";
+        ratio.config = {{"n", static_cast<double>(accept_n)},
+                        {"slots", static_cast<double>(accept_slots)},
+                        {"channels", static_cast<double>(c)}};
+        ratio.slots_per_sec = mc_event_at_accept / m.slots_per_sec;
+        report.add(std::move(ratio));
+        std::printf(
+            "\nmulti-channel speedup (event vs dense) at n=%u, slots=2^20, "
+            "C=1: %.1fx (acceptance bar: >= 5x)\n",
+            accept_n, mc_event_at_accept / m.slots_per_sec);
+      }
     }
   }
 

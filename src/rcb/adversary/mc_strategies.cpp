@@ -11,6 +11,13 @@ std::uint64_t McNoJam::jam_mask(SlotIndex, std::uint32_t,
   return 0;
 }
 
+bool McNoJam::jam_run_masks(SlotIndex begin, SlotIndex end, std::uint32_t,
+                            std::span<const McSlotActivity>,
+                            McJamRunSink& sink) {
+  sink.append(end - begin, 0);
+  return true;
+}
+
 McUniformSplitJammer::McUniformSplitJammer(Budget budget, double rate, Rng rng)
     : budget_(budget), rate_(rate), rng_(rng) {
   RCB_REQUIRE(rate >= 0.0 && rate <= 1.0);
@@ -30,6 +37,38 @@ std::uint64_t McUniformSplitJammer::jam_mask(
   return mask;
 }
 
+bool McUniformSplitJammer::jam_run_masks(SlotIndex begin, SlotIndex end,
+                                         std::uint32_t num_channels,
+                                         std::span<const McSlotActivity>,
+                                         McJamRunSink& sink) {
+  const SlotCount len = end - begin;
+  // rate <= 0: bernoulli(p <= 0) consumes no draws and takes no budget —
+  // the whole run is one clear segment with no state change.
+  if (rate_ <= 0.0) {
+    sink.append(len, 0);
+    return true;
+  }
+  // General case: replay the per-slot draws verbatim.  Rng and Budget are
+  // small value types, so snapshotting them lets an RLE overflow decline
+  // without a trace.
+  const Rng rng_snapshot = rng_;
+  const Budget budget_snapshot = budget_;
+  for (SlotCount k = 0; k < len; ++k) {
+    std::uint64_t mask = 0;
+    for (std::uint32_t c = 0; c < num_channels; ++c) {
+      if (rng_.bernoulli(rate_) && budget_.take(1) == 1) {
+        mask |= std::uint64_t{1} << c;
+      }
+    }
+    if (!sink.append(1, mask)) {
+      rng_ = rng_snapshot;
+      budget_ = budget_snapshot;
+      return false;
+    }
+  }
+  return true;
+}
+
 McFocusJammer::McFocusJammer(Budget budget, double rate, std::uint32_t target,
                              Rng rng)
     : budget_(budget), rate_(rate), target_(target), rng_(rng) {
@@ -44,6 +83,43 @@ std::uint64_t McFocusJammer::jam_mask(SlotIndex, std::uint32_t num_channels,
   return std::uint64_t{1} << (target_ % num_channels);
 }
 
+bool McFocusJammer::jam_run_masks(SlotIndex begin, SlotIndex end,
+                                  std::uint32_t num_channels,
+                                  std::span<const McSlotActivity>,
+                                  McJamRunSink& sink) {
+  const SlotCount len = end - begin;
+  const double p_raw = rate_ * static_cast<double>(num_channels);
+  const double p = p_raw < 1.0 ? p_raw : 1.0;
+  // bernoulli(p <= 0) consumes no draws and the take() is short-circuited
+  // away: the run is one clear segment, state untouched.
+  if (p <= 0.0) {
+    sink.append(len, 0);
+    return true;
+  }
+  const std::uint64_t bit = std::uint64_t{1} << (target_ % num_channels);
+  if (p >= 1.0) {
+    // bernoulli(p >= 1) consumes no draws either: the run jams the target
+    // until the budget dries, then stays clear — at most two segments, and
+    // take(len) is the same spend as len take(1) calls.
+    const SlotCount jammed = budget_.take(len);
+    sink.append(jammed, bit);
+    sink.append(len - jammed, 0);
+    return true;
+  }
+  const Rng rng_snapshot = rng_;
+  const Budget budget_snapshot = budget_;
+  for (SlotCount k = 0; k < len; ++k) {
+    std::uint64_t mask = 0;
+    if (rng_.bernoulli(p) && budget_.take(1) == 1) mask = bit;
+    if (!sink.append(1, mask)) {
+      rng_ = rng_snapshot;
+      budget_ = budget_snapshot;
+      return false;
+    }
+  }
+  return true;
+}
+
 McSweepJammer::McSweepJammer(Budget budget, SlotCount dwell)
     : budget_(budget), dwell_(dwell) {
   RCB_REQUIRE(dwell >= 1);
@@ -55,6 +131,37 @@ std::uint64_t McSweepJammer::jam_mask(SlotIndex slot,
   if (budget_.take(1) != 1) return 0;
   const std::uint64_t ch = (slot / dwell_) % num_channels;
   return std::uint64_t{1} << ch;
+}
+
+bool McSweepJammer::jam_run_masks(SlotIndex begin, SlotIndex end,
+                                  std::uint32_t num_channels,
+                                  std::span<const McSlotActivity>,
+                                  McJamRunSink& sink) {
+  // Deterministic: walk the run dwell segment by dwell segment, granting
+  // each its budget slice up front — take(k) is the same spend as k take(1)
+  // calls, and once the budget dries the rest of the run is clear.
+  const Budget budget_snapshot = budget_;
+  SlotIndex s = begin;
+  while (s < end) {
+    const SlotIndex dwell_end = (s / dwell_ + 1) * dwell_;
+    const SlotIndex seg_end = dwell_end < end ? dwell_end : end;
+    const SlotCount want = seg_end - s;
+    const SlotCount got = budget_.take(want);
+    const std::uint64_t bit = std::uint64_t{1}
+                              << ((s / dwell_) % num_channels);
+    if (!sink.append(got, bit) || !sink.append(want - got, 0)) {
+      budget_ = budget_snapshot;
+      return false;
+    }
+    if (got < want && seg_end < end) {
+      // Budget exhausted mid-run: every remaining slot is clear (and merges
+      // into the zero segment just appended).
+      sink.append(end - seg_end, 0);
+      return true;
+    }
+    s = seg_end;
+  }
+  return true;
 }
 
 McScheduleAdversary::McScheduleAdversary(std::vector<JamSchedule> per_channel)
@@ -76,6 +183,27 @@ std::uint64_t McScheduleAdversary::jam_mask(
   return mask;
 }
 
+bool McScheduleAdversary::jam_run_masks(SlotIndex begin, SlotIndex end,
+                                        std::uint32_t num_channels,
+                                        std::span<const McSlotActivity>,
+                                        McJamRunSink& sink) {
+  // Stateless: recompute each slot's mask and lean on the sink's RLE merge
+  // (schedules are interval-shaped, so runs compress well).  An overflow
+  // simply declines — there is nothing to roll back.
+  const std::uint32_t n =
+      num_channels < per_channel_.size()
+          ? num_channels
+          : static_cast<std::uint32_t>(per_channel_.size());
+  for (SlotIndex s = begin; s < end; ++s) {
+    std::uint64_t mask = 0;
+    for (std::uint32_t c = 0; c < n; ++c) {
+      if (per_channel_[c].is_jammed(s)) mask |= std::uint64_t{1} << c;
+    }
+    if (!sink.append(1, mask)) return false;
+  }
+  return true;
+}
+
 std::uint64_t McFromSlotAdversary::jam_mask(
     SlotIndex slot, std::uint32_t,
     std::span<const McSlotActivity> history) {
@@ -86,6 +214,28 @@ std::uint64_t McFromSlotAdversary::jam_mask(
                                     (rec.jam_mask & 1) != 0});
   }
   return inner_.jam(slot, scratch_) ? 1 : 0;
+}
+
+bool McFromSlotAdversary::jam_run_masks(
+    SlotIndex begin, SlotIndex end, std::uint32_t,
+    std::span<const McSlotActivity> history, McJamRunSink& sink) {
+  // Translate the history exactly as jam_mask() does, then let the inner
+  // adversary answer (or decline) the run; scratch_ is rebuilt on every
+  // call, so filling it before a decline mutates nothing observable.
+  scratch_.clear();
+  scratch_.reserve(history.size());
+  for (const McSlotActivity& rec : history) {
+    scratch_.push_back(SlotActivity{rec.slot, rec.senders,
+                                    (rec.jam_mask & 1) != 0});
+  }
+  JamRunSink inner_sink;
+  if (!inner_.jam_run(begin, end, scratch_, inner_sink)) return false;
+  // Both sinks share kMaxSegments and bool -> mask preserves segment
+  // boundaries, so the converted appends cannot overflow.
+  for (const JamRunSink::Segment& seg : inner_sink.segments()) {
+    sink.append(seg.length, seg.decision ? std::uint64_t{1} : 0);
+  }
+  return true;
 }
 
 }  // namespace rcb

@@ -30,6 +30,10 @@ class McNoJam final : public McSlotAdversary {
  public:
   std::uint64_t jam_mask(SlotIndex slot, std::uint32_t num_channels,
                          std::span<const McSlotActivity> history) override;
+  bool jam_run_masks(SlotIndex begin, SlotIndex end,
+                     std::uint32_t num_channels,
+                     std::span<const McSlotActivity> history,
+                     McJamRunSink& sink) override;
   SlotCount history_window() const override { return 0; }
 };
 
@@ -41,6 +45,10 @@ class McUniformSplitJammer final : public McSlotAdversary {
   McUniformSplitJammer(Budget budget, double rate, Rng rng);
   std::uint64_t jam_mask(SlotIndex slot, std::uint32_t num_channels,
                          std::span<const McSlotActivity> history) override;
+  bool jam_run_masks(SlotIndex begin, SlotIndex end,
+                     std::uint32_t num_channels,
+                     std::span<const McSlotActivity> history,
+                     McJamRunSink& sink) override;
   SlotCount history_window() const override { return 0; }
   const Budget& budget() const { return budget_; }
 
@@ -60,6 +68,10 @@ class McFocusJammer final : public McSlotAdversary {
   McFocusJammer(Budget budget, double rate, std::uint32_t target, Rng rng);
   std::uint64_t jam_mask(SlotIndex slot, std::uint32_t num_channels,
                          std::span<const McSlotActivity> history) override;
+  bool jam_run_masks(SlotIndex begin, SlotIndex end,
+                     std::uint32_t num_channels,
+                     std::span<const McSlotActivity> history,
+                     McJamRunSink& sink) override;
   SlotCount history_window() const override { return 0; }
   const Budget& budget() const { return budget_; }
 
@@ -78,6 +90,10 @@ class McSweepJammer final : public McSlotAdversary {
   McSweepJammer(Budget budget, SlotCount dwell);
   std::uint64_t jam_mask(SlotIndex slot, std::uint32_t num_channels,
                          std::span<const McSlotActivity> history) override;
+  bool jam_run_masks(SlotIndex begin, SlotIndex end,
+                     std::uint32_t num_channels,
+                     std::span<const McSlotActivity> history,
+                     McJamRunSink& sink) override;
   SlotCount history_window() const override { return 0; }
   const Budget& budget() const { return budget_; }
 
@@ -96,6 +112,10 @@ class McScheduleAdversary final : public McSlotAdversary {
   explicit McScheduleAdversary(std::vector<JamSchedule> per_channel);
   std::uint64_t jam_mask(SlotIndex slot, std::uint32_t num_channels,
                          std::span<const McSlotActivity> history) override;
+  bool jam_run_masks(SlotIndex begin, SlotIndex end,
+                     std::uint32_t num_channels,
+                     std::span<const McSlotActivity> history,
+                     McJamRunSink& sink) override;
   SlotCount history_window() const override { return 0; }
 
  private:
@@ -113,6 +133,10 @@ class McFromSlotAdversary final : public McSlotAdversary {
   explicit McFromSlotAdversary(SlotAdversary& inner) : inner_(inner) {}
   std::uint64_t jam_mask(SlotIndex slot, std::uint32_t num_channels,
                          std::span<const McSlotActivity> history) override;
+  bool jam_run_masks(SlotIndex begin, SlotIndex end,
+                     std::uint32_t num_channels,
+                     std::span<const McSlotActivity> history,
+                     McJamRunSink& sink) override;
   SlotCount history_window() const override {
     return inner_.history_window();
   }

@@ -50,30 +50,32 @@ struct SlotActivity {
   bool jammed = false;
 };
 
-/// Run-length-encoded jam decisions for one eventless run, filled by
-/// SlotAdversary::jam_run().  Capacity is deliberately small: a strategy
-/// whose decisions over an eventless run need more than kMaxSegments
-/// alternations should decline the call (append() returns false) and let
-/// the engine drive it slot by slot.
-class JamRunSink {
+/// Run-length-encoded per-slot decisions for one eventless run, filled by
+/// the bulk consultation hooks (SlotAdversary::jam_run emits bools,
+/// McSlotAdversary::jam_run_masks emits 64-bit channel masks).  Capacity is
+/// deliberately small: a strategy whose decisions over an eventless run
+/// need more than kMaxSegments alternations should decline the call
+/// (append() returns false) and let the engine drive it slot by slot.
+template <typename Decision>
+class RunSink {
  public:
   static constexpr std::size_t kMaxSegments = 64;
 
   struct Segment {
     SlotCount length;
-    bool jammed;
+    Decision decision;
   };
 
   /// Appends `length` slots with one decision; adjacent same-decision
   /// segments merge.  Returns false (sink unchanged) when capacity is
-  /// exhausted — the caller should then decline the jam_run() call.
-  bool append(SlotCount length, bool jammed) {
+  /// exhausted — the caller should then decline the bulk call.
+  bool append(SlotCount length, Decision decision) {
     if (length == 0) return true;
-    if (count_ > 0 && segments_[count_ - 1].jammed == jammed) {
+    if (count_ > 0 && segments_[count_ - 1].decision == decision) {
       segments_[count_ - 1].length += length;
     } else {
       if (count_ == kMaxSegments) return false;
-      segments_[count_++] = Segment{length, jammed};
+      segments_[count_++] = Segment{length, decision};
     }
     total_ += length;
     return true;
@@ -92,6 +94,13 @@ class JamRunSink {
   std::size_t count_ = 0;
   SlotCount total_ = 0;
 };
+
+/// Single-channel bulk decisions: one bool (jam / don't) per run slot.
+using JamRunSink = RunSink<bool>;
+
+/// Multi-channel bulk decisions: one 64-bit jam mask per run slot (bit c
+/// jams channel c — the same value jam_mask() would have returned).
+using McJamRunSink = RunSink<std::uint64_t>;
 
 /// Adversary interface for the slotwise engine.
 class SlotAdversary {
@@ -165,6 +174,29 @@ class McSlotAdversary {
   /// accounting.  The history contract mirrors SlotAdversary::jam.
   virtual std::uint64_t jam_mask(SlotIndex slot, std::uint32_t num_channels,
                                  std::span<const McSlotActivity> history) = 0;
+
+  /// Optional bulk form of jam_mask() for a maximal eventless run
+  /// [begin, end): no node sends or listens in any slot of the run, so every
+  /// run slot's history record is {slot, 0, <own mask>, 0}.  `history` is
+  /// the state as of `begin` (the same view jam_mask(begin, ...) would
+  /// receive).  To answer, append masks for exactly end - begin slots (in
+  /// slot order) to `sink`, advance any internal state (rng, budget) exactly
+  /// as per-slot jam_mask() calls would have, and return true.  To decline —
+  /// the default — return false *without mutating any state*; the engine
+  /// then issues the per-slot jam_mask() calls itself.  Answering is a pure
+  /// optimization: masks must be identical to the per-slot path's, and the
+  /// engine enforces sink.total() == end - begin.
+  virtual bool jam_run_masks(SlotIndex begin, SlotIndex end,
+                             std::uint32_t num_channels,
+                             std::span<const McSlotActivity> history,
+                             McJamRunSink& sink) {
+    (void)begin;
+    (void)end;
+    (void)num_channels;
+    (void)history;
+    (void)sink;
+    return false;
+  }
 
   /// Upper bound on how many trailing history records jam_mask() inspects;
   /// same contract as SlotAdversary::history_window.

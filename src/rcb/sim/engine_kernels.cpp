@@ -24,6 +24,13 @@ void fill_history_scalar(SlotActivity* dst, SlotIndex first_slot,
   }
 }
 
+void fill_mc_history_scalar(McSlotActivity* dst, SlotIndex first_slot,
+                            SlotCount len, std::uint64_t jam_mask) {
+  for (SlotCount k = 0; k < len; ++k) {
+    dst[k] = McSlotActivity{first_slot + k, 0, jam_mask, 0};
+  }
+}
+
 #ifdef RCB_ENGINE_AVX2
 
 __attribute__((target("avx2"))) std::size_t count_keys_below_avx2(
@@ -74,6 +81,23 @@ __attribute__((target("avx2"))) void fill_history_avx2(SlotActivity* dst,
   for (; k < len; ++k) dst[k] = SlotActivity{first_slot + k, 0, jammed};
 }
 
+__attribute__((target("avx2"))) void fill_mc_history_avx2(
+    McSlotActivity* dst, SlotIndex first_slot, SlotCount len,
+    std::uint64_t jam_mask) {
+  static_assert(sizeof(McSlotActivity) == 32);
+  // One McSlotActivity is {u64 slot; u64 sender_channels; u64 jam_mask;
+  // u32 senders; pad} — exactly one record per 256-bit store with lanes
+  // [slot, 0, jam_mask, 0].
+  __m256i rec = _mm256_set_epi64x(
+      0, static_cast<std::int64_t>(jam_mask), 0,
+      static_cast<std::int64_t>(first_slot));
+  const __m256i step = _mm256_set_epi64x(0, 0, 0, 1);
+  for (SlotCount k = 0; k < len; ++k) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + k), rec);
+    rec = _mm256_add_epi64(rec, step);
+  }
+}
+
 #endif  // RCB_ENGINE_AVX2
 
 }  // namespace
@@ -97,6 +121,17 @@ void fill_history_records(SlotActivity* dst, SlotIndex first_slot,
   }
 #endif
   fill_history_scalar(dst, first_slot, len, jammed);
+}
+
+void fill_mc_history_records(McSlotActivity* dst, SlotIndex first_slot,
+                             SlotCount len, std::uint64_t jam_mask) {
+#ifdef RCB_ENGINE_AVX2
+  if (len >= 8 && simd::active_mode() == simd::Mode::kAvx2) {
+    fill_mc_history_avx2(dst, first_slot, len, jam_mask);
+    return;
+  }
+#endif
+  fill_mc_history_scalar(dst, first_slot, len, jam_mask);
 }
 
 }  // namespace rcb::engine_kernels

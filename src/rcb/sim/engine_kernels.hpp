@@ -30,6 +30,26 @@ std::size_t count_keys_below(const std::uint64_t* keys, std::size_t count,
 void fill_history_records(SlotActivity* dst, SlotIndex first_slot,
                           SlotCount len, bool jammed);
 
+/// Multi-channel variant: `len` zero-sender McSlotActivity records with
+/// consecutive slots and one jam mask.
+void fill_mc_history_records(McSlotActivity* dst, SlotIndex first_slot,
+                             SlotCount len, std::uint64_t jam_mask);
+
+/// Bounded-window history compaction shared by both slotwise engines:
+/// append one record, and once the buffer holds twice the window, drop
+/// everything but the trailing `window` records.  The 2x watermark keeps
+/// the erase_prefix memmove amortized O(1) per push while history_view()
+/// can always serve the trailing `window` records.
+template <typename Record>
+inline void push_history_compacted(ArenaVector<Record>& history,
+                                   const Record& rec, SlotCount window,
+                                   bool bounded) {
+  history.push_back(rec);
+  if (bounded && history.size() >= 2 * static_cast<std::size_t>(window)) {
+    history.erase_prefix(history.size() - static_cast<std::size_t>(window));
+  }
+}
+
 /// Presamples one node's send/listen events into ws.events as packed keys.
 /// Listens colliding with the node's own sends are dropped (half-duplex);
 /// a crashed node's events are dropped after sampling, so the Rng stream is

@@ -54,10 +54,41 @@ void record(NodeObservation& o, Reception heard, SlotIndex slot) {
   }
 }
 
-// Bounded-window compaction, same policy as the single-channel engine.
-void push_history(ArenaVector<McSlotActivity>& history,
-                  const McSlotActivity& rec, SlotCount window, bool bounded) {
-  history.push_back(rec);
+// Materializes the history of an accepted jam_run_masks: `sink` covers the
+// eventless run starting at `first_slot`, with each segment's mask already
+// clipped to the valid-channel set by the caller.  Same tail-only
+// optimization as the single-channel append_run_history: a bounded buffer
+// can only ever expose its trailing `window` records, so a run at least
+// that long replaces the buffer with its own tail.
+void append_run_history_mc(ArenaVector<McSlotActivity>& history,
+                           SlotIndex first_slot, const McJamRunSink& sink,
+                           std::uint64_t valid, SlotCount window,
+                           bool bounded) {
+  if (window == 0) return;
+  const SlotCount len = sink.total();
+  if (bounded && len >= window) {
+    history.clear();
+    const SlotIndex start = first_slot + len - window;
+    SlotIndex cur = first_slot;
+    for (const McJamRunSink::Segment& seg : sink.segments()) {
+      const SlotIndex seg_end = cur + seg.length;
+      if (seg_end > start) {
+        const SlotIndex lo = cur > start ? cur : start;
+        engine_kernels::fill_mc_history_records(
+            history.append_uninitialized(seg_end - lo), lo, seg_end - lo,
+            seg.decision & valid);
+      }
+      cur = seg_end;
+    }
+    return;
+  }
+  SlotIndex cur = first_slot;
+  for (const McJamRunSink::Segment& seg : sink.segments()) {
+    engine_kernels::fill_mc_history_records(
+        history.append_uninitialized(seg.length), cur, seg.length,
+        seg.decision & valid);
+    cur += seg.length;
+  }
   if (bounded && history.size() >= 2 * static_cast<std::size_t>(window)) {
     history.erase_prefix(history.size() - static_cast<std::size_t>(window));
   }
@@ -128,13 +159,47 @@ McSlotwiseResult run_repetition_slotwise_mc(
 
   const std::uint64_t* keys = ws.events.data();
   const std::size_t num_events = ws.events.size();
+  McJamRunSink sink;
 
-  // Budget-splitting strategies decide per slot (they may be randomized or
-  // stateful in the split), so there is no multi-channel analogue of the
-  // jam_run() bulk path: every slot — eventful or not — is one jam_mask()
-  // consultation, and the event-driven win is skipping the per-node work.
   std::size_t i = 0;  // cursor into the sorted keys
-  for (SlotIndex slot = 0; slot < num_slots; ++slot) {
+  SlotIndex slot = 0;
+  while (slot < num_slots) {
+    const SlotIndex next_event_slot =
+        i < num_events ? event_key::slot(keys[i]) : num_slots;
+    if (slot < next_event_slot) {
+      // Maximal eventless run [slot, next_event_slot): every record is a
+      // zero-sender record, so the adversary may answer it in bulk.
+      sink.reset();
+      if (adversary.jam_run_masks(slot, next_event_slot, channels.num_channels,
+                                  history_view(), sink)) {
+        RCB_REQUIRE(sink.total() == next_event_slot - slot);
+        for (const McJamRunSink::Segment& seg : sink.segments()) {
+          const std::uint64_t mask = seg.decision & valid;
+          result.jam_charges +=
+              static_cast<Cost>(std::popcount(mask)) * seg.length;
+          if (mask != 0) result.jammed_slots += seg.length;
+        }
+        append_run_history_mc(history, slot, sink, valid, window, bounded);
+      } else {
+        // Declined: per-slot consultation, bit-identical to the every-slot
+        // loop this fast path replaced.
+        for (SlotIndex s = slot; s < next_event_slot; ++s) {
+          const std::uint64_t mask =
+              adversary.jam_mask(s, channels.num_channels, history_view()) &
+              valid;
+          result.jam_charges += std::popcount(mask);
+          if (mask != 0) ++result.jammed_slots;
+          if (window > 0) {
+            engine_kernels::push_history_compacted(
+                history, McSlotActivity{s, 0, mask, 0}, window, bounded);
+          }
+        }
+      }
+      slot = next_event_slot;
+      continue;
+    }
+
+    // Event slot: consult the adversary, then settle the per-channel groups.
     const std::uint64_t mask =
         adversary.jam_mask(slot, channels.num_channels, history_view()) & valid;
     result.jam_charges += std::popcount(mask);
@@ -142,64 +207,69 @@ McSlotwiseResult run_repetition_slotwise_mc(
 
     std::uint64_t sender_channels = 0;
     std::uint32_t senders_total = 0;
-    if (i < num_events && event_key::slot(keys[i]) == slot) {
-      const std::size_t slot_end =
+    // slot + 1 == kMaxSlots would overflow the 34-bit slot field of pack()
+    // (the key wraps to zero), so the last representable slot's group is
+    // bounded by the key array directly — every remaining key is its.
+    const std::size_t slot_end =
+        slot + 1 < event_key::kMaxSlots
+            ? i + engine_kernels::count_keys_below(
+                      keys + i, num_events - i,
+                      event_key::pack(slot + 1, 0, false, 0))
+            : num_events;
+    // Per-channel groups: keys sort by (slot, channel, is_listen, node),
+    // so each channel's senders and listeners are contiguous.
+    while (i < slot_end) {
+      const std::uint32_t ch = event_key::channel(keys[i]);
+      // ch + 1 == kMaxChannels would overflow the 6-bit channel field of
+      // pack() (the stray bit ORs into the slot bits instead of carrying),
+      // so the top channel's group is bounded by the slot group directly.
+      const std::size_t ch_end =
+          ch + 1 < kMaxChannels
+              ? i + engine_kernels::count_keys_below(
+                        keys + i, slot_end - i,
+                        event_key::pack(slot, ch + 1, false, 0))
+              : slot_end;
+      const std::size_t senders_end =
           i + engine_kernels::count_keys_below(
-                  keys + i, num_events - i,
-                  event_key::pack(slot + 1, 0, false, 0));
-      // Per-channel groups: keys sort by (slot, channel, is_listen, node),
-      // so each channel's senders and listeners are contiguous.
-      while (i < slot_end) {
-        const std::uint32_t ch = event_key::channel(keys[i]);
-        // ch + 1 == kMaxChannels would overflow the 6-bit channel field of
-        // pack() (the stray bit ORs into the slot bits instead of carrying),
-        // so the top channel's group is bounded by the slot group directly.
-        const std::size_t ch_end =
-            ch + 1 < kMaxChannels
-                ? i + engine_kernels::count_keys_below(
-                          keys + i, slot_end - i,
-                          event_key::pack(slot, ch + 1, false, 0))
-                : slot_end;
-        const std::size_t senders_end =
-            i + engine_kernels::count_keys_below(
-                    keys + i, ch_end - i, event_key::pack(slot, ch, true, 0));
+                  keys + i, ch_end - i, event_key::pack(slot, ch, true, 0));
 
-        const auto sender_count = static_cast<std::uint32_t>(senders_end - i);
-        Payload single_payload = Payload::kNoise;
-        for (std::size_t j = i; j < senders_end; ++j) {
-          const NodeId u = event_key::node(keys[j]);
-          single_payload = static_cast<Payload>(ws.payloads[u]);
-          ++result.rep.obs[u].sends;
-        }
-        if (sender_count > 0) {
-          sender_channels |= std::uint64_t{1} << ch;
-          senders_total += sender_count;
-        }
-        const bool jammed = ((mask >> ch) & 1) != 0;
-        for (std::size_t j = senders_end; j < ch_end; ++j) {
-          const NodeId u = event_key::node(keys[j]);
-          NodeObservation& o = result.rep.obs[u];
-          ++o.listens;
-          Reception heard = resolve(sender_count, single_payload, jammed);
-          if (!cca.perfect()) heard = cca.apply(heard, rng);
-          if (faults != nullptr) {
-            if (faults->node_skewed(u) && (heard == Reception::kMessage ||
-                                           heard == Reception::kNack)) {
-              heard = Reception::kNoise;
-            }
-            heard = faults->degrade(heard, slot, rng);
-          }
-          record(o, heard, slot);
-        }
-        i = ch_end;
+      const auto sender_count = static_cast<std::uint32_t>(senders_end - i);
+      Payload single_payload = Payload::kNoise;
+      for (std::size_t j = i; j < senders_end; ++j) {
+        const NodeId u = event_key::node(keys[j]);
+        single_payload = static_cast<Payload>(ws.payloads[u]);
+        ++result.rep.obs[u].sends;
       }
+      if (sender_count > 0) {
+        sender_channels |= std::uint64_t{1} << ch;
+        senders_total += sender_count;
+      }
+      const bool jammed = ((mask >> ch) & 1) != 0;
+      for (std::size_t j = senders_end; j < ch_end; ++j) {
+        const NodeId u = event_key::node(keys[j]);
+        NodeObservation& o = result.rep.obs[u];
+        ++o.listens;
+        Reception heard = resolve(sender_count, single_payload, jammed);
+        if (!cca.perfect()) heard = cca.apply(heard, rng);
+        if (faults != nullptr) {
+          if (faults->node_skewed(u) && (heard == Reception::kMessage ||
+                                         heard == Reception::kNack)) {
+            heard = Reception::kNoise;
+          }
+          heard = faults->degrade(heard, slot, rng);
+        }
+        record(o, heard, slot);
+      }
+      i = ch_end;
     }
 
     if (window > 0) {
-      push_history(history,
-                   McSlotActivity{slot, sender_channels, mask, senders_total},
-                   window, bounded);
+      engine_kernels::push_history_compacted(
+          history,
+          McSlotActivity{slot, sender_channels, mask, senders_total}, window,
+          bounded);
     }
+    ++slot;
   }
 
   for (auto& o : result.rep.obs) {

@@ -11,7 +11,11 @@
 // per slot, in order, and returns a 64-bit jam mask; each jammed
 // (slot, channel) pair is charged one budget unit, so concentrating on one
 // channel costs 1 per slot while flooding all C channels costs C — the
-// Chen–Zheng budget-split accounting.
+// Chen–Zheng budget-split accounting.  Over maximal eventless runs the
+// event engine offers the adversary the bulk McSlotAdversary::jam_run_masks
+// consultation (RLE mask segments); declining falls back to per-slot
+// jam_mask calls, bit-identically — the exact multi-channel analogue of the
+// single-channel jam_run fast path.
 //
 // C=1 degeneration contract (load-bearing; enforced by tests and the fuzz
 // differential oracle): with num_channels == 1, both engines here are

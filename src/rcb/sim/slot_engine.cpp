@@ -49,17 +49,6 @@ void record(NodeObservation& o, Reception heard, SlotIndex slot) {
   }
 }
 
-// Appends one history record, keeping the bounded-window buffer compacted
-// exactly as the pre-SoA engine did (compact to the trailing `window`
-// records whenever the buffer reaches 2 * window).
-void push_history(ArenaVector<SlotActivity>& history, const SlotActivity& rec,
-                  SlotCount window, bool bounded) {
-  history.push_back(rec);
-  if (bounded && history.size() >= 2 * static_cast<std::size_t>(window)) {
-    history.erase_prefix(history.size() - static_cast<std::size_t>(window));
-  }
-}
-
 // Materializes the history of an accepted jam_run: `sink` covers the
 // eventless run starting at `first_slot`.  Only the trailing `window`
 // records of a bounded buffer can ever be observed again, so a run at least
@@ -81,7 +70,7 @@ void append_run_history(ArenaVector<SlotActivity>& history,
         const SlotIndex lo = cur > start ? cur : start;
         engine_kernels::fill_history_records(
             history.append_uninitialized(seg_end - lo), lo, seg_end - lo,
-            seg.jammed);
+            seg.decision);
       }
       cur = seg_end;
     }
@@ -90,7 +79,8 @@ void append_run_history(ArenaVector<SlotActivity>& history,
   SlotIndex cur = first_slot;
   for (const JamRunSink::Segment& seg : sink.segments()) {
     engine_kernels::fill_history_records(
-        history.append_uninitialized(seg.length), cur, seg.length, seg.jammed);
+        history.append_uninitialized(seg.length), cur, seg.length,
+        seg.decision);
     cur += seg.length;
   }
   if (bounded && history.size() >= 2 * static_cast<std::size_t>(window)) {
@@ -183,7 +173,7 @@ SlotwiseResult run_repetition_slotwise(SlotCount num_slots,
       if (adversary.jam_run(slot, next_event_slot, history_view(), sink)) {
         RCB_REQUIRE(sink.total() == next_event_slot - slot);
         for (const JamRunSink::Segment& seg : sink.segments()) {
-          if (seg.jammed) result.jammed_slots += seg.length;
+          if (seg.decision) result.jammed_slots += seg.length;
         }
         append_run_history(history, slot, sink, window, bounded);
       } else {
@@ -193,7 +183,8 @@ SlotwiseResult run_repetition_slotwise(SlotCount num_slots,
           const bool jammed = adversary.jam(s, history_view());
           if (jammed) ++result.jammed_slots;
           if (window > 0) {
-            push_history(history, SlotActivity{s, 0, jammed}, window, bounded);
+            engine_kernels::push_history_compacted(
+                history, SlotActivity{s, 0, jammed}, window, bounded);
           }
         }
       }
@@ -205,9 +196,15 @@ SlotwiseResult run_repetition_slotwise(SlotCount num_slots,
     const bool jammed = adversary.jam(slot, history_view());
     if (jammed) ++result.jammed_slots;
 
+    // slot + 1 == kMaxSlots would overflow the 34-bit slot field of pack()
+    // (the key wraps to zero), so the last representable slot's group is
+    // bounded by the key array directly.
     const std::size_t group_end =
-        i + engine_kernels::count_keys_below(
-                keys + i, num_events - i, event_key::pack(slot + 1, 0, false, 0));
+        slot + 1 < event_key::kMaxSlots
+            ? i + engine_kernels::count_keys_below(
+                      keys + i, num_events - i,
+                      event_key::pack(slot + 1, 0, false, 0))
+            : num_events;
     const std::size_t senders_end =
         i + engine_kernels::count_keys_below(
                 keys + i, group_end - i, event_key::pack(slot, 0, true, 0));
@@ -237,8 +234,8 @@ SlotwiseResult run_repetition_slotwise(SlotCount num_slots,
     i = group_end;
 
     if (window > 0) {
-      push_history(history, SlotActivity{slot, sender_count, jammed}, window,
-                   bounded);
+      engine_kernels::push_history_compacted(
+          history, SlotActivity{slot, sender_count, jammed}, window, bounded);
     }
     ++slot;
   }

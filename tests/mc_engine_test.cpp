@@ -293,6 +293,284 @@ TEST(McEngineTest, EngineChargesEqualStrategySpend) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Bulk consultation (jam_run_masks) contract — the multi-channel mirror of
+// the single-channel jam_run suite: bulk answers are a pure optimization,
+// so every observable must coincide with the per-slot fallback.
+
+/// Forwards jam_mask but always declines the bulk hook — pins the engine's
+/// per-slot fallback as the reference execution for the bulk path.
+class NoBulk final : public McSlotAdversary {
+ public:
+  explicit NoBulk(McSlotAdversary& inner) : inner_(inner) {}
+  std::uint64_t jam_mask(SlotIndex slot, std::uint32_t num_channels,
+                         std::span<const McSlotActivity> history) override {
+    return inner_.jam_mask(slot, num_channels, history);
+  }
+  SlotCount history_window() const override {
+    return inner_.history_window();
+  }
+
+ private:
+  McSlotAdversary& inner_;
+};
+
+void expect_identical_mc(const McSlotwiseResult& a, const McSlotwiseResult& b) {
+  EXPECT_EQ(a.jam_charges, b.jam_charges);
+  EXPECT_EQ(a.jammed_slots, b.jammed_slots);
+  EXPECT_EQ(a.event_count, b.event_count);
+  ASSERT_EQ(a.rep.obs.size(), b.rep.obs.size());
+  for (std::size_t u = 0; u < a.rep.obs.size(); ++u) {
+    EXPECT_TRUE(obs_equal(a.rep.obs[u], b.rep.obs[u])) << "node " << u;
+  }
+}
+
+std::vector<NodeAction> sparse_actions() {
+  return {NodeAction{0.01, Payload::kMessage, 0.0},
+          NodeAction{0.0, Payload::kNoise, 0.01},
+          NodeAction{0.005, Payload::kNack, 0.005}};
+}
+
+/// Runs one strategy twice through the event engine — once consulted in
+/// bulk, once forced onto the per-slot fallback via NoBulk — and requires
+/// the executions to be indistinguishable, down to the trial Rng position.
+template <typename Make>
+void expect_bulk_equals_fallback(Make make, std::uint32_t C,
+                                 std::uint64_t seed) {
+  const SlotCount slots = 8192;
+  const auto actions = sparse_actions();
+  std::vector<ChannelHop> hops;
+  Rng hop_rng = Rng::stream(seed, 900);
+  for (std::size_t u = 0; u < actions.size(); ++u) {
+    hops.push_back(
+        ChannelHop{static_cast<std::uint32_t>(hop_rng.uniform_u64(C)),
+                   static_cast<std::uint32_t>(hop_rng.uniform_u64(C))});
+  }
+  const ChannelPlan plan{C, {hops.data(), hops.size()}};
+
+  auto bulk_adv = make();
+  Rng rng_bulk = Rng::stream(seed, 1);
+  const McSlotwiseResult a =
+      run_repetition_slotwise_mc(slots, actions, plan, bulk_adv, rng_bulk);
+
+  auto inner = make();
+  NoBulk scalar_adv(inner);
+  Rng rng_scalar = Rng::stream(seed, 1);
+  const McSlotwiseResult b =
+      run_repetition_slotwise_mc(slots, actions, plan, scalar_adv, rng_scalar);
+
+  expect_identical_mc(a, b);
+  EXPECT_EQ(rng_bulk.next_u64(), rng_scalar.next_u64())
+      << "trial Rng position diverged: C=" << C << " seed=" << seed;
+}
+
+TEST(McJamRunMasksTest, BulkAnswerMatchesPerSlotPathForEveryStrategy) {
+  for (const std::uint32_t C : {1u, 4u, 64u}) {
+    expect_bulk_equals_fallback([] { return McNoJam{}; }, C, 51);
+    // rate in (0, 1): bulk declines by rollback while the budget lives
+    // (alternating masks overflow the sink) and answers once it dries.
+    expect_bulk_equals_fallback(
+        [&] {
+          return McUniformSplitJammer(Budget(500), 0.4, Rng::stream(61, C));
+        },
+        C, 52);
+    // rate 0: the draw-free single-segment shortcut.
+    expect_bulk_equals_fallback(
+        [&] {
+          return McUniformSplitJammer(Budget(500), 0.0, Rng::stream(62, C));
+        },
+        C, 53);
+    expect_bulk_equals_fallback(
+        [&] {
+          return McFocusJammer(Budget(600), 0.05, 2, Rng::stream(63, C));
+        },
+        C, 54);
+    // rate * C >= 1: the draw-free budget-arithmetic fast path.
+    expect_bulk_equals_fallback(
+        [&] {
+          return McFocusJammer(Budget(600), 1.0, 1, Rng::stream(64, C));
+        },
+        C, 55);
+    expect_bulk_equals_fallback([] { return McSweepJammer(Budget(3000), 64); },
+                                C, 56);
+    expect_bulk_equals_fallback(
+        [&] {
+          std::vector<JamSchedule> per_channel;
+          for (std::uint32_t c = 0; c < C && c < 8; ++c) {
+            per_channel.push_back(JamSchedule::blocking_fraction(
+                8192, 0.1 * static_cast<double>(c)));
+          }
+          return McScheduleAdversary(per_channel);
+        },
+        C, 57);
+  }
+}
+
+/// Alternates mask 1/0 by slot parity; its bulk answer appends slot by
+/// slot, so runs longer than kMaxSegments overflow the sink and decline
+/// mid-phase while short runs answer — both paths mix in one execution.
+class ParityMask final : public McSlotAdversary {
+ public:
+  std::uint64_t jam_mask(SlotIndex slot, std::uint32_t,
+                         std::span<const McSlotActivity>) override {
+    return slot & 1;
+  }
+  bool jam_run_masks(SlotIndex begin, SlotIndex end, std::uint32_t,
+                     std::span<const McSlotActivity>,
+                     McJamRunSink& sink) override {
+    ++bulk_calls_;
+    for (SlotIndex s = begin; s < end; ++s) {
+      if (!sink.append(1, s & 1)) {
+        ++declines_;
+        return false;
+      }
+    }
+    return true;
+  }
+  SlotCount history_window() const override { return 0; }
+
+  int bulk_calls_ = 0;
+  int declines_ = 0;
+};
+
+TEST(McJamRunMasksTest, MidRunDeclineFallsBackBitIdentically) {
+  const SlotCount slots = 30000;
+  std::vector<NodeAction> actions = {NodeAction{0.002, Payload::kMessage, 0.0},
+                                     NodeAction{0.0, Payload::kNoise, 0.002}};
+  std::vector<ChannelHop> hops = {{0, 1}, {1, 1}};
+  const ChannelPlan plan{2, {hops.data(), hops.size()}};
+
+  ParityMask bulk_adv;
+  Rng rng_bulk = Rng::stream(43, 1);
+  const McSlotwiseResult a =
+      run_repetition_slotwise_mc(slots, actions, plan, bulk_adv, rng_bulk);
+
+  ParityMask inner;
+  NoBulk scalar_adv(inner);
+  Rng rng_scalar = Rng::stream(43, 1);
+  const McSlotwiseResult b =
+      run_repetition_slotwise_mc(slots, actions, plan, scalar_adv, rng_scalar);
+
+  expect_identical_mc(a, b);
+  EXPECT_EQ(rng_bulk.next_u64(), rng_scalar.next_u64());
+  // With mean run length ~250 against a 64-segment sink, both accepted and
+  // declined bulk calls must occur in one phase.
+  EXPECT_GT(bulk_adv.declines_, 0);
+  EXPECT_GT(bulk_adv.bulk_calls_, bulk_adv.declines_);
+  // Parity accounting holds regardless of which path decided each slot.
+  EXPECT_EQ(a.jammed_slots, slots / 2);
+  EXPECT_EQ(a.jam_charges, slots / 2);
+}
+
+/// 1-slot lookback: jams channel 0 iff the previous slot carried a
+/// transmission; the bulk form answers with the run-aware closed form
+/// (only the first run slot can see a sender in its lookback).
+class McBulkReactive final : public McSlotAdversary {
+ public:
+  explicit McBulkReactive(bool bulk) : bulk_(bulk) {}
+  std::uint64_t jam_mask(SlotIndex, std::uint32_t,
+                         std::span<const McSlotActivity> history) override {
+    return (!history.empty() && history.back().senders > 0) ? 1 : 0;
+  }
+  bool jam_run_masks(SlotIndex begin, SlotIndex end, std::uint32_t,
+                     std::span<const McSlotActivity> history,
+                     McJamRunSink& sink) override {
+    if (!bulk_) return false;
+    ++bulk_calls_;
+    const bool first = !history.empty() && history.back().senders > 0;
+    sink.append(1, first ? 1 : 0);
+    sink.append(end - begin - 1, 0);
+    return true;
+  }
+  SlotCount history_window() const override { return 1; }
+
+  bool bulk_;
+  int bulk_calls_ = 0;
+};
+
+TEST(McJamRunMasksTest, BoundedWindowReactiveBulkMatchesPerSlot) {
+  const SlotCount slots = 10000;
+  const auto actions = sparse_actions();
+  std::vector<ChannelHop> hops = {{0, 1}, {1, 0}, {1, 1}};
+  const ChannelPlan plan{2, {hops.data(), hops.size()}};
+
+  McBulkReactive bulk_adv(true);
+  Rng rng_bulk = Rng::stream(47, 1);
+  const McSlotwiseResult a =
+      run_repetition_slotwise_mc(slots, actions, plan, bulk_adv, rng_bulk);
+
+  McBulkReactive scalar_adv(false);
+  Rng rng_scalar = Rng::stream(47, 1);
+  const McSlotwiseResult b =
+      run_repetition_slotwise_mc(slots, actions, plan, scalar_adv, rng_scalar);
+
+  expect_identical_mc(a, b);
+  EXPECT_EQ(rng_bulk.next_u64(), rng_scalar.next_u64());
+  EXPECT_GT(bulk_adv.bulk_calls_, 0) << "fast path never exercised";
+  EXPECT_EQ(scalar_adv.bulk_calls_, 0);
+}
+
+/// Answers every bulk run with a fixed two-channel mask while the per-slot
+/// (event-slot) consultations audit that the engine materialized every
+/// bulk-decided slot as a zero-sender record carrying that mask.
+class McBulkHistoryAuditor final : public McSlotAdversary {
+ public:
+  static constexpr std::uint64_t kMask = 0b101;
+  std::uint64_t jam_mask(SlotIndex slot, std::uint32_t,
+                         std::span<const McSlotActivity> history) override {
+    complete_ = complete_ && history.size() == slot;
+    for (std::size_t k = 0; k < history.size(); ++k) {
+      ordered_ = ordered_ && history[k].slot == k &&
+                 history[k].jam_mask == kMask;
+    }
+    return kMask;
+  }
+  bool jam_run_masks(SlotIndex begin, SlotIndex end, std::uint32_t,
+                     std::span<const McSlotActivity>,
+                     McJamRunSink& sink) override {
+    ++bulk_calls_;
+    sink.append(end - begin, kMask);
+    return true;
+  }
+
+  bool complete_ = true;
+  bool ordered_ = true;
+  int bulk_calls_ = 0;
+};
+
+TEST(McJamRunMasksTest, UnboundedHistoryMaterializedAcrossBulkRuns) {
+  const SlotCount slots = 3000;
+  std::vector<NodeAction> actions = {NodeAction{0.01, Payload::kMessage, 0.0}};
+  std::vector<ChannelHop> hops = {{1, 2}};
+  const ChannelPlan plan{4, {hops.data(), hops.size()}};
+  McBulkHistoryAuditor adv;
+  Rng rng = Rng::stream(53, 0);
+  const McSlotwiseResult r =
+      run_repetition_slotwise_mc(slots, actions, plan, adv, rng);
+  EXPECT_GT(adv.bulk_calls_, 0);
+  EXPECT_TRUE(adv.complete_);
+  EXPECT_TRUE(adv.ordered_);
+  // 0b101 clipped by valid 0xF keeps 2 channels per slot.
+  EXPECT_EQ(r.jam_charges, 2 * slots);
+  EXPECT_EQ(r.jammed_slots, slots);
+}
+
+TEST(McJamRunMasksTest, OverflowDeclineLeavesRandomizedStrategyUntouched) {
+  // rate in (0, 1) keeps bulk masks alternating, so a long run cannot fit
+  // in kMaxSegments; the strategy must decline with its rng and budget
+  // exactly as they were before the attempt (witnessed by a twin that
+  // never saw the bulk call).
+  McUniformSplitJammer probe(Budget(10000), 0.5, Rng::stream(71, 0));
+  McUniformSplitJammer witness(Budget(10000), 0.5, Rng::stream(71, 0));
+  McJamRunSink sink;
+  ASSERT_FALSE(probe.jam_run_masks(0, 4096, 4, {}, sink));
+  EXPECT_EQ(probe.budget().spent(), witness.budget().spent());
+  for (SlotIndex s = 0; s < 256; ++s) {
+    ASSERT_EQ(probe.jam_mask(s, 4, {}), witness.jam_mask(s, 4, {}))
+        << "slot " << s;
+  }
+}
+
 // The two mc engines are draw-for-draw deterministic: same stream, same
 // result, independently of everything else in the process.
 TEST(McEngineTest, DeterministicAcrossRuns) {

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -17,6 +18,7 @@
 
 #include "rcb/common/simd.hpp"
 #include "rcb/rng/rng.hpp"
+#include "rcb/sim/engine_kernels.hpp"
 
 namespace rcb {
 namespace {
@@ -178,6 +180,146 @@ TEST(SamplerEquivalenceTest, BlockSamplerMatchesStreamingSampler) {
       ASSERT_EQ(got, want) << "p=" << p << " seed=" << seed;
       ASSERT_EQ(block_rng.next_u64(), stream_rng.next_u64())
           << "stream position diverged: p=" << p << " seed=" << seed;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-channel packed-key layout edges.  The engines' group resolution
+// lives and dies on the 40-bit slot<<30|channel<<24|listen<<23|node layout
+// behaving at its field boundaries, so these pin channel bits 0 and 63, the
+// 2^34 slot cap, and the C=64 group bound against both kernel modes.
+
+TEST(McPackedKeyTest, ChannelBitsZeroAndSixtyThreeRoundTripAndOrder) {
+  for (const SlotIndex slot : {SlotIndex{0}, SlotIndex{5},
+                               event_key::kMaxSlots - 1}) {
+    for (const std::uint32_t ch : {0u, 63u}) {
+      for (const bool listen : {false, true}) {
+        for (const NodeId node :
+             {NodeId{0}, static_cast<NodeId>(event_key::kMaxNodes - 1)}) {
+          const std::uint64_t key = event_key::pack(slot, ch, listen, node);
+          EXPECT_EQ(event_key::slot(key), slot);
+          EXPECT_EQ(event_key::channel(key), ch);
+          EXPECT_EQ(event_key::is_listen(key), listen);
+          EXPECT_EQ(event_key::node(key), node);
+        }
+      }
+    }
+  }
+  // Channel 63 never leaks into the slot bits: the largest channel-63 key
+  // of a slot still sorts below the smallest key of the next slot.
+  EXPECT_LT(event_key::pack(5, 63, true, event_key::kMaxNodes - 1),
+            event_key::pack(6, 0, false, 0));
+}
+
+TEST(McPackedKeyTest, SlotCapBoundaryWrapsToZero) {
+  // The all-ones key is the last representable event; packing one slot
+  // beyond the cap wraps the slot field to zero.  This is exactly why the
+  // engines bound the last slot's group by the key array instead of by
+  // pack(slot + 1, ...).
+  EXPECT_EQ(event_key::pack(event_key::kMaxSlots - 1, 63, true,
+                            static_cast<NodeId>(event_key::kMaxNodes - 1)),
+            ~std::uint64_t{0});
+  EXPECT_EQ(event_key::pack(event_key::kMaxSlots, 0, false, 0), 0u);
+  // count_keys_below with the wrapped bound returns 0 — the naive bound
+  // would claim the last slot's group is empty in both kernel modes.
+  std::vector<std::uint64_t> keys;
+  for (NodeId u = 0; u < 16; ++u) {
+    keys.push_back(event_key::pack(event_key::kMaxSlots - 1, 0, false, u));
+  }
+  keys.push_back(event_key::pack(event_key::kMaxSlots - 1, 63, true,
+                                 static_cast<NodeId>(event_key::kMaxNodes -
+                                                     1)));  // the ~0 key
+  for (const simd::Mode mode : {simd::Mode::kScalar, simd::Mode::kAvx2}) {
+    if (mode == simd::Mode::kAvx2 && !simd::avx2_available()) continue;
+    ScopedSimdMode guard(mode);
+    EXPECT_EQ(engine_kernels::count_keys_below(
+                  keys.data(), keys.size(),
+                  event_key::pack(event_key::kMaxSlots, 0, false, 0)),
+              0u);
+    // The all-ones bound admits every key except the all-ones key itself —
+    // only the engines' array-length guard covers the whole group.
+    EXPECT_EQ(engine_kernels::count_keys_below(keys.data(), keys.size(),
+                                               ~std::uint64_t{0}),
+              keys.size() - 1);
+  }
+}
+
+TEST(McPackedKeyTest, ChannelSixtyFourGroupBoundGuard) {
+  // C=64 on an ODD slot: channel 64 overflows the 6-bit field and its
+  // stray bit ORs into an already-set slot bit 0, so pack(slot, 64, ...)
+  // collapses back to pack(slot, 0, ...) — the naive channel-63 group
+  // bound would be below the whole group.  The engines guard this by
+  // bounding the top channel's group with the slot group; this pins both
+  // the failure mode and the guarded resolution in both kernel modes.
+  const SlotIndex slot = 5;
+  EXPECT_EQ(event_key::pack(slot, 64, false, 0),
+            event_key::pack(slot, 0, false, 0));
+  std::vector<std::uint64_t> keys;
+  for (NodeId u = 0; u < 4; ++u) {
+    keys.push_back(event_key::pack(slot, 0, false, u));  // ch-0 senders
+  }
+  for (NodeId u = 4; u < 9; ++u) {
+    keys.push_back(event_key::pack(slot, 63, false, u));  // ch-63 senders
+  }
+  for (NodeId u = 9; u < 14; ++u) {
+    keys.push_back(event_key::pack(slot, 63, true, u));  // ch-63 listeners
+  }
+  for (NodeId u = 0; u < 6; ++u) {
+    keys.push_back(event_key::pack(slot + 1, 0, false, u));  // next slot
+  }
+  ASSERT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  for (const simd::Mode mode : {simd::Mode::kScalar, simd::Mode::kAvx2}) {
+    if (mode == simd::Mode::kAvx2 && !simd::avx2_available()) continue;
+    ScopedSimdMode guard(mode);
+    // Slot group: 14 keys of slot 5.
+    const std::size_t slot_end = engine_kernels::count_keys_below(
+        keys.data(), keys.size(), event_key::pack(slot + 1, 0, false, 0));
+    ASSERT_EQ(slot_end, 14u);
+    // Channel 0's group is bounded by pack(slot, 1, ...) as usual.
+    EXPECT_EQ(engine_kernels::count_keys_below(
+                  keys.data(), slot_end, event_key::pack(slot, 1, false, 0)),
+              4u);
+    // Channel 63's group must be bounded by the slot group (the guarded
+    // path); the unguarded pack(slot, 64, ...) bound collapses to the
+    // slot's own first key and reports an empty group.
+    EXPECT_EQ(engine_kernels::count_keys_below(
+                  keys.data() + 4, slot_end - 4,
+                  event_key::pack(slot, 64, false, 0)),
+              0u);
+    // Guarded sender/listener split inside channel 63's group.
+    EXPECT_EQ(engine_kernels::count_keys_below(
+                  keys.data() + 4, slot_end - 4,
+                  event_key::pack(slot, 63, true, 0)),
+              5u);
+  }
+}
+
+TEST(McEngineKernelTest, FillMcHistoryRecordsAvx2MatchesScalar) {
+  if (!simd::avx2_available()) GTEST_SKIP() << "host lacks AVX2+FMA";
+  const SlotCount lens[] = {1, 2, 3, 7, 8, 9, 64, 1000};
+  const std::uint64_t masks[] = {0, 1, std::uint64_t{1} << 63,
+                                 0xdeadbeefdeadbeefull};
+  for (const SlotCount len : lens) {
+    for (const std::uint64_t mask : masks) {
+      std::vector<McSlotActivity> scalar(len), avx2(len);
+      {
+        ScopedSimdMode guard(simd::Mode::kScalar);
+        engine_kernels::fill_mc_history_records(scalar.data(), 1000, len,
+                                                mask);
+      }
+      {
+        ScopedSimdMode guard(simd::Mode::kAvx2);
+        engine_kernels::fill_mc_history_records(avx2.data(), 1000, len, mask);
+      }
+      for (SlotCount k = 0; k < len; ++k) {
+        ASSERT_EQ(scalar[k].slot, avx2[k].slot) << "len=" << len;
+        ASSERT_EQ(scalar[k].slot, 1000 + k);
+        ASSERT_EQ(avx2[k].sender_channels, 0u);
+        ASSERT_EQ(scalar[k].jam_mask, avx2[k].jam_mask);
+        ASSERT_EQ(avx2[k].jam_mask, mask);
+        ASSERT_EQ(avx2[k].senders, 0u);
+      }
     }
   }
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "rcb/rng/rng.hpp"
+#include "rcb/sim/engine_kernels.hpp"
 
 namespace rcb {
 namespace {
@@ -220,6 +221,51 @@ TEST(SlotEngineEventTest, MatchesDenseReferenceOnDeterministicActions) {
 }
 
 // ---------------------------------------------------------------------------
+// Shared bounded-window compaction helper (used by both slotwise engines).
+
+TEST(PushHistoryCompactedTest, PinsTwoXWatermarkErasePolicy) {
+  Arena arena;
+  ArenaVector<SlotActivity> hist{arena};
+  const SlotCount window = 4;
+
+  // Unbounded: every record is retained.
+  for (SlotIndex s = 0; s < 20; ++s) {
+    engine_kernels::push_history_compacted(hist, SlotActivity{s, 0, false},
+                                           window, false);
+  }
+  EXPECT_EQ(hist.size(), 20u);
+  hist.clear();
+
+  // Bounded: the buffer grows to 2 * window - 1, and the push that reaches
+  // the 2 * window watermark compacts it down to the trailing `window`
+  // records — never fewer, never more.
+  for (SlotIndex s = 0; s < 2 * window - 1; ++s) {
+    engine_kernels::push_history_compacted(hist, SlotActivity{s, 0, false},
+                                           window, true);
+    EXPECT_EQ(hist.size(), static_cast<std::size_t>(s + 1));
+  }
+  engine_kernels::push_history_compacted(
+      hist, SlotActivity{2 * window - 1, 0, true}, window, true);
+  ASSERT_EQ(hist.size(), static_cast<std::size_t>(window));
+  for (std::size_t k = 0; k < hist.size(); ++k) {
+    EXPECT_EQ(hist.data()[k].slot, window + k);  // trailing [4, 8)
+  }
+  EXPECT_TRUE(hist.data()[hist.size() - 1].jammed);
+
+  // The multi-channel record type compacts under the identical policy.
+  ArenaVector<McSlotActivity> mc_hist{arena};
+  for (SlotIndex s = 0; s < 2 * window; ++s) {
+    engine_kernels::push_history_compacted(
+        mc_hist, McSlotActivity{s, 0, s & 1, 0}, window, true);
+  }
+  ASSERT_EQ(mc_hist.size(), static_cast<std::size_t>(window));
+  for (std::size_t k = 0; k < mc_hist.size(); ++k) {
+    EXPECT_EQ(mc_hist.data()[k].slot, window + k);
+    EXPECT_EQ(mc_hist.data()[k].jam_mask, (window + k) & 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Bulk consultation (jam_run) contract.
 
 TEST(JamRunSinkTest, MergesAdjacentSameFlagSegments) {
@@ -229,9 +275,9 @@ TEST(JamRunSinkTest, MergesAdjacentSameFlagSegments) {
   EXPECT_TRUE(sink.append(1, false));
   ASSERT_EQ(sink.segments().size(), 2u);
   EXPECT_EQ(sink.segments()[0].length, 5u);
-  EXPECT_TRUE(sink.segments()[0].jammed);
+  EXPECT_TRUE(sink.segments()[0].decision);
   EXPECT_EQ(sink.segments()[1].length, 1u);
-  EXPECT_FALSE(sink.segments()[1].jammed);
+  EXPECT_FALSE(sink.segments()[1].decision);
   EXPECT_EQ(sink.total(), 6u);
 }
 

@@ -25,10 +25,11 @@
 # bench_m2_engine_scaling (default grid), writes build/BENCH_m{1,2}.json,
 # and runs tools/bench_compare against the committed baselines in warn-only
 # mode: perf drift is printed on every run without flaking CI on machine
-# noise.  Tighten by dropping --warn_only once runners are dedicated.  One
-# number IS gated hard: the m2/speedup/event_vs_dense ratio is a structural
-# property of the engines (O(slots + events) vs O(slots * nodes)), not
-# machine noise, so it must stay >= 5x on any host.
+# noise.  Tighten by dropping --warn_only once runners are dedicated.  Two
+# numbers ARE gated hard: the m2/speedup/event_vs_dense and
+# m2/channels/speedup ratios are structural properties of the engine pairs
+# (O(slots + events) vs O(slots * nodes)), not machine noise, so both must
+# stay >= 5x on any host.
 #
 # Exits non-zero on the first failing build or test run.
 set -euo pipefail
@@ -354,6 +355,22 @@ fuzz_stage() {
     echo "replay with: build/tools/rcb_replay --record=<file>.repro.json --verify"
     return 1
   fi
+  # Re-run a slice of the sweep with the AVX2 kernels forced (the env
+  # override is a no-op on hosts without avx2+fma, where this degenerates
+  # to a scalar re-run).  The generated space weights the multi-channel
+  # axis, so this exercises the mc event engine's SIMD fast path — packed
+  # keys, bulk jam_run_masks, fill kernels — against the differential
+  # oracles under the wide path.
+  echo "--- fuzz: $((fuzz_cases / 2)) scenarios with RCB_SIMD=avx2 (mc axis)"
+  rc=0
+  RCB_SIMD=avx2 "$fuzz" --seed=2 --cases="$((fuzz_cases / 2))" \
+    --out="$fuzz_out" --quiet || rc=$?
+  if [[ "$rc" -ne 0 ]]; then
+    echo "fuzz (RCB_SIMD=avx2): oracle violations found; minimized scenarios in:"
+    ls "$fuzz_out" | sed "s|^|  $fuzz_out/|"
+    echo "replay with: build/tools/rcb_replay --record=<file>.repro.json --verify"
+    return 1
+  fi
 }
 
 if [[ "$what" == "all" || "$what" == "plain" ]]; then
@@ -389,6 +406,16 @@ if [[ "$what" == "all" || "$what" == "plain" ]]; then
   awk -v s="$speedup" 'BEGIN { exit (s >= 5.0) ? 0 : 1 }' ||
     { echo "bench: event-vs-dense speedup ${speedup}x below the 5x bar"; exit 1; }
   echo "bench: event-vs-dense speedup ${speedup}x (bar: >= 5x)"
+  # Same structural gate for the multi-channel engine pair: the mc event
+  # path (bulk jam_run_masks over eventless runs) vs the dense mc reference.
+  mc_speedup=$(grep -o '"m2/channels/speedup"[^]]*' \
+      "$repo/build/BENCH_m2.json" |
+    grep -o '"slots_per_sec":[0-9.eE+-]*' | head -n1 | cut -d: -f2)
+  [[ -n "$mc_speedup" ]] ||
+    { echo "bench: m2/channels/speedup entry missing"; exit 1; }
+  awk -v s="$mc_speedup" 'BEGIN { exit (s >= 5.0) ? 0 : 1 }' ||
+    { echo "bench: mc event-vs-dense speedup ${mc_speedup}x below the 5x bar"; exit 1; }
+  echo "bench: mc event-vs-dense speedup ${mc_speedup}x (bar: >= 5x)"
 fi
 
 if [[ "$what" == "all" || "$what" == "sanitize" ]]; then
@@ -411,7 +438,8 @@ if [[ "$what" == "all" || "$what" == "perf" ]]; then
     (cd "$repo" && cmake --preset perf)
     echo "=== [perf] build engine crosscheck suite ==="
     perf_tests=(engine_crosscheck_test sampling_simd_test arena_test
-                slot_engine_test sampling_test determinism_test)
+                slot_engine_test sampling_test determinism_test
+                mc_engine_test mc_degeneration_test)
     cmake --build "$repo/build-perf" -j "$jobs" --target "${perf_tests[@]}"
     echo "=== [perf] run engine crosscheck suite ==="
     for t in "${perf_tests[@]}"; do
